@@ -1,0 +1,107 @@
+// Reproduces the paper's §5 "Accuracy" experiment:
+//  (1) random-input differential testing — 1000 random packets per NF
+//      through the original program and the synthesized model; outputs
+//      (and output-impacting state) must agree in every trial;
+//  (2) path-set comparison — symbolic execution of the original program
+//      and of the slice must yield the same set of forwarding-action
+//      signatures.
+// The paper runs this for its 2 NFs; we run it for all six corpus NFs.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "model/interp.h"
+#include "netsim/packet_gen.h"
+#include "runtime/interp.h"
+#include "verify/equivalence.h"
+
+namespace {
+
+using namespace nfactor;
+
+void report() {
+  std::printf("§5 Accuracy: model vs original program\n");
+  benchutil::rule('=');
+  std::printf("%-12s | %7s | %9s %9s | %8s | %s\n", "NF", "packets",
+              "sent:orig", "sent:model", "mismatch", "action-path-sets");
+  benchutil::rule();
+
+  for (const auto& e : nfs::corpus()) {
+    pipeline::PipelineOptions opts;
+    opts.run_orig_se = true;
+    opts.se_orig.max_paths = 4096;
+    const auto r = benchutil::run_nf(std::string(e.name), opts);
+
+    // (1) 1000 random packets, plus full TCP flows for the stateful NFs.
+    netsim::PacketGen gen(42 + r.loc_orig);
+    std::vector<netsim::Packet> packets = gen.batch(1000);
+    for (int i = 0; i < 20; ++i) {
+      const auto flow = gen.handshake_flow(6);
+      packets.insert(packets.end(), flow.begin(), flow.end());
+    }
+    const auto diff =
+        verify::differential_test(*r.module, r.cats, r.model, packets);
+
+    // (2) action-signature path-set comparison (orig SE vs slice SE).
+    const auto cmp =
+        verify::compare_action_sets(r.orig_paths, r.slice_paths, r.cats);
+    char pathset[64];
+    if (r.orig_stats.hit_path_cap) {
+      std::snprintf(pathset, sizeof(pathset), "skipped (orig capped)");
+    } else {
+      std::snprintf(pathset, sizeof(pathset), "%s (%zu common)",
+                    cmp.equal() ? "EQUAL" : "DIFFER", cmp.common);
+    }
+    std::printf("%-12s | %7d | %9d %9d | %8d | %s\n",
+                std::string(e.name).c_str(), diff.packets, diff.original_sent,
+                diff.model_sent, diff.mismatches, pathset);
+    if (!diff.ok() && !diff.details.empty()) {
+      std::printf("    first mismatch: %s\n", diff.details[0].c_str());
+    }
+    if (!r.orig_stats.hit_path_cap && !cmp.equal()) {
+      for (const auto& s : cmp.only_in_a) {
+        std::printf("    only in orig:  %s\n", s.c_str());
+      }
+      for (const auto& s : cmp.only_in_b) {
+        std::printf("    only in slice: %s\n", s.c_str());
+      }
+    }
+  }
+  benchutil::rule();
+  std::printf("(paper: 1000 trials per NF, outputs identical in every "
+              "experiment)\n\n");
+}
+
+void BM_ModelInterpreterThroughput(benchmark::State& state) {
+  const auto r = benchutil::run_nf("lb");
+  model::ModelInterpreter synth(r.model, model::initial_store(*r.module));
+  netsim::PacketGen gen(7);
+  const auto packets = gen.batch(256);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    auto out = synth.process(packets[i++ % packets.size()]);
+    benchmark::DoNotOptimize(out.sent.size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ModelInterpreterThroughput);
+
+void BM_OriginalInterpreterThroughput(benchmark::State& state) {
+  const auto r = benchutil::run_nf("lb");
+  runtime::Interpreter orig(*r.module);
+  netsim::PacketGen gen(7);
+  const auto packets = gen.batch(256);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    auto out = orig.process(packets[i++ % packets.size()]);
+    benchmark::DoNotOptimize(out.sent.size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_OriginalInterpreterThroughput);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  report();
+  return nfactor::benchutil::bench_main(argc, argv);
+}

@@ -1,0 +1,43 @@
+// Reproduces paper Figure 6: "NFactor output for balance" — the
+// extracted stateful match/action model of the balance load balancer,
+// one table per configuration (mode = RR with the round-robin index as
+// output-impacting state; mode = HASH with no index state).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "model/model.h"
+
+namespace {
+
+using namespace nfactor;
+
+void report() {
+  std::printf("Figure 6: NFactor output for balance\n");
+  benchutil::rule('=');
+  const auto r = benchutil::run_nf("balance");
+  std::printf("%s\n", model::to_table(r.model).c_str());
+
+  std::printf("StateAlyzer categorization used by the extraction:\n%s\n",
+              r.cats.to_table().c_str());
+  std::printf(
+      "Check against the paper: the RR table matches on the idx state and\n"
+      "advances it circularly ((idx+1) %% N); the HASH table picks\n"
+      "servers[hash(flow) %% N] with no index state update.\n\n");
+}
+
+void BM_ExtractBalanceModel(benchmark::State& state) {
+  const auto& e = nfs::find("balance");
+  auto prog = lang::parse(e.source, "balance");
+  for (auto _ : state) {
+    auto r = pipeline::run(prog);
+    benchmark::DoNotOptimize(r.model.entries.size());
+  }
+}
+BENCHMARK(BM_ExtractBalanceModel)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  report();
+  return nfactor::benchutil::bench_main(argc, argv);
+}

@@ -1,0 +1,53 @@
+// Reproduces paper Figure 2: the NFactor pipeline stages on the LB —
+// (b) packet slice and state slice sizes, (c) the execution paths found
+// in the union slice, (d) the resulting model tables.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "model/model.h"
+
+namespace {
+
+using namespace nfactor;
+
+void report() {
+  std::printf("Figure 2: NFactor overview — pipeline stages on the LB\n");
+  benchutil::rule('=');
+  const auto r = benchutil::run_nf("lb");
+
+  std::printf("(a) input: %d CFG statements over %d source lines\n",
+              static_cast<int>(r.module->body.real_nodes().size()),
+              r.loc_orig);
+  std::printf("(b) slices: packet slice %zu nodes, state slice %zu nodes, "
+              "union %zu nodes (%d source lines)\n",
+              r.pkt_slice.size(), r.state_slice.size(), r.union_slice.size(),
+              r.loc_slice);
+  std::printf("(c) execution paths in the union slice: %zu\n",
+              r.slice_paths.size());
+  for (std::size_t i = 0; i < r.slice_paths.size(); ++i) {
+    const auto& p = r.slice_paths[i];
+    std::printf("    path %zu: %zu conditions, %zu sends, %zu nodes%s\n", i,
+                p.constraints.size(), p.sends.size(), p.nodes.size(),
+                p.truncated ? " (truncated)" : "");
+  }
+  std::printf("(d) model:\n%s\n", model::to_table(r.model).c_str());
+  std::printf("stage times: lower %.2fms, slicing %.2fms, SE(slice) %.2fms\n\n",
+              r.times.lower_ms, r.times.slicing_ms, r.times.se_slice_ms);
+}
+
+void BM_FullPipelineLb(benchmark::State& state) {
+  const auto& e = nfs::find("lb");
+  auto prog = lang::parse(e.source, "lb");
+  for (auto _ : state) {
+    auto r = pipeline::run(prog);
+    benchmark::DoNotOptimize(r.model.entries.size());
+  }
+}
+BENCHMARK(BM_FullPipelineLb)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  report();
+  return nfactor::benchutil::bench_main(argc, argv);
+}

@@ -1,0 +1,80 @@
+// Ablation: how slicing and symbolic-execution cost scale with program
+// size. Synthetic NFs with K forwarding-irrelevant statistic branches
+// and R header rules show the paper's core economics: SE on the original
+// grows exponentially in K (until the cap), while the slice is immune to
+// K and grows gently with R — slicing is what makes SE tractable (§3.2
+// "Execution Paths").
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace {
+
+using namespace nfactor;
+
+void report() {
+  std::printf("Scaling: SE paths & time vs program size (synthetic NFs)\n");
+  benchutil::rule('=');
+  std::printf("%-22s | %5s | %14s | %14s | %8s\n", "program", "LoC",
+              "EP orig", "EP slice", "slicing");
+  benchutil::rule();
+  for (const int k : {2, 4, 6, 8, 10, 12}) {
+    const std::string src = nfs::synthetic_nf(k, 4);
+    pipeline::PipelineOptions opts;
+    opts.run_orig_se = true;
+    opts.se_orig.max_paths = 4096;
+    // The rule loop revisits one symbolic branch per rule; keep the loop
+    // bound above the largest rule count in the sweep.
+    opts.se_orig.max_loop_iters = 64;
+    opts.se_slice.max_loop_iters = 64;
+    const auto r = pipeline::run_source(src, "synthetic_k" + std::to_string(k),
+                                        opts);
+    char orig[48];
+    std::snprintf(orig, sizeof(orig), "%s%zu (%.1fms)",
+                  r.orig_stats.hit_path_cap ? ">" : "", r.orig_paths.size(),
+                  r.times.se_orig_ms);
+    char slice[48];
+    std::snprintf(slice, sizeof(slice), "%zu (%.1fms)", r.slice_paths.size(),
+                  r.times.se_slice_ms);
+    std::printf("%-22s | %5d | %14s | %14s | %6.2fms\n",
+                ("stat-branches k=" + std::to_string(k)).c_str(), r.loc_orig,
+                orig, slice, r.times.slicing_ms);
+  }
+  benchutil::rule();
+  for (const int rules : {2, 8, 16, 32}) {
+    const std::string src = nfs::synthetic_nf(4, rules);
+    pipeline::PipelineOptions opts;
+    opts.run_orig_se = true;
+    opts.se_orig.max_paths = 4096;
+    // The rule loop revisits one symbolic branch per rule; keep the loop
+    // bound above the largest rule count in the sweep.
+    opts.se_orig.max_loop_iters = 64;
+    opts.se_slice.max_loop_iters = 64;
+    const auto r = pipeline::run_source(src, "synthetic_r" + std::to_string(rules),
+                                        opts);
+    std::printf("%-22s | %5d | %10zu (%.0fms) | %10zu (%.0fms) | %6.2fms\n",
+                ("rules r=" + std::to_string(rules)).c_str(), r.loc_orig,
+                r.orig_paths.size(), r.times.se_orig_ms,
+                r.slice_paths.size(), r.times.se_slice_ms,
+                r.times.slicing_ms);
+  }
+  benchutil::rule();
+  std::printf("\n");
+}
+
+void BM_SliceSyntheticK(benchmark::State& state) {
+  const std::string src = nfs::synthetic_nf(static_cast<int>(state.range(0)), 4);
+  auto prog = lang::parse(src, "synthetic");
+  for (auto _ : state) {
+    auto r = pipeline::run(prog);
+    benchmark::DoNotOptimize(r.slice_paths.size());
+  }
+}
+BENCHMARK(BM_SliceSyntheticK)->Arg(4)->Arg(8)->Arg(12)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  report();
+  return nfactor::benchutil::bench_main(argc, argv);
+}

@@ -1,0 +1,51 @@
+// Reproduces paper Table 1: "NFactor variable categorization and
+// examples" — the StateAlyzer features (persistent / top-level /
+// updateable / output-impacting) and resulting categories for the
+// Figure-1 load balancer.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "statealyzer/statealyzer.h"
+
+namespace {
+
+using namespace nfactor;
+
+void report() {
+  std::printf("Table 1: NFactor variable categorization on the LB example\n");
+  benchutil::rule('=');
+  const auto r = benchutil::run_nf("lb");
+
+  std::printf("%-22s | %-6s | pers top upd ois\n", "variable", "cat");
+  benchutil::rule();
+  for (const auto& [name, f] : r.cats.features) {
+    if (name.starts_with("__") || name.find('$') != std::string::npos) {
+      continue;  // lowering temporaries / inlined locals
+    }
+    std::printf("%-22s | %-6s |  %c    %c   %c   %c\n", name.c_str(),
+                statealyzer::to_string(r.cats.category.at(name)).c_str(),
+                f.persistent ? 'x' : '.', f.top_level ? 'x' : '.',
+                f.updateable ? 'x' : '.', f.output_impacting ? 'x' : '.');
+  }
+  benchutil::rule();
+  std::printf(
+      "Expected (paper Table 1): pktVar=pkt; cfgVar ⊇ {mode, LB_IP};\n"
+      "oisVar ⊇ {f2b_nat, rr_idx}; logVar = {pass_stat, drop_stat}.\n\n");
+}
+
+void BM_StateAlyzer(benchmark::State& state) {
+  const auto& e = nfs::find("lb");
+  auto r = pipeline::run(lang::parse(e.source, "lb"));
+  for (auto _ : state) {
+    auto cats = statealyzer::analyze(*r.module, *r.pdg);
+    benchmark::DoNotOptimize(cats.ois_vars.size());
+  }
+}
+BENCHMARK(BM_StateAlyzer);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  report();
+  return nfactor::benchutil::bench_main(argc, argv);
+}

@@ -1,0 +1,38 @@
+// Shared helpers for the paper-reproduction benchmarks: each bench
+// binary prints its paper-shaped table first (the reproduction artifact)
+// and then runs google-benchmark timings for the operations behind it.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+#include "lang/parser.h"
+#include "nfactor/pipeline.h"
+#include "nfs/corpus.h"
+
+namespace nfactor::benchutil {
+
+inline pipeline::PipelineResult run_nf(const std::string& name,
+                                       const pipeline::PipelineOptions& opts = {}) {
+  const auto& e = nfs::find(name);
+  return pipeline::run_source(e.source, name, opts);
+}
+
+inline void rule(char c = '-') {
+  for (int i = 0; i < 78; ++i) std::putchar(c);
+  std::putchar('\n');
+}
+
+/// Print the report section, then hand over to google-benchmark.
+/// Usage: int main(argc, argv) { print_report(); return bench_main(argc, argv); }
+inline int bench_main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace nfactor::benchutil

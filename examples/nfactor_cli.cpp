@@ -1,0 +1,167 @@
+// nfactor_cli — the NFactor tool as a command line, the way a vendor
+// would run it over their NF source (§1: "make our tool available to NF
+// vendors who can run it on their proprietary code and provide only the
+// resultant models to network operators").
+//
+//   nfactor_cli <file.nf> [--table|--json|--text|--slices|--vars|--stats]
+//   nfactor_cli --corpus <name> [...same flags]
+//   nfactor_cli --write-corpus <dir>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "analysis/dot.h"
+#include "ir/dot.h"
+#include "model/fsm.h"
+#include "model/model.h"
+#include "model/sefl_export.h"
+#include "model/validate.h"
+#include "nfactor/pipeline.h"
+#include "nfs/corpus.h"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: nfactor_cli <file.nf> [--table|--json|--text|--slices|"
+               "--vars|--stats|--validate|--sefl|--fsm <statevar>|--dot-cfg|--dot-pdg]\n"
+               "       nfactor_cli --corpus <name> [flags]   (bundled NFs: ");
+  for (const auto& e : nfactor::nfs::corpus()) {
+    std::fprintf(stderr, "%s ", std::string(e.name).c_str());
+  }
+  std::fprintf(stderr,
+               ")\n       nfactor_cli --all              (summary over the "
+               "bundled corpus)\n"
+               "       nfactor_cli --write-corpus <dir>\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace nfactor;
+  if (argc < 2) return usage();
+
+  std::string source;
+  std::string unit;
+  int flag_start = 2;
+
+  if (std::strcmp(argv[1], "--write-corpus") == 0) {
+    if (argc < 3) return usage();
+    nfs::write_corpus(argv[2]);
+    std::printf("wrote %zu NF programs to %s\n", nfs::corpus().size(), argv[2]);
+    return 0;
+  }
+  if (std::strcmp(argv[1], "--all") == 0) {
+    // Batch mode: one summary row per bundled NF.
+    std::printf("%-12s | %-18s | %5s %5s %5s | %5s | %7s\n", "NF",
+                "structure", "LoC", "slice", "path", "paths", "entries");
+    for (int i = 0; i < 65; ++i) std::fputc('-', stdout);
+    std::fputc('\n', stdout);
+    for (const auto& e : nfactor::nfs::corpus()) {
+      try {
+        const auto r = pipeline::run_source(e.source, std::string(e.name));
+        std::printf("%-12s | %-18s | %5d %5d %5d | %5zu | %7zu\n",
+                    std::string(e.name).c_str(),
+                    std::string(e.structure).c_str(), r.loc_orig, r.loc_slice,
+                    r.loc_path, r.slice_paths.size(), r.model.entries.size());
+      } catch (const std::exception& ex) {
+        std::printf("%-12s | error: %s\n", std::string(e.name).c_str(),
+                    ex.what());
+      }
+    }
+    return 0;
+  }
+  if (std::strcmp(argv[1], "--corpus") == 0) {
+    if (argc < 3) return usage();
+    try {
+      const auto& e = nfs::find(argv[2]);
+      source = std::string(e.source);
+      unit = std::string(e.name);
+    } catch (const std::exception& ex) {
+      std::fprintf(stderr, "error: %s\n", ex.what());
+      return 2;
+    }
+    flag_start = 3;
+  } else {
+    std::ifstream in(argv[1]);
+    if (!in) {
+      std::fprintf(stderr, "error: cannot open %s\n", argv[1]);
+      return 2;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    source = ss.str();
+    unit = argv[1];
+  }
+
+  std::string mode = "--table";
+  if (argc > flag_start) mode = argv[flag_start];
+
+  try {
+    pipeline::PipelineOptions opts;
+    if (mode == "--stats") opts.run_orig_se = true;
+    const auto r = pipeline::run_source(source, unit, opts);
+
+    if (mode == "--table") {
+      std::printf("%s", model::to_table(r.model).c_str());
+    } else if (mode == "--json") {
+      std::printf("%s", model::to_json(r.model).c_str());
+    } else if (mode == "--text") {
+      std::printf("%s", model::to_text(r.model).c_str());
+    } else if (mode == "--vars") {
+      std::printf("%s", r.cats.to_table().c_str());
+    } else if (mode == "--slices") {
+      std::printf("packet slice: %zu nodes, state slice: %zu nodes, union: "
+                  "%zu of %zu statements\n",
+                  r.pkt_slice.size(), r.state_slice.size(),
+                  r.union_slice.size(), r.module->body.real_nodes().size());
+      for (const int id : r.union_slice) {
+        const auto& n = r.module->body.node(id);
+        if (n.kind == ir::InstrKind::kEntry || n.kind == ir::InstrKind::kExit) {
+          continue;
+        }
+        std::printf("  %s\n", n.to_string().c_str());
+      }
+    } else if (mode == "--validate") {
+      const auto report = model::validate(r.model);
+      std::printf("%s\n%s\n", report.ok() ? "model OK" : "model has issues",
+                  report.summary().c_str());
+      return report.ok() ? 0 : 1;
+    } else if (mode == "--sefl") {
+      std::printf("%s", model::to_sefl(r.model).c_str());
+    } else if (mode == "--fsm") {
+      if (argc <= flag_start + 1) {
+        std::fprintf(stderr, "--fsm needs a state variable; oisVars are: ");
+        for (const auto& v : r.cats.ois_vars) {
+          std::fprintf(stderr, "%s ", v.c_str());
+        }
+        std::fprintf(stderr, "\n");
+        return 2;
+      }
+      const auto fsm = model::extract_fsm(r.model, argv[flag_start + 1]);
+      std::printf("%s\n%s", fsm.to_text().c_str(), fsm.to_dot().c_str());
+    } else if (mode == "--dot-cfg") {
+      std::printf("%s", ir::to_dot(r.module->body, unit, r.union_slice).c_str());
+    } else if (mode == "--dot-pdg") {
+      std::printf("%s", analysis::to_dot(*r.pdg, unit).c_str());
+    } else if (mode == "--stats") {
+      std::printf("LoC: orig=%d slice=%d path=%d\n", r.loc_orig, r.loc_slice,
+                  r.loc_path);
+      std::printf("slicing: %.2fms, SE(slice): %.2fms (%zu paths), "
+                  "SE(orig): %.2fms (%zu paths%s)\n",
+                  r.times.slicing_ms, r.times.se_slice_ms,
+                  r.slice_paths.size(), r.times.se_orig_ms,
+                  r.orig_paths.size(),
+                  r.orig_stats.hit_path_cap ? ", capped" : "");
+    } else {
+      return usage();
+    }
+  } catch (const std::exception& ex) {
+    std::fprintf(stderr, "nfactor: %s\n", ex.what());
+    return 1;
+  }
+  return 0;
+}

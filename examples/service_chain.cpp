@@ -1,0 +1,84 @@
+// Service-chain example (paper §4): extract models for a firewall, an
+// IDS and a load balancer, let the PGA-style composer order the chain,
+// then verify end-to-end reachability properties of the composed chain
+// with the stateful header-space checker.
+#include <cstdio>
+
+#include "nfactor/pipeline.h"
+#include "nfs/corpus.h"
+#include "verify/chain.h"
+#include "verify/hsa.h"
+
+int main() {
+  using namespace nfactor;
+
+  // 1. Extract models straight from the NF sources.
+  const auto fw = pipeline::run_source(nfs::find("firewall").source, "fw");
+  const auto ids = pipeline::run_source(nfs::find("snort_lite").source, "ids");
+  const auto lb = pipeline::run_source(nfs::find("lb").source, "lb");
+  std::printf("extracted models: fw=%zu entries, ids=%zu, lb=%zu\n\n",
+              fw.model.entries.size(), ids.model.entries.size(),
+              lb.model.entries.size());
+
+  // 2. Compose the policies {FW, IDS} + {LB}: which order is right?
+  const auto advice = verify::advise_order(
+      {{"lb", &lb.model}, {"fw", &fw.model}, {"ids", &ids.model}});
+  std::printf("composition advice:\n");
+  for (const auto& c : advice.constraints) {
+    std::printf("  %s must precede %s (it matches %s, which %s rewrites)\n",
+                c.before.c_str(), c.after.c_str(), c.field.c_str(),
+                c.after.c_str());
+  }
+  std::printf("  => order: ");
+  for (std::size_t i = 0; i < advice.order.size(); ++i) {
+    std::printf("%s%s", i ? " -> " : "", advice.order[i].c_str());
+  }
+  std::printf("\n\n");
+
+  // 3. Verify the composed chain: telnet must never reach the backends.
+  const auto pin = symex::make_bin(
+      lang::BinOp::kEq, symex::make_var("INLINE_DROP", symex::VarClass::kCfg),
+      symex::make_int(1));
+  std::vector<verify::ChainHop> chain;
+  for (const auto& name : advice.order) {
+    if (name == "fw") chain.push_back({"fw", &fw.model, {}});
+    if (name == "ids") chain.push_back({"ids", &ids.model, {pin}});
+    if (name == "lb") chain.push_back({"lb", &lb.model, {}});
+  }
+
+  const auto pktvar = [](const char* f) {
+    return symex::make_var(std::string("pkt.") + f, symex::VarClass::kPkt);
+  };
+  const auto telnet = std::vector<symex::SymRef>{
+      symex::make_bin(lang::BinOp::kEq, pktvar("ip_proto"), symex::make_int(6)),
+      symex::make_bin(lang::BinOp::kEq, pktvar("dport"), symex::make_int(23))};
+  const auto web = std::vector<symex::SymRef>{
+      symex::make_bin(lang::BinOp::kEq, pktvar("ip_proto"), symex::make_int(6)),
+      symex::make_bin(lang::BinOp::kEq, pktvar("dport"), symex::make_int(80)),
+      symex::make_bin(lang::BinOp::kEq, pktvar("in_port"), symex::make_int(0))};
+
+  std::printf("chain verification:\n");
+  std::printf("  telnet reaches egress: %s (want: no)\n",
+              verify::can_reach_egress(chain, telnet) ? "YES - POLICY VIOLATION"
+                                                      : "no");
+  const auto web_paths = verify::reachable(chain, web, 16);
+  std::printf("  web traffic reaches egress: %s via %zu feasible path(s) "
+              "(want: yes)\n",
+              web_paths.any() ? "yes" : "NO - BROKEN CHAIN",
+              web_paths.delivered.size());
+
+  // Show one end-to-end path with the transformed header.
+  if (web_paths.any()) {
+    const auto& p = web_paths.delivered.front();
+    std::printf("\n  example end-to-end path (entry per hop:");
+    for (const int e : p.entry_index) std::printf(" %d", e);
+    std::printf("), egress header:\n");
+    for (const auto& [field, expr] : p.egress_fields) {
+      // Only show fields the chain actually rewrote.
+      if (expr->kind == symex::SymKind::kVar && expr->str_val == field) continue;
+      std::printf("    %s = %s\n", field.c_str(),
+                  symex::to_string(*expr).c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,44 @@
+# balance 3.5-style TCP proxy load balancer (paper Figure 3).
+# Nested-loop socket structure (Fig. 4d): hidden TCP state lives in the
+# OS until transform::unfold_sockets makes it explicit.
+var MODE_RR = 1;
+var mode = 1;
+var BAL_PORT = 80;
+var servers = [(1.1.1.1, 80), (2.2.2.2, 80)];
+var idx = 0;
+# Log state
+var conn_stat = 0;
+var busy_stat = 0;
+var wrap_stat = 0;
+
+def main() {
+  lfd = sock_listen(BAL_PORT);
+  while (true) {
+    cfd = sock_accept(lfd);
+    if (mode == MODE_RR) {
+      server = servers[idx];
+      idx = (idx + 1) % len(servers);
+    } else {
+      # hash the client to a backend server
+      server = servers[hash(cfd) % len(servers)];
+    }
+    conn_stat = conn_stat + 1;
+    if (conn_stat > 1000) {
+      # failure handling: connection table pressure accounting
+      busy_stat = busy_stat + 1;
+    }
+    if (idx == 0) {
+      wrap_stat = wrap_stat + 1;
+    }
+    child = fork();
+    if (child == 0) {
+      sfd = sock_connect(server[0], server[1]);
+      while (true) {
+        buf = sock_recv(cfd);
+        sock_send(sfd, buf);
+        buf2 = sock_recv(sfd);
+        sock_send(cfd, buf2);
+      }
+    }
+  }
+}

@@ -1,0 +1,29 @@
+# dpi: payload signature inspection; matched packets are mirrored to
+# an analysis port AND still forwarded (Fig. 4a structure).
+var WATCH_PORT = 80;
+var MIRROR_PORT = 9;
+var OUT_PORT = 1;
+# Log state
+var inspected = 0;
+var matched = 0;
+
+def main() {
+  while (true) {
+    pkt = recv(0);
+    if (pkt.ip_proto != 6) {
+      send(pkt, OUT_PORT);
+      return;
+    }
+    if (pkt.dport == WATCH_PORT || pkt.sport == WATCH_PORT) {
+      inspected = inspected + 1;
+      if (payload_contains(pkt, "exploit") ||
+          payload_contains(pkt, "/etc/shadow")) {
+        matched = matched + 1;
+        send(pkt, MIRROR_PORT);
+        send(pkt, OUT_PORT);
+        return;
+      }
+    }
+    send(pkt, OUT_PORT);
+  }
+}

@@ -1,0 +1,25 @@
+# l2-switch: MAC learning switch with flooding (Fig. 4a structure).
+var FLOOD_PORT = 255;
+# Forwarding state: MAC -> switch port
+var mac_table = {};
+# Log state
+var learned = 0;
+var flooded = 0;
+
+def main() {
+  while (true) {
+    pkt = recv(0);
+    # learn the source MAC's port
+    mac_table[pkt.eth_src] = pkt.in_port;
+    learned = learned + 1;
+    if (pkt.eth_dst in mac_table) {
+      out = mac_table[pkt.eth_dst];
+      if (out != pkt.in_port) {
+        send(pkt, out);
+      }
+      return;
+    }
+    flooded = flooded + 1;
+    send(pkt, FLOOD_PORT);
+  }
+}

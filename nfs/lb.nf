@@ -1,0 +1,70 @@
+# Layer-4 load balancer (paper Figure 1), callback structure (Fig. 4b).
+# Constants
+var ROUND_ROBIN = 1;
+var HASH_MODE = 2;
+# Configurations
+var mode = 1;
+var LB_IFACE = 0;
+var LB_IP = 3.3.3.3;
+var LB_PORT = 80;
+var servers = [(1.1.1.1, 80), (2.2.2.2, 80)];
+# Output-impacting states
+var f2b_nat = {};
+var b2f_nat = {};
+var rr_idx = 0;
+var cur_port = 10000;
+# Log states
+var pass_stat = 0;
+var drop_stat = 0;
+
+def pkt_callback(pkt) {
+  si = pkt.ip_src;
+  di = pkt.ip_dst;
+  sp = pkt.sport;
+  dp = pkt.dport;
+  if (dp == LB_PORT) {
+    # packet from client to server
+    cs_ftpl = (si, sp, di, dp);
+    sc_ftpl = (di, dp, si, sp);
+    if (!(cs_ftpl in f2b_nat)) {
+      # new connection
+      if (mode == ROUND_ROBIN) {
+        server = servers[rr_idx];
+        rr_idx = (rr_idx + 1) % len(servers);
+      } else {
+        # hash to a backend server
+        server = servers[hash(si) % len(servers)];
+      }
+      n_port = cur_port;
+      cur_port = cur_port + 1;
+      cs_btpl = (LB_IP, n_port, server[0], server[1]);
+      sc_btpl = (server[0], server[1], LB_IP, n_port);
+      f2b_nat[cs_ftpl] = cs_btpl;
+      b2f_nat[sc_btpl] = sc_ftpl;
+      nat_tpl = cs_btpl;
+    } else {
+      # existing connection
+      nat_tpl = f2b_nat[cs_ftpl];
+    }
+  } else {
+    # packet from server to client
+    sc_btpl = (si, sp, di, dp);
+    if (sc_btpl in b2f_nat) {
+      nat_tpl = b2f_nat[sc_btpl];
+    } else {
+      # no initial outbound traffic is allowed
+      drop_stat = drop_stat + 1;
+      return;
+    }
+  }
+  pass_stat = pass_stat + 1;
+  pkt.ip_src = nat_tpl[0];
+  pkt.sport = nat_tpl[1];
+  pkt.ip_dst = nat_tpl[2];
+  pkt.dport = nat_tpl[3];
+  send(pkt, LB_IFACE);
+}
+
+def main() {
+  sniff(0, pkt_callback);
+}

@@ -1,0 +1,41 @@
+# flow-rate-limiter with a consumer-producer structure (Fig. 4c):
+# a read loop enqueues packets, a processing loop pops and decides.
+var LIMIT = 3;
+var OUT_PORT = 1;
+var queue = [];
+# Output-impacting state
+var flow_count = {};
+# Log state
+var total = 0;
+var limited = 0;
+
+def read_loop() {
+  while (true) {
+    p = recv(0);
+    push(queue, p);
+  }
+}
+
+def proc_loop() {
+  while (true) {
+    p = pop(queue);
+    total = total + 1;
+    k = (p.ip_src, p.ip_dst, p.ip_proto);
+    if (k in flow_count) {
+      c = flow_count[k];
+    } else {
+      c = 0;
+    }
+    if (c >= LIMIT) {
+      limited = limited + 1;
+      return;
+    }
+    flow_count[k] = c + 1;
+    send(p, OUT_PORT);
+  }
+}
+
+def main() {
+  spawn(read_loop);
+  spawn(proc_loop);
+}

@@ -1,0 +1,146 @@
+# snort-lite: inline signature IDS/IPS, canonical loop structure (Fig. 4a).
+# -------- configuration --------
+var IFACE_IN = 0;
+var IFACE_OUT = 1;
+var INLINE_DROP = 1;
+# rule tuple: (proto, src_ip, src_port, dst_ip, dst_port, flags_mask)
+# field value 0 means wildcard.
+var rules = [
+  (6, 0, 0, 0, 23, 0),
+  (6, 0, 0, 0, 8080, 2),
+  (17, 0, 0, 0, 69, 0),
+];
+
+# -------- log / statistics state (forwarding-irrelevant) --------
+var pkt_count = 0;
+var tcp_count = 0;
+var udp_count = 0;
+var other_count = 0;
+var syn_count = 0;
+var fin_count = 0;
+var rst_count = 0;
+var big_count = 0;
+var tiny_count = 0;
+var lowttl_count = 0;
+var frag_count = 0;
+var http_count = 0;
+var telnet_count = 0;
+var alert_count = 0;
+var drop_count = 0;
+var byte_count = 0;
+var decode_fail = 0;
+
+def decode_ok(pkt) {
+  # failure handling: malformed packets are not forwarded
+  if (pkt.eth_type != 0x0800) {
+    return false;
+  }
+  if (pkt.ip_ttl == 0) {
+    return false;
+  }
+  return true;
+}
+
+def preprocess(pkt) {
+  # per-protocol accounting (log-only; pruned by slicing)
+  pkt_count = pkt_count + 1;
+  byte_count = byte_count + pkt.len;
+  if (pkt.ip_proto == 6) {
+    tcp_count = tcp_count + 1;
+  } else {
+    if (pkt.ip_proto == 17) {
+      udp_count = udp_count + 1;
+    } else {
+      other_count = other_count + 1;
+    }
+  }
+  if ((pkt.tcp_flags & 2) != 0) {
+    syn_count = syn_count + 1;
+  }
+  if ((pkt.tcp_flags & 1) != 0) {
+    fin_count = fin_count + 1;
+  }
+  if ((pkt.tcp_flags & 4) != 0) {
+    rst_count = rst_count + 1;
+  }
+  if (pkt.len > 512) {
+    big_count = big_count + 1;
+  }
+  if (pkt.len < 16) {
+    tiny_count = tiny_count + 1;
+  }
+  if (pkt.ip_ttl < 5) {
+    lowttl_count = lowttl_count + 1;
+  }
+  if (pkt.ip_id != 0) {
+    frag_count = frag_count + 1;
+  }
+  if (pkt.dport == 80) {
+    http_count = http_count + 1;
+  }
+  if (pkt.dport == 23) {
+    telnet_count = telnet_count + 1;
+  }
+}
+
+def match_rule(pkt, r) {
+  # header match with 0-wildcards; compound condition keeps the branch
+  # factor at one per rule
+  if ((r[0] == 0 || r[0] == pkt.ip_proto) &&
+      (r[1] == 0 || r[1] == pkt.ip_src) &&
+      (r[2] == 0 || r[2] == pkt.sport) &&
+      (r[3] == 0 || r[3] == pkt.ip_dst) &&
+      (r[4] == 0 || r[4] == pkt.dport) &&
+      (r[5] == 0 || (pkt.tcp_flags & r[5]) != 0)) {
+    return true;
+  }
+  return false;
+}
+
+def detect(pkt) {
+  for i in 0..len(rules) {
+    if (match_rule(pkt, rules[i])) {
+      return i;
+    }
+  }
+  # content rules (compiled in, like snort's content: options)
+  if (pkt.dport == 21 && payload_contains(pkt, "USER root")) {
+    return 100;
+  }
+  if (pkt.dport == 80 && payload_contains(pkt, "/etc/passwd")) {
+    return 101;
+  }
+  return 0 - 1;
+}
+
+def log_alert(pkt, rule_id) {
+  alert_count = alert_count + 1;
+  # alert record formatting (pruned by slicing)
+  sev = 1;
+  if (rule_id >= 100) {
+    sev = 2;
+  }
+  src_hi = pkt.ip_src >> 16;
+  src_lo = pkt.ip_src & 0xFFFF;
+  log("ALERT", rule_id, sev, src_hi, src_lo, pkt.sport, pkt.dport);
+}
+
+def main() {
+  while (true) {
+    pkt = recv(IFACE_IN);
+    if (!decode_ok(pkt)) {
+      decode_fail = decode_fail + 1;
+      return;
+    }
+    preprocess(pkt);
+    rule_id = detect(pkt);
+    if (rule_id >= 0) {
+      log_alert(pkt, rule_id);
+      if (INLINE_DROP == 1) {
+        drop_count = drop_count + 1;
+        return;
+      }
+    }
+    send(pkt, IFACE_OUT);
+  }
+}

@@ -1,0 +1,47 @@
+# synflood: SYN-flood mitigation. Tracks half-open handshakes per
+# source; sources above SYN_LIMIT have further SYNs dropped; a completed
+# handshake (ACK) forgives one half-open entry (Fig. 4a structure).
+var OUT_PORT = 1;
+var SYN_LIMIT = 3;
+# Output-impacting state
+var half_open = {};
+# Log state
+var flood_drops = 0;
+var forgiven = 0;
+
+def main() {
+  while (true) {
+    pkt = recv(0);
+    if (pkt.ip_proto != 6) {
+      send(pkt, OUT_PORT);
+      return;
+    }
+    f = pkt.tcp_flags;
+    if ((f & 2) != 0 && (f & 16) == 0) {
+      # bare SYN: count it against the source
+      if (pkt.ip_src in half_open) {
+        c = half_open[pkt.ip_src];
+      } else {
+        c = 0;
+      }
+      if (c >= SYN_LIMIT) {
+        flood_drops = flood_drops + 1;
+        return;
+      }
+      half_open[pkt.ip_src] = c + 1;
+      send(pkt, OUT_PORT);
+      return;
+    }
+    if ((f & 16) != 0) {
+      # ACK: a handshake completed; forgive one half-open slot
+      if (pkt.ip_src in half_open) {
+        c2 = half_open[pkt.ip_src];
+        if (c2 > 0) {
+          half_open[pkt.ip_src] = c2 - 1;
+          forgiven = forgiven + 1;
+        }
+      }
+    }
+    send(pkt, OUT_PORT);
+  }
+}

@@ -1,0 +1,36 @@
+#include "analysis/control_dep.h"
+
+namespace nfactor::analysis {
+
+ControlDeps control_dependence(const ir::Cfg& cfg) {
+  return control_dependence(cfg, postdominators(cfg));
+}
+
+ControlDeps control_dependence(const ir::Cfg& cfg, const DomTree& pdom) {
+  ControlDeps out;
+  out.deps.assign(cfg.size(), {});
+
+  for (const auto& node : cfg.nodes) {
+    const int a = node->id;
+    for (const int b : node->succs) {
+      if (b < 0) continue;
+      // Edge (a, b) where b does not postdominate a: walk the pdom tree
+      // from b up to (but excluding) ipdom(a).
+      if (pdom.dominates(b, a)) continue;
+      const int stop = pdom.reachable(a)
+                           ? pdom.idom[static_cast<std::size_t>(a)]
+                           : -1;
+      int runner = b;
+      while (runner != stop && runner >= 0) {
+        out.deps[static_cast<std::size_t>(runner)].insert(a);
+        if (!pdom.reachable(runner)) break;
+        const int up = pdom.idom[static_cast<std::size_t>(runner)];
+        if (up == runner) break;
+        runner = up;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace nfactor::analysis

@@ -1,0 +1,95 @@
+#include "analysis/dominators.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace nfactor::analysis {
+
+namespace {
+
+/// Generic CHK dominators over an adjacency view.
+DomTree compute(std::size_t n, int root,
+                const std::function<const std::vector<int>&(int)>& succs,
+                const std::function<const std::vector<int>&(int)>& preds) {
+  // Reverse postorder from root over succs.
+  std::vector<int> order;  // postorder
+  std::vector<char> seen(n, 0);
+  std::function<void(int)> dfs = [&](int u) {
+    seen[static_cast<std::size_t>(u)] = 1;
+    for (int v : succs(u)) {
+      if (!seen[static_cast<std::size_t>(v)]) dfs(v);
+    }
+    order.push_back(u);
+  };
+  dfs(root);
+  std::vector<int> rpo(order.rbegin(), order.rend());
+  std::vector<int> rpo_index(n, -1);
+  for (std::size_t i = 0; i < rpo.size(); ++i) {
+    rpo_index[static_cast<std::size_t>(rpo[i])] = static_cast<int>(i);
+  }
+
+  DomTree t;
+  t.idom.assign(n, -1);
+  t.idom[static_cast<std::size_t>(root)] = root;
+
+  auto intersect = [&](int a, int b) {
+    while (a != b) {
+      while (rpo_index[static_cast<std::size_t>(a)] >
+             rpo_index[static_cast<std::size_t>(b)]) {
+        a = t.idom[static_cast<std::size_t>(a)];
+      }
+      while (rpo_index[static_cast<std::size_t>(b)] >
+             rpo_index[static_cast<std::size_t>(a)]) {
+        b = t.idom[static_cast<std::size_t>(b)];
+      }
+    }
+    return a;
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int u : rpo) {
+      if (u == root) continue;
+      int new_idom = -1;
+      for (int p : preds(u)) {
+        if (t.idom[static_cast<std::size_t>(p)] < 0) continue;  // unprocessed
+        new_idom = new_idom < 0 ? p : intersect(new_idom, p);
+      }
+      if (new_idom >= 0 && t.idom[static_cast<std::size_t>(u)] != new_idom) {
+        t.idom[static_cast<std::size_t>(u)] = new_idom;
+        changed = true;
+      }
+    }
+  }
+  return t;
+}
+
+}  // namespace
+
+bool DomTree::dominates(int a, int b) const {
+  if (!reachable(b)) return false;
+  int x = b;
+  for (;;) {
+    if (x == a) return true;
+    const int up = idom[static_cast<std::size_t>(x)];
+    if (up == x) return false;  // reached root
+    x = up;
+  }
+}
+
+DomTree dominators(const ir::Cfg& cfg) {
+  return compute(
+      cfg.size(), cfg.entry,
+      [&cfg](int u) -> const std::vector<int>& { return cfg.node(u).succs; },
+      [&cfg](int u) -> const std::vector<int>& { return cfg.node(u).preds; });
+}
+
+DomTree postdominators(const ir::Cfg& cfg) {
+  return compute(
+      cfg.size(), cfg.exit,
+      [&cfg](int u) -> const std::vector<int>& { return cfg.node(u).preds; },
+      [&cfg](int u) -> const std::vector<int>& { return cfg.node(u).succs; });
+}
+
+}  // namespace nfactor::analysis

@@ -1,0 +1,33 @@
+// Immediate (post)dominators via the Cooper–Harvey–Kennedy iterative
+// algorithm. Postdominators drive control-dependence computation
+// (Ferrante–Ottenstein–Warren), which the slicer needs.
+#pragma once
+
+#include <vector>
+
+#include "ir/ir.h"
+
+namespace nfactor::analysis {
+
+/// Dominator tree over an arbitrary successor function.
+struct DomTree {
+  /// idom[n] = immediate dominator node id; root maps to itself;
+  /// unreachable nodes map to -1.
+  std::vector<int> idom;
+
+  bool reachable(int n) const { return idom[static_cast<std::size_t>(n)] >= 0; }
+
+  /// True when `a` dominates `b` (reflexive).
+  bool dominates(int a, int b) const;
+};
+
+/// Dominators of `cfg` rooted at entry.
+DomTree dominators(const ir::Cfg& cfg);
+
+/// Postdominators: dominators of the reverse CFG rooted at exit.
+/// Nodes that cannot reach exit (e.g. bodies of genuinely infinite inner
+/// loops) come out unreachable; callers treat them as postdominated by
+/// nothing.
+DomTree postdominators(const ir::Cfg& cfg);
+
+}  // namespace nfactor::analysis

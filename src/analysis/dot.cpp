@@ -1,0 +1,46 @@
+#include "analysis/dot.h"
+
+#include <sstream>
+
+namespace nfactor::analysis {
+
+namespace {
+
+std::string dot_escape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_dot(const Pdg& pdg, const std::string& title) {
+  const ir::Cfg& cfg = pdg.cfg();
+  std::ostringstream os;
+  os << "digraph \"" << dot_escape(title) << "\" {\n";
+  os << "  node [shape=box, fontname=\"monospace\", fontsize=9];\n";
+  for (const auto& n : cfg.nodes) {
+    if (n->kind == ir::InstrKind::kEntry || n->kind == ir::InstrKind::kExit) {
+      continue;
+    }
+    std::string label = n->to_string();
+    if (label.size() > 70) label = label.substr(0, 67) + "...";
+    os << "  n" << n->id << " [label=\"" << dot_escape(label) << "\"];\n";
+  }
+  for (const auto& n : cfg.nodes) {
+    for (const int d : pdg.data_deps(n->id)) {
+      os << "  n" << n->id << " -> n" << d << " [color=blue];\n";
+    }
+    for (const int c : pdg.control_deps(n->id)) {
+      os << "  n" << n->id << " -> n" << c
+         << " [color=red, style=dashed];\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace nfactor::analysis

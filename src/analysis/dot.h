@@ -1,0 +1,13 @@
+// Graphviz export of the program dependence graph (data edges solid,
+// control edges dashed).
+#pragma once
+
+#include <string>
+
+#include "analysis/pdg.h"
+
+namespace nfactor::analysis {
+
+std::string to_dot(const Pdg& pdg, const std::string& title = "pdg");
+
+}  // namespace nfactor::analysis

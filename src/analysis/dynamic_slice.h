@@ -1,0 +1,36 @@
+// Dynamic program slicing (Agrawal–Horgan style): given an execution
+// trace with dynamic def-use links recorded by the runtime, compute the
+// statements that *really* led to the criterion — the paper's Figure 1
+// highlights exactly such a slice for the LB's first-packet path.
+#pragma once
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "analysis/pdg.h"
+#include "ir/ir.h"
+
+namespace nfactor::analysis {
+
+struct TraceEvent {
+  int node = -1;  // CFG node executed
+  /// defining location -> index (into the trace) of the event that wrote
+  /// it, for every location this event's uses read. A whole-variable use
+  /// (send(pkt, ...)) carries one link per live partial definition.
+  /// Locations absent here came from initial/persistent state.
+  std::map<ir::Location, int> use_defs;
+};
+
+using Trace = std::vector<TraceEvent>;
+
+/// Events (by trace index) contributing to the criterion event, following
+/// dynamic data edges and (static) control dependences of executed nodes.
+std::set<int> dynamic_slice_events(const Trace& trace, const Pdg& pdg,
+                                   int criterion_event);
+
+/// The dynamic slice as a set of CFG nodes (for source-line highlighting).
+std::set<int> dynamic_slice_nodes(const Trace& trace, const Pdg& pdg,
+                                  int criterion_event);
+
+}  // namespace nfactor::analysis

@@ -1,0 +1,60 @@
+#include "analysis/live_vars.h"
+
+#include <deque>
+
+#include "analysis/reaching_defs.h"
+
+namespace nfactor::analysis {
+
+LiveVars::LiveVars(const ir::Cfg& cfg) {
+  for (const auto& n : cfg.nodes) {
+    in_[n->id] = {};
+    out_[n->id] = {};
+  }
+
+  std::deque<int> work;
+  std::vector<char> queued(cfg.size(), 1);
+  // Seed in reverse order for fast convergence.
+  for (auto it = cfg.nodes.rbegin(); it != cfg.nodes.rend(); ++it) {
+    work.push_back((*it)->id);
+  }
+
+  while (!work.empty()) {
+    const int u = work.front();
+    work.pop_front();
+    queued[static_cast<std::size_t>(u)] = 0;
+
+    std::set<ir::Location>& out = out_[u];
+    for (const int s : cfg.node(u).succs) {
+      if (s < 0) continue;
+      const auto& sin = in_[s];
+      out.insert(sin.begin(), sin.end());
+    }
+
+    // in = uses ∪ (out − strong defs)
+    std::set<ir::Location> in = cfg.node(u).uses();
+    for (const auto& loc : out) {
+      bool killed = false;
+      for (const auto& d : cfg.node(u).defs()) {
+        if (cfg.node(u).is_strong_def(d) && locations_alias(d, loc) &&
+            d == loc) {
+          killed = true;
+          break;
+        }
+      }
+      if (!killed) in.insert(loc);
+    }
+
+    if (in != in_[u]) {
+      in_[u] = std::move(in);
+      for (const int p : cfg.node(u).preds) {
+        if (!queued[static_cast<std::size_t>(p)]) {
+          queued[static_cast<std::size_t>(p)] = 1;
+          work.push_back(p);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace nfactor::analysis

@@ -1,0 +1,30 @@
+// Backward live-location analysis. Used by tests (fixpoint properties),
+// the dead-state ablation bench, and as a sanity cross-check of the
+// slicer (a sliced-away scalar assignment should be dead w.r.t. the
+// criterion's live set).
+#pragma once
+
+#include <map>
+#include <set>
+
+#include "ir/ir.h"
+
+namespace nfactor::analysis {
+
+class LiveVars {
+ public:
+  explicit LiveVars(const ir::Cfg& cfg);
+
+  const std::set<ir::Location>& live_in(int node) const {
+    return in_.at(node);
+  }
+  const std::set<ir::Location>& live_out(int node) const {
+    return out_.at(node);
+  }
+
+ private:
+  std::map<int, std::set<ir::Location>> in_;
+  std::map<int, std::set<ir::Location>> out_;
+};
+
+}  // namespace nfactor::analysis

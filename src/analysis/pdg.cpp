@@ -1,0 +1,61 @@
+#include "analysis/pdg.h"
+
+#include <deque>
+
+namespace nfactor::analysis {
+
+Pdg::Pdg(const ir::Cfg& cfg) : cfg_(cfg), rd_(cfg) {
+  data_.assign(cfg.size(), {});
+  control_.assign(cfg.size(), {});
+
+  for (const auto& n : cfg.nodes) {
+    data_[static_cast<std::size_t>(n->id)] = rd_.data_deps(n->id);
+  }
+  const ControlDeps cd = control_dependence(cfg);
+  for (std::size_t i = 0; i < cfg.size(); ++i) control_[i] = cd.deps[i];
+}
+
+std::set<int> Pdg::backward_slice(int criterion,
+                                  const std::set<ir::Location>& locs) const {
+  std::set<int> slice;
+  std::deque<int> work;
+
+  slice.insert(criterion);
+  if (locs.empty()) {
+    for (const int d : data_deps(criterion)) {
+      if (slice.insert(d).second) work.push_back(d);
+    }
+  } else {
+    for (const auto& loc : locs) {
+      for (const int d : rd_.reaching_def_nodes(criterion, loc)) {
+        if (slice.insert(d).second) work.push_back(d);
+      }
+    }
+  }
+  for (const int c : control_deps(criterion)) {
+    if (slice.insert(c).second) work.push_back(c);
+  }
+
+  while (!work.empty()) {
+    const int u = work.front();
+    work.pop_front();
+    for (const int d : data_deps(u)) {
+      if (slice.insert(d).second) work.push_back(d);
+    }
+    for (const int c : control_deps(u)) {
+      if (slice.insert(c).second) work.push_back(c);
+    }
+  }
+  return slice;
+}
+
+std::set<int> Pdg::backward_slice(const std::set<int>& criteria) const {
+  std::set<int> out;
+  for (const int c : criteria) {
+    const auto s = backward_slice(c);
+    out.insert(s.begin(), s.end());
+  }
+  return out;
+}
+
+}  // namespace nfactor::analysis

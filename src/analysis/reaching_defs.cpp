@@ -1,0 +1,121 @@
+#include "analysis/reaching_defs.h"
+
+#include <deque>
+
+namespace nfactor::analysis {
+
+bool locations_alias(const ir::Location& def_loc, const ir::Location& use_loc) {
+  if (def_loc == use_loc) return true;
+  std::string def_base, use_base;
+  const bool def_is_field = ir::split_field_loc(def_loc, &def_base, nullptr);
+  const bool use_is_field = ir::split_field_loc(use_loc, &use_base, nullptr);
+  if (def_is_field && !use_is_field) return def_base == use_loc;
+  if (!def_is_field && use_is_field) return def_loc == use_base;
+  return false;
+}
+
+ReachingDefs::ReachingDefs(const ir::Cfg& cfg) : cfg_(cfg) {
+  // Enumerate definitions.
+  for (const auto& n : cfg.nodes) {
+    for (const auto& loc : n->defs()) {
+      defs_.push_back({n->id, loc});
+    }
+  }
+  const std::size_t nd = defs_.size();
+
+  gen_.assign(cfg.size(), BitSet(nd));
+  kill_.assign(cfg.size(), BitSet(nd));
+  in_.assign(cfg.size(), BitSet(nd));
+
+  for (const auto& n : cfg.nodes) {
+    const auto node_defs = n->defs();
+    for (std::size_t d = 0; d < nd; ++d) {
+      if (defs_[d].node == n->id) gen_[static_cast<std::size_t>(n->id)].set(d);
+    }
+    for (const auto& loc : node_defs) {
+      if (!n->is_strong_def(loc)) continue;
+      for (std::size_t d = 0; d < nd; ++d) {
+        if (defs_[d].node == n->id) continue;
+        // A strong def of `loc` kills defs of `loc` itself and — when
+        // `loc` is a whole variable — defs of its fields (pkt = recv()
+        // kills pkt.ip_src := ...).
+        const ir::Location& dl = defs_[d].loc;
+        std::string base;
+        const bool killed =
+            dl == loc ||
+            (ir::split_field_loc(dl, &base, nullptr) && base == loc);
+        if (killed) kill_[static_cast<std::size_t>(n->id)].set(d);
+      }
+    }
+  }
+
+  // Worklist fixpoint.
+  std::deque<int> work;
+  std::vector<char> queued(cfg.size(), 1);
+  for (const auto& n : cfg.nodes) work.push_back(n->id);
+
+  std::vector<BitSet> out(cfg.size(), BitSet(nd));
+  for (const auto& n : cfg.nodes) {
+    BitSet o = gen_[static_cast<std::size_t>(n->id)];
+    out[static_cast<std::size_t>(n->id)] = std::move(o);
+  }
+
+  while (!work.empty()) {
+    const int u = work.front();
+    work.pop_front();
+    queued[static_cast<std::size_t>(u)] = 0;
+
+    BitSet& in = in_[static_cast<std::size_t>(u)];
+    for (const int p : cfg.node(u).preds) {
+      in.unite(out[static_cast<std::size_t>(p)]);
+    }
+    BitSet new_out = in;
+    new_out.subtract(kill_[static_cast<std::size_t>(u)]);
+    new_out.unite(gen_[static_cast<std::size_t>(u)]);
+    if (!(new_out == out[static_cast<std::size_t>(u)])) {
+      out[static_cast<std::size_t>(u)] = std::move(new_out);
+      for (const int s : cfg.node(u).succs) {
+        if (s >= 0 && !queued[static_cast<std::size_t>(s)]) {
+          queued[static_cast<std::size_t>(s)] = 1;
+          work.push_back(s);
+        }
+      }
+    }
+  }
+}
+
+std::set<int> ReachingDefs::reaching_def_nodes(int node,
+                                               const ir::Location& use_loc) const {
+  std::set<int> out;
+  const BitSet& in = in_[static_cast<std::size_t>(node)];
+  in.for_each([&](std::size_t d) {
+    if (locations_alias(defs_[d].loc, use_loc)) out.insert(defs_[d].node);
+  });
+  return out;
+}
+
+std::set<int> ReachingDefs::data_deps(int node) const {
+  std::set<int> out;
+  const auto uses = cfg_.node(node).uses();
+  const BitSet& in = in_[static_cast<std::size_t>(node)];
+  in.for_each([&](std::size_t d) {
+    for (const auto& u : uses) {
+      if (locations_alias(defs_[d].loc, u)) {
+        out.insert(defs_[d].node);
+        break;
+      }
+    }
+  });
+  return out;
+}
+
+bool ReachingDefs::has_internal_def(int node, const ir::Location& use_loc) const {
+  const BitSet& in = in_[static_cast<std::size_t>(node)];
+  bool found = false;
+  in.for_each([&](std::size_t d) {
+    if (locations_alias(defs_[d].loc, use_loc)) found = true;
+  });
+  return found;
+}
+
+}  // namespace nfactor::analysis

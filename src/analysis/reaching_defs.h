@@ -1,0 +1,52 @@
+// Reaching definitions over the statement CFG. Definitions are
+// (node, location) pairs; scalar assignments kill, container element
+// stores are weak updates (gen without kill), and whole-packet recv kills
+// every field of the packet variable.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/bitset.h"
+#include "ir/ir.h"
+
+namespace nfactor::analysis {
+
+struct Def {
+  int node;
+  ir::Location loc;
+};
+
+/// May-alias between a defined location and a used location:
+/// exact match, or whole-variable vs field of the same variable.
+bool locations_alias(const ir::Location& def_loc, const ir::Location& use_loc);
+
+class ReachingDefs {
+ public:
+  explicit ReachingDefs(const ir::Cfg& cfg);
+
+  const std::vector<Def>& defs() const { return defs_; }
+
+  /// Definitions reaching the *entry* of `node` that may supply `use_loc`.
+  std::set<int> reaching_def_nodes(int node, const ir::Location& use_loc) const;
+
+  /// All def-node predecessors for every use location of `node` —
+  /// the node's data-dependence sources.
+  std::set<int> data_deps(int node) const;
+
+  /// Locations defined before the packet loop ran (treated as coming from
+  /// the virtual entry definition): a use with no reaching def inside the
+  /// CFG reads persistent/initial state.
+  bool has_internal_def(int node, const ir::Location& use_loc) const;
+
+ private:
+  const ir::Cfg& cfg_;
+  std::vector<Def> defs_;
+  std::vector<BitSet> in_;   // per node
+  std::vector<BitSet> gen_;
+  std::vector<BitSet> kill_;
+};
+
+}  // namespace nfactor::analysis

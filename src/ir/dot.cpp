@@ -1,0 +1,49 @@
+#include "ir/dot.h"
+
+#include <sstream>
+
+namespace nfactor::ir {
+
+namespace {
+
+std::string dot_escape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_dot(const Cfg& cfg, const std::string& title,
+                   const std::set<int>& highlight) {
+  std::ostringstream os;
+  os << "digraph \"" << dot_escape(title) << "\" {\n";
+  os << "  node [shape=box, fontname=\"monospace\", fontsize=9];\n";
+  for (const auto& n : cfg.nodes) {
+    std::string label = n->to_string();
+    if (label.size() > 70) label = label.substr(0, 67) + "...";
+    os << "  n" << n->id << " [label=\"" << dot_escape(label) << '"';
+    if (n->kind == InstrKind::kEntry || n->kind == InstrKind::kExit) {
+      os << ", shape=oval";
+    }
+    if (highlight.count(n->id)) os << ", style=filled, fillcolor=lightyellow";
+    os << "];\n";
+  }
+  for (const auto& n : cfg.nodes) {
+    for (std::size_t s = 0; s < n->succs.size(); ++s) {
+      if (n->succs[s] < 0) continue;
+      os << "  n" << n->id << " -> n" << n->succs[s];
+      if (n->kind == InstrKind::kBranch) {
+        os << " [label=\"" << (s == 0 ? 'T' : 'F') << "\"]";
+      }
+      os << ";\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace nfactor::ir

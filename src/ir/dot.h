@@ -1,0 +1,17 @@
+// Graphviz export of the per-packet CFG, optionally highlighting a node
+// subset (a slice) — the visualization counterpart of Figure 2b.
+#pragma once
+
+#include <set>
+#include <string>
+
+#include "ir/ir.h"
+
+namespace nfactor::ir {
+
+/// DOT rendering. Nodes in `highlight` are filled; branch edges carry
+/// T/F labels.
+std::string to_dot(const Cfg& cfg, const std::string& title = "cfg",
+                   const std::set<int>& highlight = {});
+
+}  // namespace nfactor::ir

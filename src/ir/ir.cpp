@@ -1,0 +1,263 @@
+#include "ir/ir.h"
+
+#include <sstream>
+
+#include "lang/builtins.h"
+
+namespace nfactor::ir {
+
+using lang::Expr;
+using lang::ExprKind;
+
+bool split_field_loc(const Location& loc, std::string* base, std::string* field) {
+  const auto dot = loc.find('.');
+  if (dot == std::string::npos) return false;
+  if (base) *base = loc.substr(0, dot);
+  if (field) *field = loc.substr(dot + 1);
+  return true;
+}
+
+void collect_uses(const Expr& e, std::set<Location>& out) {
+  switch (e.kind) {
+    case ExprKind::kIntLit:
+    case ExprKind::kBoolLit:
+    case ExprKind::kStrLit:
+    case ExprKind::kMapLit:
+      return;
+    case ExprKind::kVarRef:
+      out.insert(static_cast<const lang::VarRef&>(e).name);
+      return;
+    case ExprKind::kUnary:
+      collect_uses(*static_cast<const lang::Unary&>(e).operand, out);
+      return;
+    case ExprKind::kBinary: {
+      const auto& b = static_cast<const lang::Binary&>(e);
+      collect_uses(*b.lhs, out);
+      collect_uses(*b.rhs, out);
+      return;
+    }
+    case ExprKind::kCall: {
+      const auto& c = static_cast<const lang::Call&>(e);
+      for (const auto& a : c.args) collect_uses(*a, out);
+      return;
+    }
+    case ExprKind::kTupleLit: {
+      for (const auto& x : static_cast<const lang::TupleLit&>(e).elems) {
+        collect_uses(*x, out);
+      }
+      return;
+    }
+    case ExprKind::kListLit: {
+      for (const auto& x : static_cast<const lang::ListLit&>(e).elems) {
+        collect_uses(*x, out);
+      }
+      return;
+    }
+    case ExprKind::kIndex: {
+      const auto& i = static_cast<const lang::Index&>(e);
+      collect_uses(*i.base, out);
+      collect_uses(*i.index, out);
+      return;
+    }
+    case ExprKind::kField: {
+      const auto& f = static_cast<const lang::FieldRef&>(e);
+      // pkt.f reads exactly the field location when the base is a plain
+      // variable; otherwise fall back to whatever the base reads.
+      if (f.base->kind == ExprKind::kVarRef) {
+        out.insert(field_loc(static_cast<const lang::VarRef&>(*f.base).name,
+                             f.field));
+        return;
+      }
+      collect_uses(*f.base, out);
+      return;
+    }
+  }
+}
+
+void collect_var_names(const Expr& e, std::set<std::string>& out) {
+  std::set<Location> locs;
+  collect_uses(e, locs);
+  for (const auto& l : locs) {
+    std::string base;
+    if (split_field_loc(l, &base, nullptr)) {
+      out.insert(base);
+    } else {
+      out.insert(l);
+    }
+  }
+}
+
+std::set<Location> Instr::uses() const {
+  std::set<Location> out;
+  switch (kind) {
+    case InstrKind::kEntry:
+    case InstrKind::kExit:
+      break;
+    case InstrKind::kAssign:
+      collect_uses(*value, out);
+      break;
+    case InstrKind::kFieldStore:
+      collect_uses(*value, out);
+      break;
+    case InstrKind::kIndexStore:
+      collect_uses(*index, out);
+      collect_uses(*value, out);
+      out.insert(var);  // weak update reads the old container
+      break;
+    case InstrKind::kBranch:
+      collect_uses(*value, out);
+      break;
+    case InstrKind::kSend:
+      collect_uses(*value, out);
+      collect_uses(*aux, out);
+      break;
+    case InstrKind::kRecv:
+      if (aux) collect_uses(*aux, out);
+      break;
+    case InstrKind::kCall:
+      for (const auto& a : args) collect_uses(*a, out);
+      if (callee == "pop") {
+        // arg already collected; pop also reads (and writes) the container
+      }
+      break;
+  }
+  return out;
+}
+
+std::set<Location> Instr::defs() const {
+  std::set<Location> out;
+  switch (kind) {
+    case InstrKind::kAssign:
+    case InstrKind::kRecv:
+      out.insert(var);
+      break;
+    case InstrKind::kFieldStore:
+      out.insert(field_loc(var, field));
+      break;
+    case InstrKind::kIndexStore:
+      out.insert(var);
+      break;
+    case InstrKind::kCall:
+      if (callee == "push" || callee == "pop") {
+        // first argument is the container, mutated in place
+        if (!args.empty() && args[0]->kind == ExprKind::kVarRef) {
+          out.insert(static_cast<const lang::VarRef&>(*args[0]).name);
+        }
+      }
+      if (!var.empty()) out.insert(var);
+      break;
+    default:
+      break;
+  }
+  return out;
+}
+
+bool Instr::is_strong_def(const Location& loc) const {
+  switch (kind) {
+    case InstrKind::kAssign:
+    case InstrKind::kRecv:
+      return loc == var;
+    case InstrKind::kFieldStore:
+      return loc == field_loc(var, field);
+    default:
+      return false;  // container updates and call effects are weak
+  }
+}
+
+std::string to_string(InstrKind k) {
+  switch (k) {
+    case InstrKind::kEntry: return "entry";
+    case InstrKind::kExit: return "exit";
+    case InstrKind::kAssign: return "assign";
+    case InstrKind::kFieldStore: return "fstore";
+    case InstrKind::kIndexStore: return "istore";
+    case InstrKind::kBranch: return "branch";
+    case InstrKind::kSend: return "send";
+    case InstrKind::kRecv: return "recv";
+    case InstrKind::kCall: return "call";
+  }
+  return "?";
+}
+
+std::string Instr::to_string() const {
+  std::ostringstream os;
+  os << '%' << id << " [" << ir::to_string(kind) << "] ";
+  switch (kind) {
+    case InstrKind::kEntry:
+    case InstrKind::kExit:
+      break;
+    case InstrKind::kAssign:
+      os << var << " = " << lang::to_source(*value);
+      break;
+    case InstrKind::kFieldStore:
+      os << var << '.' << field << " = " << lang::to_source(*value);
+      break;
+    case InstrKind::kIndexStore:
+      os << var << '[' << lang::to_source(*index) << "] = "
+         << lang::to_source(*value);
+      break;
+    case InstrKind::kBranch:
+      os << "if " << lang::to_source(*value) << " -> %" << succs[0] << " / %"
+         << succs[1];
+      break;
+    case InstrKind::kSend:
+      os << "send(" << lang::to_source(*value) << ", " << lang::to_source(*aux)
+         << ')';
+      break;
+    case InstrKind::kRecv:
+      os << var << " = recv(" << (aux ? lang::to_source(*aux) : "?") << ')';
+      break;
+    case InstrKind::kCall: {
+      if (!var.empty()) os << var << " = ";
+      os << callee << '(';
+      for (std::size_t i = 0; i < args.size(); ++i) {
+        if (i) os << ", ";
+        os << lang::to_source(*args[i]);
+      }
+      os << ')';
+      break;
+    }
+  }
+  if (kind != InstrKind::kBranch && !succs.empty()) {
+    os << "  -> ";
+    for (std::size_t i = 0; i < succs.size(); ++i) {
+      if (i) os << ", ";
+      os << '%' << succs[i];
+    }
+  }
+  return os.str();
+}
+
+std::vector<int> Cfg::real_nodes() const {
+  std::vector<int> out;
+  for (const auto& n : nodes) {
+    if (n->kind != InstrKind::kEntry && n->kind != InstrKind::kExit) {
+      out.push_back(n->id);
+    }
+  }
+  return out;
+}
+
+int Cfg::source_lines(const std::set<int>& ids) const {
+  std::set<int> lines;
+  for (int id : ids) {
+    const Instr& n = node(id);
+    if (n.kind == InstrKind::kEntry || n.kind == InstrKind::kExit) continue;
+    if (n.loc.line > 0) lines.insert(n.loc.line);
+  }
+  return static_cast<int>(lines.size());
+}
+
+int Cfg::source_lines() const {
+  std::set<int> all;
+  for (int id : real_nodes()) all.insert(id);
+  return source_lines(all);
+}
+
+std::string Cfg::dump() const {
+  std::ostringstream os;
+  for (const auto& n : nodes) os << n->to_string() << '\n';
+  return os.str();
+}
+
+}  // namespace nfactor::ir

@@ -1,0 +1,141 @@
+// NFactor's intermediate representation: a control-flow graph of simple
+// statements whose operands are (builtin-only) expression trees. User
+// function calls are inlined away by the lowerer, so every analysis —
+// slicing, StateAlyzer, symbolic execution, the concrete runtime —
+// operates on one flat per-packet CFG. This mirrors how the paper's
+// toolchain (giri on LLVM IR) sees NF code after inlining.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lang/ast.h"
+#include "lang/sema.h"
+
+namespace nfactor::ir {
+
+/// Storage "locations" used by dependence analysis. A location is either
+/// a whole variable ("rr_idx", "f2b_nat") or a packet field
+/// ("pkt.ip_src"). Containers are always whole-variable locations
+/// (element stores are weak updates).
+using Location = std::string;
+
+inline Location field_loc(const std::string& var, const std::string& field) {
+  return var + "." + field;
+}
+
+/// True when `loc` is a packet-field location; fills base/field.
+bool split_field_loc(const Location& loc, std::string* base, std::string* field);
+
+enum class InstrKind : std::uint8_t {
+  kEntry,       // unique CFG entry (no-op)
+  kExit,        // unique CFG exit (no-op)
+  kAssign,      // var = value
+  kFieldStore,  // var.field = value
+  kIndexStore,  // var[index] = value       (weak update)
+  kBranch,      // branch on value; succs = [true_target, false_target]
+  kSend,        // send(value /*packet*/, aux /*port*/)
+  kRecv,        // var = recv(aux /*port*/)
+  kCall,        // effectful builtin: log(args...) / push(var, args) / var = pop(...)
+};
+
+std::string to_string(InstrKind k);
+
+struct Instr {
+  InstrKind kind = InstrKind::kEntry;
+  int id = -1;
+  lang::SourceLoc loc;
+
+  std::string var;        // kAssign/kRecv target; kFieldStore/kIndexStore base;
+                          // kCall: result target ("" if none)
+  std::string field;      // kFieldStore
+  lang::ExprPtr index;    // kIndexStore
+  lang::ExprPtr value;    // kAssign value / kFieldStore / kIndexStore value /
+                          // kBranch condition / kSend packet expr
+  lang::ExprPtr aux;      // kSend port / kRecv port
+  std::string callee;     // kCall builtin name
+  std::vector<lang::ExprPtr> args;  // kCall arguments
+
+  std::vector<int> succs;
+  std::vector<int> preds;
+
+  /// Locations read by this instruction (expression operands, weak-update
+  /// self-uses, container reads).
+  std::set<Location> uses() const;
+
+  /// Locations written. kAssign/kRecv: the variable (strong).
+  /// kFieldStore: var.field (strong). kIndexStore: var (weak).
+  /// kCall push/pop: the container (weak) and pop's result var.
+  std::set<Location> defs() const;
+
+  /// Whether the write to `loc` is a strong (killing) definition.
+  bool is_strong_def(const Location& loc) const;
+
+  /// One-line rendering for dumps and golden tests.
+  std::string to_string() const;
+};
+
+/// A single-entry single-exit CFG.
+struct Cfg {
+  std::vector<std::unique_ptr<Instr>> nodes;  // indexed by Instr::id
+  int entry = -1;
+  int exit = -1;
+
+  Instr& node(int id) { return *nodes[static_cast<std::size_t>(id)]; }
+  const Instr& node(int id) const { return *nodes[static_cast<std::size_t>(id)]; }
+  std::size_t size() const { return nodes.size(); }
+
+  /// Statement nodes (everything except entry/exit).
+  std::vector<int> real_nodes() const;
+
+  /// Distinct source lines covered by the given node set — the paper's
+  /// "LoC" metric for slices.
+  int source_lines(const std::set<int>& ids) const;
+  int source_lines() const;  // all real nodes
+
+  std::string dump() const;
+};
+
+struct Global {
+  std::string name;
+  lang::ExprPtr init;
+  lang::Type type = lang::Type::kUnknown;
+};
+
+/// A lowered NF: globals, a one-shot init CFG (statements before the
+/// packet loop), and the per-packet body CFG anchored at `pkt = recv(...)`.
+struct Module {
+  std::string name;
+  std::vector<Global> globals;
+  Cfg init;
+  Cfg body;
+  std::string pkt_var;     // variable bound by the loop-head recv
+  int recv_port_node = -1; // id of the kRecv node in body
+
+  lang::SemaInfo sema;
+
+  /// Persistent variables: lifetime longer than the packet loop —
+  /// globals plus variables defined in the init section (StateAlyzer's
+  /// "persistent" feature).
+  std::set<std::string> persistent;
+
+  const Global* find_global(const std::string& n) const {
+    for (const auto& g : globals) {
+      if (g.name == n) return &g;
+    }
+    return nullptr;
+  }
+};
+
+/// Collect variable/field locations read by an expression tree.
+/// A packet-typed VarRef used as a value (e.g. send(pkt, ...)) reads the
+/// whole packet location plus nothing finer; pkt.f reads only "pkt.f".
+void collect_uses(const lang::Expr& e, std::set<Location>& out);
+
+/// All VarRef names in an expression (coarser than collect_uses).
+void collect_var_names(const lang::Expr& e, std::set<std::string>& out);
+
+}  // namespace nfactor::ir

@@ -1,0 +1,23 @@
+#pragma once
+
+#include "ir/ir.h"
+#include "lang/ast.h"
+#include "lang/diagnostics.h"
+
+namespace nfactor::ir {
+
+class LowerError : public lang::FrontendError {
+  using FrontendError::FrontendError;
+};
+
+/// Lower a semantically-checked program into a Module. Requirements
+/// (established by transform::normalize for non-canonical sources):
+///   - a `main()` exists;
+///   - main's body is: zero or more init statements, then exactly one
+///     `while (true) { pkt = recv(PORT); ... }` packet loop;
+///   - no socket/control builtins remain (they hide state, §3.2).
+/// User function calls are inlined (sema has already rejected recursion).
+/// Runs lang::analyze internally.
+Module lower(lang::Program prog);
+
+}  // namespace nfactor::ir

@@ -1,0 +1,270 @@
+#include "lang/ast.h"
+
+#include <sstream>
+
+namespace nfactor::lang {
+
+std::string to_string(Type t) {
+  switch (t) {
+    case Type::kUnknown: return "unknown";
+    case Type::kInt: return "int";
+    case Type::kBool: return "bool";
+    case Type::kStr: return "str";
+    case Type::kTuple: return "tuple";
+    case Type::kList: return "list";
+    case Type::kMap: return "map";
+    case Type::kPacket: return "packet";
+    case Type::kVoid: return "void";
+  }
+  return "?";
+}
+
+std::string to_string(BinOp op) {
+  switch (op) {
+    case BinOp::kAdd: return "+";
+    case BinOp::kSub: return "-";
+    case BinOp::kMul: return "*";
+    case BinOp::kDiv: return "/";
+    case BinOp::kMod: return "%";
+    case BinOp::kEq: return "==";
+    case BinOp::kNe: return "!=";
+    case BinOp::kLt: return "<";
+    case BinOp::kLe: return "<=";
+    case BinOp::kGt: return ">";
+    case BinOp::kGe: return ">=";
+    case BinOp::kAnd: return "&&";
+    case BinOp::kOr: return "||";
+    case BinOp::kBitAnd: return "&";
+    case BinOp::kBitOr: return "|";
+    case BinOp::kBitXor: return "^";
+    case BinOp::kShl: return "<<";
+    case BinOp::kShr: return ">>";
+    case BinOp::kIn: return "in";
+  }
+  return "?";
+}
+
+std::string to_string(UnOp op) {
+  return op == UnOp::kNeg ? "-" : "!";
+}
+
+namespace {
+
+void print_expr(const Expr& e, std::ostream& os);
+
+void print_list(const std::vector<ExprPtr>& xs, std::ostream& os) {
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (i) os << ", ";
+    print_expr(*xs[i], os);
+  }
+}
+
+void print_expr(const Expr& e, std::ostream& os) {
+  switch (e.kind) {
+    case ExprKind::kIntLit:
+      os << static_cast<const IntLit&>(e).value;
+      break;
+    case ExprKind::kBoolLit:
+      os << (static_cast<const BoolLit&>(e).value ? "true" : "false");
+      break;
+    case ExprKind::kStrLit:
+      os << '"' << static_cast<const StrLit&>(e).value << '"';
+      break;
+    case ExprKind::kVarRef:
+      os << static_cast<const VarRef&>(e).name;
+      break;
+    case ExprKind::kUnary: {
+      const auto& u = static_cast<const Unary&>(e);
+      os << to_string(u.op) << '(';
+      print_expr(*u.operand, os);
+      os << ')';
+      break;
+    }
+    case ExprKind::kBinary: {
+      const auto& b = static_cast<const Binary&>(e);
+      os << '(';
+      print_expr(*b.lhs, os);
+      os << ' ' << to_string(b.op) << ' ';
+      print_expr(*b.rhs, os);
+      os << ')';
+      break;
+    }
+    case ExprKind::kCall: {
+      const auto& c = static_cast<const Call&>(e);
+      os << c.callee << '(';
+      print_list(c.args, os);
+      os << ')';
+      break;
+    }
+    case ExprKind::kTupleLit: {
+      const auto& t = static_cast<const TupleLit&>(e);
+      os << '(';
+      print_list(t.elems, os);
+      os << ')';
+      break;
+    }
+    case ExprKind::kListLit: {
+      const auto& l = static_cast<const ListLit&>(e);
+      os << '[';
+      print_list(l.elems, os);
+      os << ']';
+      break;
+    }
+    case ExprKind::kMapLit:
+      os << "{}";
+      break;
+    case ExprKind::kIndex: {
+      const auto& i = static_cast<const Index&>(e);
+      print_expr(*i.base, os);
+      os << '[';
+      print_expr(*i.index, os);
+      os << ']';
+      break;
+    }
+    case ExprKind::kField: {
+      const auto& f = static_cast<const FieldRef&>(e);
+      print_expr(*f.base, os);
+      os << '.' << f.field;
+      break;
+    }
+  }
+}
+
+void print_stmt(const Stmt& s, std::ostream& os, int indent) {
+  const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  switch (s.kind) {
+    case StmtKind::kBlock: {
+      const auto& b = static_cast<const Block&>(s);
+      for (const auto& st : b.stmts) print_stmt(*st, os, indent);
+      break;
+    }
+    case StmtKind::kAssign: {
+      const auto& a = static_cast<const Assign&>(s);
+      os << pad;
+      switch (a.target) {
+        case Assign::Target::kVar:
+          os << a.var;
+          break;
+        case Assign::Target::kField:
+          os << a.var << '.' << a.field;
+          break;
+        case Assign::Target::kIndex:
+          os << a.var << '[';
+          print_expr(*a.index, os);
+          os << ']';
+          break;
+      }
+      os << " = ";
+      print_expr(*a.value, os);
+      os << ";\n";
+      break;
+    }
+    case StmtKind::kIf: {
+      const auto& i = static_cast<const If&>(s);
+      os << pad << "if (";
+      print_expr(*i.cond, os);
+      os << ") {\n";
+      print_stmt(*i.then_body, os, indent + 1);
+      os << pad << "}";
+      if (i.else_body) {
+        if (i.else_body->kind == StmtKind::kIf) {
+          os << " else ";
+          // flatten else-if onto one line by printing without leading pad
+          std::ostringstream inner;
+          print_stmt(*i.else_body, inner, indent);
+          std::string text = inner.str();
+          // strip the duplicated indentation the nested print added
+          if (text.size() >= pad.size() && text.compare(0, pad.size(), pad) == 0) {
+            text.erase(0, pad.size());
+          }
+          os << text;
+          return;
+        }
+        os << " else {\n";
+        print_stmt(*i.else_body, os, indent + 1);
+        os << pad << "}";
+      }
+      os << "\n";
+      break;
+    }
+    case StmtKind::kWhile: {
+      const auto& w = static_cast<const While&>(s);
+      os << pad << "while (";
+      print_expr(*w.cond, os);
+      os << ") {\n";
+      print_stmt(*w.body, os, indent + 1);
+      os << pad << "}\n";
+      break;
+    }
+    case StmtKind::kFor: {
+      const auto& f = static_cast<const For&>(s);
+      os << pad << "for " << f.var << " in ";
+      print_expr(*f.begin, os);
+      os << "..";
+      print_expr(*f.end, os);
+      os << " {\n";
+      print_stmt(*f.body, os, indent + 1);
+      os << pad << "}\n";
+      break;
+    }
+    case StmtKind::kReturn: {
+      const auto& r = static_cast<const Return&>(s);
+      os << pad << "return";
+      if (r.value) {
+        os << ' ';
+        print_expr(*r.value, os);
+      }
+      os << ";\n";
+      break;
+    }
+    case StmtKind::kBreak:
+      os << pad << "break;\n";
+      break;
+    case StmtKind::kContinue:
+      os << pad << "continue;\n";
+      break;
+    case StmtKind::kExprStmt: {
+      const auto& e = static_cast<const ExprStmt&>(s);
+      os << pad;
+      print_expr(*e.expr, os);
+      os << ";\n";
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string to_source(const Expr& e) {
+  std::ostringstream os;
+  print_expr(e, os);
+  return os.str();
+}
+
+std::string to_source(const Stmt& s, int indent) {
+  std::ostringstream os;
+  print_stmt(s, os, indent);
+  return os.str();
+}
+
+std::string to_source(const Program& p) {
+  std::ostringstream os;
+  for (const auto& g : p.globals) {
+    os << "var " << g.name << " = ";
+    print_expr(*g.init, os);
+    os << ";\n";
+  }
+  for (const auto& f : p.funcs) {
+    os << "\ndef " << f.name << "(";
+    for (std::size_t i = 0; i < f.params.size(); ++i) {
+      if (i) os << ", ";
+      os << f.params[i];
+    }
+    os << ") {\n";
+    print_stmt(*f.body, os, 1);
+    os << "}\n";
+  }
+  return os.str();
+}
+
+}  // namespace nfactor::lang

@@ -1,0 +1,371 @@
+// Abstract syntax tree of the NF-DSL. Nodes are owned via unique_ptr;
+// every node supports deep clone() because the transform module (§3.2
+// code-structure normalization) rewrites ASTs wholesale.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lang/token.h"
+
+namespace nfactor::lang {
+
+/// DSL value types, inferred by Sema.
+enum class Type : std::uint8_t {
+  kUnknown,
+  kInt,
+  kBool,
+  kStr,
+  kTuple,   // immutable sequence of ints
+  kList,    // sequence of ints or tuples
+  kMap,     // tuple/int -> tuple/int dictionary
+  kPacket,
+  kVoid,
+};
+
+std::string to_string(Type t);
+
+enum class BinOp : std::uint8_t {
+  kAdd, kSub, kMul, kDiv, kMod,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kAnd, kOr,
+  kBitAnd, kBitOr, kBitXor, kShl, kShr,
+  kIn,  // membership: key in map / elem in list
+};
+
+enum class UnOp : std::uint8_t { kNeg, kNot };
+
+std::string to_string(BinOp op);
+std::string to_string(UnOp op);
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+enum class ExprKind : std::uint8_t {
+  kIntLit, kBoolLit, kStrLit, kVarRef, kUnary, kBinary, kCall,
+  kTupleLit, kListLit, kMapLit, kIndex, kField,
+};
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+  ExprKind kind;
+  SourceLoc loc;
+  Type type = Type::kUnknown;  // filled in by Sema
+
+  virtual ~Expr() = default;
+  virtual ExprPtr clone() const = 0;
+
+ protected:
+  Expr(ExprKind k, SourceLoc l) : kind(k), loc(l) {}
+};
+
+struct IntLit final : Expr {
+  std::int64_t value;
+  IntLit(std::int64_t v, SourceLoc l) : Expr(ExprKind::kIntLit, l), value(v) {}
+  ExprPtr clone() const override { return std::make_unique<IntLit>(value, loc); }
+};
+
+struct BoolLit final : Expr {
+  bool value;
+  BoolLit(bool v, SourceLoc l) : Expr(ExprKind::kBoolLit, l), value(v) {}
+  ExprPtr clone() const override { return std::make_unique<BoolLit>(value, loc); }
+};
+
+struct StrLit final : Expr {
+  std::string value;
+  StrLit(std::string v, SourceLoc l)
+      : Expr(ExprKind::kStrLit, l), value(std::move(v)) {}
+  ExprPtr clone() const override { return std::make_unique<StrLit>(value, loc); }
+};
+
+struct VarRef final : Expr {
+  std::string name;
+  VarRef(std::string n, SourceLoc l)
+      : Expr(ExprKind::kVarRef, l), name(std::move(n)) {}
+  ExprPtr clone() const override { return std::make_unique<VarRef>(name, loc); }
+};
+
+struct Unary final : Expr {
+  UnOp op;
+  ExprPtr operand;
+  Unary(UnOp o, ExprPtr e, SourceLoc l)
+      : Expr(ExprKind::kUnary, l), op(o), operand(std::move(e)) {}
+  ExprPtr clone() const override {
+    return std::make_unique<Unary>(op, operand->clone(), loc);
+  }
+};
+
+struct Binary final : Expr {
+  BinOp op;
+  ExprPtr lhs, rhs;
+  Binary(BinOp o, ExprPtr a, ExprPtr b, SourceLoc l)
+      : Expr(ExprKind::kBinary, l), op(o), lhs(std::move(a)), rhs(std::move(b)) {}
+  ExprPtr clone() const override {
+    return std::make_unique<Binary>(op, lhs->clone(), rhs->clone(), loc);
+  }
+};
+
+struct Call final : Expr {
+  std::string callee;
+  std::vector<ExprPtr> args;
+  Call(std::string c, std::vector<ExprPtr> a, SourceLoc l)
+      : Expr(ExprKind::kCall, l), callee(std::move(c)), args(std::move(a)) {}
+  ExprPtr clone() const override {
+    std::vector<ExprPtr> a;
+    a.reserve(args.size());
+    for (const auto& e : args) a.push_back(e->clone());
+    return std::make_unique<Call>(callee, std::move(a), loc);
+  }
+};
+
+struct TupleLit final : Expr {
+  std::vector<ExprPtr> elems;
+  TupleLit(std::vector<ExprPtr> e, SourceLoc l)
+      : Expr(ExprKind::kTupleLit, l), elems(std::move(e)) {}
+  ExprPtr clone() const override {
+    std::vector<ExprPtr> e;
+    e.reserve(elems.size());
+    for (const auto& x : elems) e.push_back(x->clone());
+    return std::make_unique<TupleLit>(std::move(e), loc);
+  }
+};
+
+struct ListLit final : Expr {
+  std::vector<ExprPtr> elems;
+  ListLit(std::vector<ExprPtr> e, SourceLoc l)
+      : Expr(ExprKind::kListLit, l), elems(std::move(e)) {}
+  ExprPtr clone() const override {
+    std::vector<ExprPtr> e;
+    e.reserve(elems.size());
+    for (const auto& x : elems) e.push_back(x->clone());
+    return std::make_unique<ListLit>(std::move(e), loc);
+  }
+};
+
+/// Only the empty map literal `{}` exists; maps are populated by element
+/// stores.
+struct MapLit final : Expr {
+  explicit MapLit(SourceLoc l) : Expr(ExprKind::kMapLit, l) {}
+  ExprPtr clone() const override { return std::make_unique<MapLit>(loc); }
+};
+
+struct Index final : Expr {
+  ExprPtr base, index;
+  Index(ExprPtr b, ExprPtr i, SourceLoc l)
+      : Expr(ExprKind::kIndex, l), base(std::move(b)), index(std::move(i)) {}
+  ExprPtr clone() const override {
+    return std::make_unique<Index>(base->clone(), index->clone(), loc);
+  }
+};
+
+/// Packet field access `pkt.ip_src`.
+struct FieldRef final : Expr {
+  ExprPtr base;
+  std::string field;
+  FieldRef(ExprPtr b, std::string f, SourceLoc l)
+      : Expr(ExprKind::kField, l), base(std::move(b)), field(std::move(f)) {}
+  ExprPtr clone() const override {
+    return std::make_unique<FieldRef>(base->clone(), field, loc);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+enum class StmtKind : std::uint8_t {
+  kAssign, kIf, kWhile, kFor, kReturn, kBreak, kContinue, kExprStmt, kBlock,
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct Stmt {
+  StmtKind kind;
+  SourceLoc loc;
+  virtual ~Stmt() = default;
+  virtual StmtPtr clone() const = 0;
+
+ protected:
+  Stmt(StmtKind k, SourceLoc l) : kind(k), loc(l) {}
+};
+
+struct Block final : Stmt {
+  std::vector<StmtPtr> stmts;
+  explicit Block(SourceLoc l) : Stmt(StmtKind::kBlock, l) {}
+  StmtPtr clone() const override {
+    auto b = std::make_unique<Block>(loc);
+    b->stmts.reserve(stmts.size());
+    for (const auto& s : stmts) b->stmts.push_back(s->clone());
+    return b;
+  }
+};
+
+/// Assignment. Augmented forms (`+=`) are desugared by the parser.
+/// Targets:
+///   kVar:   var = value
+///   kField: base.field = value        (packet field store)
+///   kIndex: base[index] = value       (map/list element store)
+struct Assign final : Stmt {
+  enum class Target : std::uint8_t { kVar, kField, kIndex };
+  Target target;
+  std::string var;   // kVar: the variable; kField/kIndex: base variable name
+  std::string field; // kField only
+  ExprPtr index;     // kIndex only
+  ExprPtr value;
+
+  Assign(SourceLoc l) : Stmt(StmtKind::kAssign, l), target(Target::kVar) {}
+  StmtPtr clone() const override {
+    auto a = std::make_unique<Assign>(loc);
+    a->target = target;
+    a->var = var;
+    a->field = field;
+    a->index = index ? index->clone() : nullptr;
+    a->value = value->clone();
+    return a;
+  }
+};
+
+struct If final : Stmt {
+  ExprPtr cond;
+  StmtPtr then_body;
+  StmtPtr else_body;  // nullable; may be another If (else-if chain)
+  If(SourceLoc l) : Stmt(StmtKind::kIf, l) {}
+  StmtPtr clone() const override {
+    auto s = std::make_unique<If>(loc);
+    s->cond = cond->clone();
+    s->then_body = then_body->clone();
+    s->else_body = else_body ? else_body->clone() : nullptr;
+    return s;
+  }
+};
+
+struct While final : Stmt {
+  ExprPtr cond;
+  StmtPtr body;
+  While(SourceLoc l) : Stmt(StmtKind::kWhile, l) {}
+  StmtPtr clone() const override {
+    auto s = std::make_unique<While>(loc);
+    s->cond = cond->clone();
+    s->body = body->clone();
+    return s;
+  }
+};
+
+/// `for v in a..b { ... }` iterates v = a, a+1, ..., b-1.
+struct For final : Stmt {
+  std::string var;
+  ExprPtr begin, end;
+  StmtPtr body;
+  For(SourceLoc l) : Stmt(StmtKind::kFor, l) {}
+  StmtPtr clone() const override {
+    auto s = std::make_unique<For>(loc);
+    s->var = var;
+    s->begin = begin->clone();
+    s->end = end->clone();
+    s->body = body->clone();
+    return s;
+  }
+};
+
+struct Return final : Stmt {
+  ExprPtr value;  // nullable
+  Return(SourceLoc l) : Stmt(StmtKind::kReturn, l) {}
+  StmtPtr clone() const override {
+    auto s = std::make_unique<Return>(loc);
+    s->value = value ? value->clone() : nullptr;
+    return s;
+  }
+};
+
+struct Break final : Stmt {
+  Break(SourceLoc l) : Stmt(StmtKind::kBreak, l) {}
+  StmtPtr clone() const override { return std::make_unique<Break>(loc); }
+};
+
+struct Continue final : Stmt {
+  Continue(SourceLoc l) : Stmt(StmtKind::kContinue, l) {}
+  StmtPtr clone() const override { return std::make_unique<Continue>(loc); }
+};
+
+struct ExprStmt final : Stmt {
+  ExprPtr expr;
+  ExprStmt(SourceLoc l) : Stmt(StmtKind::kExprStmt, l) {}
+  StmtPtr clone() const override {
+    auto s = std::make_unique<ExprStmt>(loc);
+    s->expr = expr->clone();
+    return s;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Declarations
+// ---------------------------------------------------------------------------
+
+struct GlobalVar {
+  std::string name;
+  ExprPtr init;
+  SourceLoc loc;
+
+  GlobalVar clone() const { return {name, init->clone(), loc}; }
+};
+
+struct FuncDef {
+  std::string name;
+  std::vector<std::string> params;
+  std::unique_ptr<Block> body;
+  SourceLoc loc;
+
+  FuncDef clone() const {
+    FuncDef f;
+    f.name = name;
+    f.params = params;
+    auto b = body->clone();
+    f.body.reset(static_cast<Block*>(b.release()));
+    f.loc = loc;
+    return f;
+  }
+};
+
+struct Program {
+  std::string unit_name = "<input>";
+  std::vector<GlobalVar> globals;
+  std::vector<FuncDef> funcs;
+
+  Program clone() const {
+    Program p;
+    p.unit_name = unit_name;
+    p.globals.reserve(globals.size());
+    for (const auto& g : globals) p.globals.push_back(g.clone());
+    p.funcs.reserve(funcs.size());
+    for (const auto& f : funcs) p.funcs.push_back(f.clone());
+    return p;
+  }
+
+  const FuncDef* find_func(const std::string& name) const {
+    for (const auto& f : funcs) {
+      if (f.name == name) return &f;
+    }
+    return nullptr;
+  }
+
+  FuncDef* find_func(const std::string& name) {
+    for (auto& f : funcs) {
+      if (f.name == name) return &f;
+    }
+    return nullptr;
+  }
+};
+
+/// Pretty-print an AST back to parseable DSL source (used by the
+/// transform module's output and in golden tests).
+std::string to_source(const Program& p);
+std::string to_source(const Stmt& s, int indent = 0);
+std::string to_source(const Expr& e);
+
+}  // namespace nfactor::lang

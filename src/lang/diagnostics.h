@@ -1,0 +1,45 @@
+// Diagnostics for the frontend: errors carry a source location and are
+// thrown as ParseError / SemaError; callers that want to accumulate use a
+// DiagnosticSink.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "lang/token.h"
+
+namespace nfactor::lang {
+
+/// A single frontend diagnostic.
+struct Diagnostic {
+  SourceLoc loc;
+  std::string message;
+
+  std::string render(const std::string& unit = "<input>") const {
+    return unit + ":" + std::to_string(loc.line) + ":" +
+           std::to_string(loc.col) + ": " + message;
+  }
+};
+
+class FrontendError : public std::runtime_error {
+ public:
+  FrontendError(SourceLoc loc, const std::string& msg)
+      : std::runtime_error(Diagnostic{loc, msg}.render()), diag_{loc, msg} {}
+  const Diagnostic& diag() const { return diag_; }
+
+ private:
+  Diagnostic diag_;
+};
+
+class LexError : public FrontendError {
+  using FrontendError::FrontendError;
+};
+class ParseError : public FrontendError {
+  using FrontendError::FrontendError;
+};
+class SemaError : public FrontendError {
+  using FrontendError::FrontendError;
+};
+
+}  // namespace nfactor::lang

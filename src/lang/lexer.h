@@ -1,0 +1,17 @@
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "lang/token.h"
+
+namespace nfactor::lang {
+
+/// Tokenize a whole compilation unit. `#` starts a line comment.
+/// Integer literals: decimal, 0x hex, and dotted-quad IPv4 (3.3.3.3),
+/// which lexes to the 32-bit big-endian integer value — the DSL has no
+/// floating point, so the form is unambiguous.
+/// Throws LexError on malformed input.
+std::vector<Token> lex(std::string_view source);
+
+}  // namespace nfactor::lang

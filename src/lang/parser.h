@@ -1,0 +1,13 @@
+#pragma once
+
+#include <string_view>
+
+#include "lang/ast.h"
+
+namespace nfactor::lang {
+
+/// Parse a complete NF-DSL compilation unit. Throws ParseError/LexError.
+/// `unit_name` labels diagnostics and the resulting Program.
+Program parse(std::string_view source, std::string unit_name = "<input>");
+
+}  // namespace nfactor::lang

@@ -1,0 +1,36 @@
+// Semantic analysis: name resolution, type inference/checking, builtin
+// signature checks, packet-field checks, recursion rejection. Annotates
+// Expr::type in place and returns symbol information consumed by the
+// lowerer and StateAlyzer.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "lang/ast.h"
+
+namespace nfactor::lang {
+
+struct FuncInfo {
+  Type return_type = Type::kUnknown;  // kVoid once a bare `return;` is seen
+  std::map<std::string, Type> locals;  // params + assigned locals
+  std::set<std::string> callees;       // user functions called
+  std::set<std::string> globals_read;
+  std::set<std::string> globals_written;
+};
+
+struct SemaInfo {
+  std::map<std::string, Type> globals;
+  std::map<std::string, FuncInfo> funcs;
+
+  bool is_global(const std::string& name) const {
+    return globals.count(name) != 0;
+  }
+};
+
+/// Analyze `prog`, annotating expression types in place.
+/// Throws SemaError on the first error.
+SemaInfo analyze(Program& prog);
+
+}  // namespace nfactor::lang

@@ -1,0 +1,50 @@
+// Token vocabulary of the NF-DSL, the language the corpus NFs are written
+// in. The DSL is a small imperative language with first-class packets,
+// tuples, lists and maps — expressive enough for every code pattern the
+// paper discusses (Figs. 1, 3, 4, 5) while keeping the frontend fully
+// analyzable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace nfactor::lang {
+
+enum class Tok : std::uint8_t {
+  kEof,
+  kInt,     // 123, 0x1F, or dotted-quad IPv4 literal 3.3.3.3
+  kString,  // "eth0"
+  kIdent,
+
+  // Keywords
+  kVar, kDef, kIf, kElse, kWhile, kFor, kIn, kReturn, kBreak, kContinue,
+  kTrue, kFalse,
+
+  // Punctuation
+  kLParen, kRParen, kLBrace, kRBrace, kLBracket, kRBracket,
+  kComma, kSemi, kDot, kDotDot, kColon,
+
+  // Operators
+  kAssign, kPlusAssign, kMinusAssign, kStarAssign, kPercentAssign,
+  kPlus, kMinus, kStar, kSlash, kPercent,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kAndAnd, kOrOr, kNot,
+  kAmp, kPipe, kCaret, kShl, kShr,
+};
+
+struct SourceLoc {
+  int line = 0;
+  int col = 0;
+};
+
+struct Token {
+  Tok kind = Tok::kEof;
+  std::string text;       // identifier / string contents
+  std::int64_t value = 0; // integer literals
+  SourceLoc loc;
+};
+
+/// Spelled-out token name for diagnostics ("'=='", "identifier", ...).
+std::string token_name(Tok t);
+
+}  // namespace nfactor::lang

@@ -1,0 +1,217 @@
+#include "model/fsm.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace nfactor::model {
+
+namespace {
+
+using symex::SymKind;
+using symex::SymRef;
+
+/// Does this expression mention the given state variable (as a scalar
+/// symbol or as a map base)?
+bool mentions(const SymRef& e, const std::string& var) {
+  if ((e->kind == SymKind::kVar || e->kind == SymKind::kMapBase) &&
+      e->str_val == var) {
+    return true;
+  }
+  for (const auto& c : e->operands) {
+    if (mentions(c, var)) return true;
+  }
+  for (const auto& [f, v] : e->fields) {
+    (void)f;
+    if (mentions(v, var)) return true;
+  }
+  return false;
+}
+
+/// Is this (possibly store-chained) map expression rooted at `var`?
+bool rooted_at(const SymRef& e, const std::string& var) {
+  const SymRef* m = &e;
+  while ((*m)->kind == SymKind::kMapStore) m = &(*m)->operands[0];
+  return (*m)->kind == SymKind::kMapBase && (*m)->str_val == var;
+}
+
+struct StateFacts {
+  int contained = -1;  // -1 unknown, 0 absent, 1 present
+  std::set<std::string> value_facts;  // "== 1", "!= 3", ...
+};
+
+void absorb(const SymRef& cond, const std::string& var, StateFacts& f) {
+  SymRef e = cond;
+  bool polarity = true;
+  while (e->kind == SymKind::kUn && e->un_op == lang::UnOp::kNot) {
+    e = e->operands[0];
+    polarity = !polarity;
+  }
+  if (e->kind == SymKind::kContains && rooted_at(e->operands[0], var)) {
+    f.contained = polarity ? 1 : 0;
+    return;
+  }
+  // Recurse into conjunctions (and negated disjunctions, their dual).
+  if (e->kind == SymKind::kBin &&
+      ((polarity && e->bin_op == lang::BinOp::kAnd) ||
+       (!polarity && e->bin_op == lang::BinOp::kOr))) {
+    SymRef a = polarity ? e->operands[0] : symex::negate(e->operands[0]);
+    SymRef b = polarity ? e->operands[1] : symex::negate(e->operands[1]);
+    absorb(a, var, f);
+    absorb(b, var, f);
+    return;
+  }
+  if (e->kind == SymKind::kBin) {
+    using lang::BinOp;
+    const BinOp op = polarity ? e->bin_op
+                     : e->bin_op == BinOp::kEq ? BinOp::kNe
+                     : e->bin_op == BinOp::kNe ? BinOp::kEq
+                                               : e->bin_op;
+    const SymRef& a = e->operands[0];
+    const SymRef& b = e->operands[1];
+    auto is_get = [&](const SymRef& x) {
+      return (x->kind == SymKind::kMapGet && rooted_at(x->operands[0], var)) ||
+             (x->kind == SymKind::kVar && x->str_val == var);
+    };
+    const SymRef* value = nullptr;
+    if (is_get(a) && b->kind == SymKind::kConstInt) value = &b;
+    if (is_get(b) && a->kind == SymKind::kConstInt) value = &a;
+    if (value != nullptr && (op == BinOp::kEq || op == BinOp::kNe)) {
+      f.value_facts.insert(std::string(op == BinOp::kEq ? "== " : "!= ") +
+                           std::to_string((*value)->int_val));
+      if (op == BinOp::kEq) f.contained = 1;
+    }
+  }
+}
+
+std::string label_of(const StateFacts& f) {
+  if (!f.value_facts.empty()) {
+    std::string out;
+    for (const auto& v : f.value_facts) {
+      if (!out.empty()) out += " & ";
+      out += v;
+    }
+    return out;
+  }
+  if (f.contained == 1) return "present";
+  if (f.contained == 0) return "absent";
+  return "*";
+}
+
+/// Post-state label from a state-action expression.
+std::string to_label(const SymRef& update, const std::string& from) {
+  if (update->kind == SymKind::kConstInt) {
+    return "== " + std::to_string(update->int_val);
+  }
+  if (update->kind == SymKind::kMapStore) {
+    const SymRef& stored = update->operands[2];
+    if (stored->kind == SymKind::kConstInt) {
+      return "== " + std::to_string(stored->int_val);
+    }
+    return "present";
+  }
+  (void)from;
+  return "f(prev)";
+}
+
+std::string guard_of(const ModelEntry& e) {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& c : e.flow_match) {
+    if (!first) os << " && ";
+    first = false;
+    os << symex::to_string(*c);
+  }
+  std::string g = os.str();
+  if (g.size() > 120) g = g.substr(0, 117) + "...";
+  return g.empty() ? "*" : g;
+}
+
+std::string dot_escape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+int Fsm::state_index(const std::string& label) const {
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    if (states[i] == label) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Fsm extract_fsm(const Model& m, const std::string& state_var,
+                bool include_unrelated) {
+  Fsm fsm;
+  fsm.state_var = state_var;
+
+  auto intern = [&fsm](const std::string& label) {
+    const int existing = fsm.state_index(label);
+    if (existing >= 0) return existing;
+    fsm.states.push_back(label);
+    return static_cast<int>(fsm.states.size() - 1);
+  };
+
+  for (std::size_t ei = 0; ei < m.entries.size(); ++ei) {
+    const ModelEntry& e = m.entries[ei];
+
+    StateFacts facts;
+    for (const auto& c : e.state_match) {
+      if (mentions(c, state_var)) absorb(c, state_var, facts);
+    }
+    const auto upd = e.state_action.find(state_var);
+    const bool touches = upd != e.state_action.end() ||
+                         facts.contained != -1 || !facts.value_facts.empty();
+    if (!touches && !include_unrelated) continue;
+
+    const std::string from = label_of(facts);
+    const std::string to =
+        upd != e.state_action.end() ? to_label(upd->second, from) : from;
+
+    FsmTransition t;
+    t.from = intern(from);
+    t.to = intern(to);
+    t.guard = guard_of(e);
+    t.entry = static_cast<int>(ei);
+    t.forwards = !e.is_drop();
+    fsm.transitions.push_back(std::move(t));
+  }
+  return fsm;
+}
+
+std::string Fsm::to_dot() const {
+  std::ostringstream os;
+  os << "digraph fsm_" << state_var << " {\n";
+  os << "  rankdir=LR;\n  label=\"state: " << dot_escape(state_var)
+     << "\";\n";
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    os << "  s" << i << " [label=\"" << dot_escape(states[i])
+       << "\", shape=ellipse];\n";
+  }
+  for (const auto& t : transitions) {
+    os << "  s" << t.from << " -> s" << t.to << " [label=\"e" << t.entry
+       << ": " << dot_escape(t.guard) << "\""
+       << (t.forwards ? "" : ", style=dashed") << "];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string Fsm::to_text() const {
+  std::ostringstream os;
+  os << "FSM over '" << state_var << "': " << states.size() << " states, "
+     << transitions.size() << " transitions\n";
+  for (const auto& t : transitions) {
+    os << "  [" << states[static_cast<std::size_t>(t.from)] << "] --(entry "
+       << t.entry << (t.forwards ? ", fwd" : ", drop") << ")--> ["
+       << states[static_cast<std::size_t>(t.to)] << "]\n";
+  }
+  return os.str();
+}
+
+}  // namespace nfactor::model

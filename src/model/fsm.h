@@ -1,0 +1,45 @@
+// Finite-state-machine extraction from a synthesized model (paper §2.4:
+// "The state transition logic can be used to build a finite state
+// machine, which is proposed and used in network testing solutions
+// [BUZZ]").
+//
+// For one state variable (a scalar or a per-flow map), the abstract
+// states are the valuations the model's entries distinguish — "absent",
+// "== c", "*" — and each entry contributes a transition
+//    (state it matches) --[flow guard]--> (state its update produces).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/model.h"
+
+namespace nfactor::model {
+
+struct FsmTransition {
+  int from = -1;              // index into Fsm::states
+  int to = -1;
+  std::string guard;          // human-readable flow-match summary
+  int entry = -1;             // provenance: model entry index
+  bool forwards = false;      // entry sends (vs drop)
+};
+
+struct Fsm {
+  std::string state_var;
+  std::vector<std::string> states;  // "absent", "== 1", "*", ...
+  std::vector<FsmTransition> transitions;
+
+  int state_index(const std::string& label) const;
+
+  /// Graphviz rendering (forwarding transitions solid, drops dashed).
+  std::string to_dot() const;
+  std::string to_text() const;
+};
+
+/// Extract the FSM of `state_var` from the model. Entries that do not
+/// constrain or update the variable contribute "*" self-loops only when
+/// `include_unrelated` is set.
+Fsm extract_fsm(const Model& m, const std::string& state_var,
+                bool include_unrelated = false);
+
+}  // namespace nfactor::model

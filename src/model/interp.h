@@ -1,0 +1,45 @@
+// Model interpreter: executes a synthesized NFactor model on concrete
+// packets, maintaining concrete state for the oisVars. Together with the
+// concrete runtime this forms the two sides of the §5 accuracy
+// experiment: original program vs model, same packets, same outputs.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ir/ir.h"
+#include "model/model.h"
+#include "netsim/packet.h"
+#include "runtime/value.h"
+
+namespace nfactor::model {
+
+struct ModelOutput {
+  std::vector<std::pair<netsim::Packet, int>> sent;
+  int matched_entry = -1;  // -1 = default drop
+  bool dropped() const { return sent.empty(); }
+};
+
+/// Concrete initial values for config + state variables, evaluated from
+/// the module's global initializers (and its init section).
+std::map<std::string, runtime::Value> initial_store(const ir::Module& m);
+
+class ModelInterpreter {
+ public:
+  ModelInterpreter(const Model& model,
+                   std::map<std::string, runtime::Value> store);
+
+  ModelOutput process(const netsim::Packet& in);
+
+  const runtime::Value* state(const std::string& name) const;
+  void set_state(const std::string& name, runtime::Value v);
+
+ private:
+  bool entry_matches(const ModelEntry& e, const netsim::Packet& in) const;
+
+  const Model& model_;
+  std::map<std::string, runtime::Value> store_;
+};
+
+}  // namespace nfactor::model

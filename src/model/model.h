@@ -1,0 +1,74 @@
+// The NFactor model (paper §2.3, Fig. 2a): an OpenFlow-like stateful
+// match/action abstraction. Each entry corresponds to one feasible
+// execution path of the packet/state slice; its match is the path's
+// condition conjunction partitioned into config / flow / state parts
+// (Algorithm 1, lines 11-16), and its action is the path's packet
+// transformation + state transition. The default (lowest priority)
+// action is drop (§3.2).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ir/ir.h"
+#include "netsim/packet.h"
+#include "runtime/value.h"
+#include "statealyzer/statealyzer.h"
+#include "symex/executor.h"
+#include "symex/expr.h"
+
+namespace nfactor::model {
+
+/// Forward action: emit one packet with field rewrites applied.
+struct SendAction {
+  /// Field -> new value (expressions over input packet fields, state and
+  /// config symbols). Fields absent here pass through unchanged.
+  std::map<std::string, symex::SymRef> rewrites;
+  symex::SymRef port;
+};
+
+struct ModelEntry {
+  std::vector<symex::SymRef> config_match;  // over cfgVars only
+  std::vector<symex::SymRef> flow_match;    // over packet fields (and cfg)
+  std::vector<symex::SymRef> state_match;   // touching oisVars / state maps
+  std::vector<SendAction> flow_action;      // empty = drop
+  std::map<std::string, symex::SymRef> state_action;  // oisVar -> new value
+  bool truncated = false;
+  std::set<int> path_nodes;  // provenance: slice nodes of the source path
+
+  bool is_drop() const { return flow_action.empty(); }
+
+  /// Key identifying the configuration table this entry belongs to
+  /// (sorted canonical keys of config_match; empty = "any config").
+  std::string config_key() const;
+};
+
+struct Model {
+  std::string nf_name;
+  std::vector<ModelEntry> entries;
+  std::set<std::string> cfg_vars;
+  std::set<std::string> ois_vars;
+  std::set<std::string> pkt_fields_read;
+
+  /// Entries grouped per configuration table (Fig. 2a's c1, c2, ...).
+  std::map<std::string, std::vector<const ModelEntry*>> tables() const;
+};
+
+/// Algorithm 1, lines 11-16: refactor execution paths into model entries.
+Model build_model(const std::string& nf_name,
+                  const std::vector<symex::ExecPath>& paths,
+                  const statealyzer::Result& cats);
+
+/// Render the model in the paper's Figure-6 tabular style.
+std::string to_table(const Model& m);
+
+/// Structured one-entry-per-line rendering (stable; used in golden tests).
+std::string to_text(const Model& m);
+
+/// JSON serialization (the artifact an NF vendor would ship, §1).
+std::string to_json(const Model& m);
+
+}  // namespace nfactor::model

@@ -1,0 +1,18 @@
+// SymNet/SEFL-style export (paper §6: "our code analysis can
+// automatically generate the model defined in their language. This will
+// be a part of our future work."). Each model entry becomes a SEFL
+// branch: Constrain() guards over packet fields and state, Assign()
+// rewrites, Forward(port) / Fail() actions — the vocabulary SymNet's
+// symbolic-execution verifier consumes.
+#pragma once
+
+#include <string>
+
+#include "model/model.h"
+
+namespace nfactor::model {
+
+/// Render the model as a SEFL-like program.
+std::string to_sefl(const Model& m);
+
+}  // namespace nfactor::model

@@ -1,0 +1,63 @@
+// Model consistency validation and model diffing — the operations a
+// vendor workflow needs once models are artifacts that get shipped,
+// hand-tuned, and revised across NF versions (§1: vendors run NFactor
+// and hand operators "only the resultant models").
+//
+// validate(): solver-backed checks that
+//   - every entry's own match conjunction is satisfiable (an unsat entry
+//     is dead — it can never fire);
+//   - entries within one configuration table are pairwise disjoint
+//     (overlapping entries make the model order-dependent; SE-derived
+//     entries are disjoint by construction, so any overlap indicates a
+//     hand edit or a truncated path).
+//
+// diff(): structural comparison of two models by canonical entry
+// signature — which forwarding behaviours were added / removed between
+// two versions of an NF.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/model.h"
+
+namespace nfactor::model {
+
+struct ValidationIssue {
+  enum class Kind : std::uint8_t {
+    kUnsatisfiableEntry,  // entry can never match
+    kOverlap,             // two entries can match the same packet+state
+  };
+  Kind kind;
+  int entry_a = -1;
+  int entry_b = -1;  // kOverlap only
+  std::string detail;
+};
+
+std::string to_string(ValidationIssue::Kind k);
+
+struct ValidationReport {
+  std::vector<ValidationIssue> issues;
+  std::size_t pairs_checked = 0;
+  bool ok() const { return issues.empty(); }
+  std::string summary() const;
+};
+
+/// Solver-backed consistency check. Truncated entries are exempt from
+/// the disjointness requirement (their conditions are prefixes).
+ValidationReport validate(const Model& m);
+
+/// Canonical signature of an entry: sorted condition keys + action keys.
+std::string entry_signature(const ModelEntry& e);
+
+struct ModelDiff {
+  std::vector<std::string> added;    // signatures only in `after`
+  std::vector<std::string> removed;  // signatures only in `before`
+  std::size_t unchanged = 0;
+  bool identical() const { return added.empty() && removed.empty(); }
+  std::string summary() const;
+};
+
+ModelDiff diff_models(const Model& before, const Model& after);
+
+}  // namespace nfactor::model

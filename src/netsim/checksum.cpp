@@ -1,0 +1,51 @@
+#include "netsim/checksum.h"
+
+#include <vector>
+
+namespace nfactor::netsim {
+
+namespace {
+
+std::uint32_t ones_sum(std::span<const std::uint8_t> data, std::uint32_t acc) {
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    acc += static_cast<std::uint32_t>(data[i]) << 8 | data[i + 1];
+  }
+  if (i < data.size()) acc += static_cast<std::uint32_t>(data[i]) << 8;
+  return acc;
+}
+
+std::uint16_t fold(std::uint32_t acc) {
+  while (acc >> 16) acc = (acc & 0xFFFF) + (acc >> 16);
+  return static_cast<std::uint16_t>(~acc & 0xFFFF);
+}
+
+}  // namespace
+
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data) {
+  return fold(ones_sum(data, 0));
+}
+
+std::uint16_t transport_checksum(std::uint32_t ip_src, std::uint32_t ip_dst,
+                                 std::uint8_t proto,
+                                 std::span<const std::uint8_t> segment) {
+  const auto len = static_cast<std::uint32_t>(segment.size());
+  const std::uint8_t pseudo[12] = {
+      static_cast<std::uint8_t>(ip_src >> 24),
+      static_cast<std::uint8_t>(ip_src >> 16),
+      static_cast<std::uint8_t>(ip_src >> 8),
+      static_cast<std::uint8_t>(ip_src),
+      static_cast<std::uint8_t>(ip_dst >> 24),
+      static_cast<std::uint8_t>(ip_dst >> 16),
+      static_cast<std::uint8_t>(ip_dst >> 8),
+      static_cast<std::uint8_t>(ip_dst),
+      0,
+      proto,
+      static_cast<std::uint8_t>(len >> 8),
+      static_cast<std::uint8_t>(len),
+  };
+  std::uint32_t acc = ones_sum(pseudo, 0);
+  return fold(ones_sum(segment, acc));
+}
+
+}  // namespace nfactor::netsim

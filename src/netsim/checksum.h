@@ -1,0 +1,19 @@
+// Internet checksum (RFC 1071) and the TCP/UDP pseudo-header variant.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace nfactor::netsim {
+
+/// One's-complement sum over `data`, folded to 16 bits and complemented.
+/// An odd trailing byte is padded with zero, per RFC 1071.
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data);
+
+/// TCP/UDP checksum over the IPv4 pseudo-header plus the transport segment.
+/// `segment` must already contain a zeroed checksum field.
+std::uint16_t transport_checksum(std::uint32_t ip_src, std::uint32_t ip_dst,
+                                 std::uint8_t proto,
+                                 std::span<const std::uint8_t> segment);
+
+}  // namespace nfactor::netsim

@@ -1,0 +1,56 @@
+#include "netsim/flow.h"
+
+#include <sstream>
+
+namespace nfactor::netsim {
+
+namespace {
+
+// 64-bit FNV-1a over an integer sequence; good enough for table keys and
+// deterministic across platforms (unlike std::hash of primitives).
+std::size_t fnv(std::initializer_list<std::uint64_t> xs) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (std::uint64_t x : xs) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (x >> (i * 8)) & 0xFF;
+      h *= 1099511628211ULL;
+    }
+  }
+  return static_cast<std::size_t>(h);
+}
+
+}  // namespace
+
+FourTuple four_tuple(const Packet& p) {
+  return {p.ip_src, p.sport, p.ip_dst, p.dport};
+}
+
+FiveTuple five_tuple(const Packet& p) { return {four_tuple(p), p.ip_proto}; }
+
+FiveTuple connection_key(const Packet& p) {
+  FiveTuple f = five_tuple(p);
+  FiveTuple r = f.reversed();
+  return f < r ? f : r;
+}
+
+std::string to_string(const FourTuple& t) {
+  std::ostringstream os;
+  os << ipv4_to_string(t.src_ip) << ':' << t.src_port << "->"
+     << ipv4_to_string(t.dst_ip) << ':' << t.dst_port;
+  return os.str();
+}
+
+std::string to_string(const FiveTuple& t) {
+  return to_string(t.addr) + "/" + std::to_string(t.proto);
+}
+
+std::size_t hash_value(const FourTuple& t) {
+  return fnv({t.src_ip, t.src_port, t.dst_ip, t.dst_port});
+}
+
+std::size_t hash_value(const FiveTuple& t) {
+  return fnv({t.addr.src_ip, t.addr.src_port, t.addr.dst_ip, t.addr.dst_port,
+              t.proto});
+}
+
+}  // namespace nfactor::netsim

@@ -1,0 +1,64 @@
+// Flow identification: 4-tuples and 5-tuples with hashing, plus the
+// direction-normalised connection key used by the TCP state tracker.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "netsim/packet.h"
+
+namespace nfactor::netsim {
+
+/// (src ip, src port, dst ip, dst port) — the tuple vocabulary of the
+/// paper's load-balancer example ("cs_ftpl", "sc_btpl", ...).
+struct FourTuple {
+  std::uint32_t src_ip = 0;
+  std::uint16_t src_port = 0;
+  std::uint32_t dst_ip = 0;
+  std::uint16_t dst_port = 0;
+
+  auto operator<=>(const FourTuple&) const = default;
+
+  /// The same flow seen from the opposite direction.
+  FourTuple reversed() const { return {dst_ip, dst_port, src_ip, src_port}; }
+};
+
+/// FourTuple plus protocol.
+struct FiveTuple {
+  FourTuple addr;
+  std::uint8_t proto = static_cast<std::uint8_t>(IpProto::kTcp);
+
+  auto operator<=>(const FiveTuple&) const = default;
+  FiveTuple reversed() const { return {addr.reversed(), proto}; }
+};
+
+FourTuple four_tuple(const Packet& p);
+FiveTuple five_tuple(const Packet& p);
+
+/// Direction-insensitive connection key: the lexicographically smaller of
+/// (tuple, reversed tuple), so both directions of a connection map to the
+/// same tracker entry.
+FiveTuple connection_key(const Packet& p);
+
+std::string to_string(const FourTuple& t);
+std::string to_string(const FiveTuple& t);
+
+std::size_t hash_value(const FourTuple& t);
+std::size_t hash_value(const FiveTuple& t);
+
+}  // namespace nfactor::netsim
+
+template <>
+struct std::hash<nfactor::netsim::FourTuple> {
+  std::size_t operator()(const nfactor::netsim::FourTuple& t) const {
+    return nfactor::netsim::hash_value(t);
+  }
+};
+
+template <>
+struct std::hash<nfactor::netsim::FiveTuple> {
+  std::size_t operator()(const nfactor::netsim::FiveTuple& t) const {
+    return nfactor::netsim::hash_value(t);
+  }
+};

@@ -1,0 +1,95 @@
+// Packet substrate: concrete packet representation used to exercise both
+// the original NF programs (via the DSL runtime) and the synthesized
+// NFactor models (via the model interpreter).
+//
+// The representation is a parsed header view (Ethernet / IPv4 / TCP|UDP)
+// plus an opaque payload. Wire-format encode/decode with real byte order
+// and checksums lives in codec functions so traces can round-trip through
+// a byte buffer, as they would on a NIC.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace nfactor::netsim {
+
+/// TCP flag bits (RFC 793 order within the flags octet).
+enum TcpFlag : std::uint8_t {
+  kFin = 0x01,
+  kSyn = 0x02,
+  kRst = 0x04,
+  kPsh = 0x08,
+  kAck = 0x10,
+  kUrg = 0x20,
+};
+
+/// IANA protocol numbers used by the substrate.
+enum class IpProto : std::uint8_t {
+  kIcmp = 1,
+  kTcp = 6,
+  kUdp = 17,
+};
+
+using MacAddr = std::array<std::uint8_t, 6>;
+
+/// A parsed packet. Field names deliberately mirror the DSL's packet
+/// field accessors (pkt.ip_src, pkt.tcp_dport, ...) so the runtime and
+/// the analyses share one vocabulary.
+struct Packet {
+  MacAddr eth_src{};
+  MacAddr eth_dst{};
+  std::uint16_t eth_type = 0x0800;  // IPv4 by default
+
+  std::uint32_t ip_src = 0;
+  std::uint32_t ip_dst = 0;
+  std::uint8_t ip_proto = static_cast<std::uint8_t>(IpProto::kTcp);
+  std::uint8_t ip_ttl = 64;
+  std::uint16_t ip_id = 0;
+  std::uint8_t ip_tos = 0;
+
+  // Transport. For TCP packets the udp_* view is unused and vice versa;
+  // sport/dport are shared so the DSL sees one pair of port fields.
+  std::uint16_t sport = 0;
+  std::uint16_t dport = 0;
+  std::uint32_t tcp_seq = 0;
+  std::uint32_t tcp_ack = 0;
+  std::uint8_t tcp_flags = 0;
+  std::uint16_t tcp_win = 65535;
+
+  std::vector<std::uint8_t> payload;
+
+  /// Ingress port index assigned by the harness (not a wire field).
+  int in_port = 0;
+
+  bool is_tcp() const { return ip_proto == static_cast<std::uint8_t>(IpProto::kTcp); }
+  bool is_udp() const { return ip_proto == static_cast<std::uint8_t>(IpProto::kUdp); }
+  bool has_flag(TcpFlag f) const { return (tcp_flags & f) != 0; }
+
+  /// Total length of the IPv4 datagram (header + transport + payload).
+  std::size_t ip_total_length() const;
+
+  bool operator==(const Packet&) const = default;
+};
+
+/// Dotted-quad helpers. `ipv4` accepts "a.b.c.d"; throws std::invalid_argument
+/// on malformed input.
+std::uint32_t ipv4(const std::string& dotted);
+std::string ipv4_to_string(std::uint32_t addr);
+
+/// Human-readable one-line rendering, e.g.
+/// "TCP 10.0.0.1:1234 > 3.3.3.3:80 [S] len=0".
+std::string to_string(const Packet& p);
+
+/// Wire codec. Encode always recomputes IPv4 and TCP/UDP checksums.
+std::vector<std::uint8_t> encode(const Packet& p);
+
+/// Decode a wire buffer. Returns std::nullopt when the buffer is truncated,
+/// not IPv4, or not TCP/UDP. Checksums are verified when `verify_checksums`.
+std::optional<Packet> decode(std::span<const std::uint8_t> wire,
+                             bool verify_checksums = true);
+
+}  // namespace nfactor::netsim

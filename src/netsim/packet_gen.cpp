@@ -1,0 +1,94 @@
+#include "netsim/packet_gen.h"
+
+namespace nfactor::netsim {
+
+namespace {
+
+MacAddr mac_from(std::uint64_t v) {
+  MacAddr m;
+  for (int i = 0; i < 6; ++i) m[i] = static_cast<std::uint8_t>(v >> (i * 8));
+  return m;
+}
+
+}  // namespace
+
+Packet PacketGen::base_client_packet() {
+  Packet p;
+  std::uniform_int_distribution<int> client(1, cfg_.client_count);
+  const int c = client(rng_);
+  p.ip_src = 0x0A000000u + static_cast<std::uint32_t>(c);  // 10.0.0.c
+  p.ip_dst = cfg_.service_ip;
+  p.sport = static_cast<std::uint16_t>(
+      1024 + std::uniform_int_distribution<int>(0, 4000)(rng_));
+  p.dport = cfg_.service_port;
+  p.eth_src = mac_from(0xAA0000000000ULL + static_cast<std::uint64_t>(c));
+  p.eth_dst = mac_from(0xBB0000000000ULL);
+  p.tcp_flags = kAck;
+  p.tcp_seq = std::uniform_int_distribution<std::uint32_t>()(rng_);
+  const int len = std::uniform_int_distribution<int>(0, cfg_.max_payload)(rng_);
+  p.payload.resize(static_cast<std::size_t>(len));
+  for (auto& b : p.payload) {
+    b = static_cast<std::uint8_t>(std::uniform_int_distribution<int>(0, 255)(rng_));
+  }
+  return p;
+}
+
+Packet PacketGen::next() {
+  Packet p = base_client_packet();
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+
+  if (coin(rng_) < cfg_.udp_fraction) {
+    p.ip_proto = static_cast<std::uint8_t>(IpProto::kUdp);
+    p.tcp_flags = 0;
+  }
+  if (coin(rng_) < cfg_.background_fraction) {
+    // Miss the service address/port so the NF's match fails.
+    p.ip_dst = 0x08080808;
+    p.dport = static_cast<std::uint16_t>(
+        std::uniform_int_distribution<int>(1, 65535)(rng_));
+  } else if (coin(rng_) < cfg_.reverse_fraction && !cfg_.server_ips.empty()) {
+    // Server -> LB direction packet.
+    std::uniform_int_distribution<std::size_t> pick(0, cfg_.server_ips.size() - 1);
+    const Packet fwd = p;
+    p.ip_src = cfg_.server_ips[pick(rng_)];
+    p.sport = 80;
+    p.ip_dst = cfg_.service_ip;
+    p.dport = static_cast<std::uint16_t>(
+        10000 + std::uniform_int_distribution<int>(0, 200)(rng_));
+    p.payload = fwd.payload;
+  }
+  return p;
+}
+
+std::vector<Packet> PacketGen::batch(int n) {
+  std::vector<Packet> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) out.push_back(next());
+  return out;
+}
+
+std::vector<Packet> PacketGen::handshake_flow(int data_segments) {
+  Packet syn = base_client_packet();
+  syn.sport = next_client_port_++;
+  syn.payload.clear();
+  syn.tcp_flags = kSyn;
+
+  Packet synack = syn;
+  std::swap(synack.ip_src, synack.ip_dst);
+  std::swap(synack.sport, synack.dport);
+  synack.tcp_flags = kSyn | kAck;
+
+  Packet ack = syn;
+  ack.tcp_flags = kAck;
+
+  std::vector<Packet> out = {syn, synack, ack};
+  for (int i = 0; i < data_segments; ++i) {
+    Packet d = (i % 2 == 0) ? ack : synack;
+    d.tcp_flags = kAck | kPsh;
+    d.payload.assign(16, static_cast<std::uint8_t>(i));
+    out.push_back(d);
+  }
+  return out;
+}
+
+}  // namespace nfactor::netsim

@@ -1,0 +1,53 @@
+// Deterministic random packet and trace generation. Substitutes for the
+// paper's live traffic in the accuracy experiment (§5): 1000 random
+// inputs per NF, fed to both the original program and the synthesized
+// model.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "netsim/packet.h"
+
+namespace nfactor::netsim {
+
+/// Knobs for the generator. Defaults produce TCP packets between a small
+/// client pool and one virtual service address — the regime the corpus
+/// NFs (LB, NAT, firewall) are written for — with a configurable fraction
+/// of "background" packets that should miss the NF's match conditions.
+struct GenConfig {
+  std::uint32_t service_ip = 0x03030303;  // 3.3.3.3
+  std::uint16_t service_port = 80;
+  std::vector<std::uint32_t> server_ips = {0x01010101, 0x02020202};
+  int client_count = 8;
+  double reverse_fraction = 0.3;     // server->client direction packets
+  double background_fraction = 0.1;  // packets not aimed at the service
+  double udp_fraction = 0.0;
+  int max_payload = 64;
+};
+
+class PacketGen {
+ public:
+  explicit PacketGen(std::uint64_t seed, GenConfig cfg = {})
+      : rng_(seed), cfg_(std::move(cfg)) {}
+
+  /// One random packet per the configured mix.
+  Packet next();
+
+  /// A batch of `n` packets.
+  std::vector<Packet> batch(int n);
+
+  /// A plausible client flow: SYN, SYN-ACK, ACK handshake followed by
+  /// `data_segments` data packets alternating directions. Exercises the
+  /// stateful NFs end to end.
+  std::vector<Packet> handshake_flow(int data_segments);
+
+ private:
+  Packet base_client_packet();
+  std::mt19937_64 rng_;
+  GenConfig cfg_;
+  std::uint16_t next_client_port_ = 20000;
+};
+
+}  // namespace nfactor::netsim

@@ -1,0 +1,119 @@
+#include "netsim/tcp_fsm.h"
+
+namespace nfactor::netsim {
+
+std::string to_string(TcpState s) {
+  switch (s) {
+    case TcpState::kClosed: return "CLOSED";
+    case TcpState::kListen: return "LISTEN";
+    case TcpState::kSynSent: return "SYN_SENT";
+    case TcpState::kSynReceived: return "SYN_RECEIVED";
+    case TcpState::kEstablished: return "ESTABLISHED";
+    case TcpState::kFinWait1: return "FIN_WAIT_1";
+    case TcpState::kFinWait2: return "FIN_WAIT_2";
+    case TcpState::kCloseWait: return "CLOSE_WAIT";
+    case TcpState::kClosing: return "CLOSING";
+    case TcpState::kLastAck: return "LAST_ACK";
+    case TcpState::kTimeWait: return "TIME_WAIT";
+  }
+  return "?";
+}
+
+bool TcpConnection::can_pass_data() const {
+  switch (state_) {
+    case TcpState::kEstablished:
+    case TcpState::kFinWait1:
+    case TcpState::kFinWait2:
+    case TcpState::kCloseWait:
+      return true;
+    default:
+      return false;
+  }
+}
+
+TcpState TcpConnection::on_segment(Dir dir, std::uint8_t flags) {
+  const bool syn = flags & kSyn;
+  const bool ack = flags & kAck;
+  const bool fin = flags & kFin;
+  const bool rst = flags & kRst;
+
+  if (rst) {
+    state_ = TcpState::kClosed;
+    return state_;
+  }
+
+  switch (state_) {
+    case TcpState::kClosed:
+    case TcpState::kListen:
+      if (syn && !ack && dir == Dir::kClientToServer) {
+        state_ = TcpState::kSynReceived;
+      }
+      break;
+    case TcpState::kSynSent:
+      if (syn && ack && dir == Dir::kServerToClient) {
+        state_ = TcpState::kEstablished;
+      }
+      break;
+    case TcpState::kSynReceived:
+      if (syn && ack && dir == Dir::kServerToClient) {
+        // SYN-ACK observed from the passive side; stay until the final ACK.
+        break;
+      }
+      if (ack && !syn && dir == Dir::kClientToServer) {
+        state_ = TcpState::kEstablished;
+      }
+      break;
+    case TcpState::kEstablished:
+      if (fin) {
+        state_ = dir == Dir::kClientToServer ? TcpState::kFinWait1
+                                             : TcpState::kCloseWait;
+      }
+      break;
+    case TcpState::kFinWait1:
+      if (fin && dir == Dir::kServerToClient) {
+        state_ = ack ? TcpState::kTimeWait : TcpState::kClosing;
+      } else if (ack && dir == Dir::kServerToClient) {
+        state_ = TcpState::kFinWait2;
+      }
+      break;
+    case TcpState::kFinWait2:
+      if (fin && dir == Dir::kServerToClient) state_ = TcpState::kTimeWait;
+      break;
+    case TcpState::kCloseWait:
+      if (fin && dir == Dir::kClientToServer) state_ = TcpState::kLastAck;
+      break;
+    case TcpState::kClosing:
+      if (ack) state_ = TcpState::kTimeWait;
+      break;
+    case TcpState::kLastAck:
+      if (ack && dir == Dir::kServerToClient) state_ = TcpState::kClosed;
+      break;
+    case TcpState::kTimeWait:
+      break;
+  }
+  return state_;
+}
+
+TcpState TcpTracker::on_packet(const Packet& p) {
+  if (!p.is_tcp()) return TcpState::kClosed;
+  const FiveTuple key = connection_key(p);
+  auto [it, inserted] = conns_.try_emplace(key);
+  if (inserted) {
+    // First segment defines the client direction. A bare SYN is the
+    // canonical opener; for anything else we still record the sender as
+    // initiator (mid-stream pickup never reaches ESTABLISHED without a
+    // proper handshake anyway, which is the drop behaviour we want).
+    it->second.initiator = five_tuple(p);
+  }
+  const Dir dir = five_tuple(p) == it->second.initiator
+                      ? Dir::kClientToServer
+                      : Dir::kServerToClient;
+  return it->second.conn.on_segment(dir, p.tcp_flags);
+}
+
+TcpState TcpTracker::state_of(const Packet& p) const {
+  const auto it = conns_.find(connection_key(p));
+  return it == conns_.end() ? TcpState::kClosed : it->second.conn.state();
+}
+
+}  // namespace nfactor::netsim

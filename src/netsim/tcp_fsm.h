@@ -1,0 +1,88 @@
+// TCP connection state machine (RFC 793 subset) used for two purposes:
+//  1. socket-call unfolding (paper §3.2 "Hidden States"): NFs written
+//     against listen()/connect()/recv() hide per-connection state in the
+//     OS; the transform module rewrites them into packet-level code that
+//     consults this FSM;
+//  2. the stateful firewall / balance NFs in the corpus, which track
+//     connection establishment before relaying data.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "netsim/flow.h"
+#include "netsim/packet.h"
+
+namespace nfactor::netsim {
+
+enum class TcpState : std::uint8_t {
+  kClosed,
+  kListen,
+  kSynSent,
+  kSynReceived,
+  kEstablished,
+  kFinWait1,
+  kFinWait2,
+  kCloseWait,
+  kClosing,
+  kLastAck,
+  kTimeWait,
+};
+
+std::string to_string(TcpState s);
+
+/// Which endpoint of the tracked connection a segment came from.
+enum class Dir : std::uint8_t { kClientToServer, kServerToClient };
+
+/// One connection's automaton. `on_segment` applies RFC 793 transitions
+/// for the common paths (3-way handshake, data transfer, FIN teardown,
+/// RST abort). Returns the state after the transition.
+class TcpConnection {
+ public:
+  explicit TcpConnection(TcpState initial = TcpState::kListen)
+      : state_(initial) {}
+
+  TcpState state() const { return state_; }
+
+  /// True when data segments are deliverable (ESTABLISHED or the
+  /// half-closed states that still accept data).
+  bool can_pass_data() const;
+
+  TcpState on_segment(Dir dir, std::uint8_t tcp_flags);
+
+ private:
+  TcpState state_;
+};
+
+/// Per-flow connection table keyed by direction-normalised 5-tuple.
+/// This is exactly the "hidden state" the paper says lives in the OS:
+/// the tracker decides whether a data packet belongs to an established
+/// connection (pass) or not (drop).
+class TcpTracker {
+ public:
+  /// Feeds a packet through the tracked connection, creating the entry on
+  /// first sight. `client_initiated` decides segment direction by
+  /// comparing against the stored initiator tuple. Returns the state
+  /// after the transition.
+  TcpState on_packet(const Packet& p);
+
+  /// State for the packet's connection, or kClosed when untracked.
+  TcpState state_of(const Packet& p) const;
+
+  bool established(const Packet& p) const {
+    return state_of(p) == TcpState::kEstablished;
+  }
+
+  std::size_t size() const { return conns_.size(); }
+  void clear() { conns_.clear(); }
+
+ private:
+  struct Entry {
+    TcpConnection conn{TcpState::kListen};
+    FiveTuple initiator;  // tuple as seen from the connection's client
+  };
+  std::unordered_map<FiveTuple, Entry> conns_;
+};
+
+}  // namespace nfactor::netsim

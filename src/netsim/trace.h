@@ -1,0 +1,22 @@
+// On-disk packet traces: length-prefixed wire-format frames with an
+// ingress-port tag ("poor man's pcap"). Lets test traffic round-trip
+// through real encoded bytes, the way captured traces would.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "netsim/packet.h"
+
+namespace nfactor::netsim {
+
+/// File layout: magic "NFTR" u32, count u32, then per packet:
+/// u16 in_port, u32 wire length, wire bytes (Ethernet frame).
+void write_trace(const std::string& path, std::span<const Packet> packets);
+
+/// Read a trace written by write_trace. Throws std::runtime_error on
+/// malformed files or frames that fail checksum verification.
+std::vector<Packet> read_trace(const std::string& path);
+
+}  // namespace nfactor::netsim

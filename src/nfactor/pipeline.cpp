@@ -1,0 +1,98 @@
+#include "nfactor/pipeline.h"
+
+#include <chrono>
+
+#include "ir/lower.h"
+#include "lang/parser.h"
+#include "transform/normalize.h"
+
+namespace nfactor::pipeline {
+
+namespace {
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+std::string base_of(const ir::Location& loc) {
+  std::string base;
+  return ir::split_field_loc(loc, &base, nullptr) ? base : loc;
+}
+
+}  // namespace
+
+PipelineResult run(const lang::Program& prog, const PipelineOptions& opts) {
+  const auto t_total = std::chrono::steady_clock::now();
+  PipelineResult r;
+
+  // ---- Stage 0: structure normalization + lowering ----------------------
+  auto t0 = std::chrono::steady_clock::now();
+  lang::Program canon = opts.normalize_structure ? transform::normalize(prog)
+                                                 : prog.clone();
+  r.module = std::make_unique<ir::Module>(ir::lower(std::move(canon)));
+  r.times.lower_ms = ms_since(t0);
+
+  // ---- Stage 1+2: dependence graph, packet slice, categorization,
+  //                 state slice (Algorithm 1, lines 1-9) -------------------
+  t0 = std::chrono::steady_clock::now();
+  r.pdg = std::make_unique<analysis::Pdg>(r.module->body);
+  r.cats = statealyzer::analyze(*r.module, *r.pdg);
+  r.pkt_slice = r.cats.pkt_slice;
+
+  std::set<int> ois_updates;
+  for (const auto& n : r.module->body.nodes) {
+    for (const auto& d : n->defs()) {
+      if (r.cats.is_ois(base_of(d))) {
+        ois_updates.insert(n->id);
+        break;
+      }
+    }
+  }
+  r.state_slice = r.pdg->backward_slice(ois_updates);
+
+  r.union_slice = r.pkt_slice;
+  r.union_slice.insert(r.state_slice.begin(), r.state_slice.end());
+  // The loop-head recv anchors every per-packet path.
+  if (r.module->recv_port_node >= 0) {
+    r.union_slice.insert(r.module->recv_port_node);
+  }
+  r.times.slicing_ms = ms_since(t0);
+
+  // ---- Stage 3: symbolic execution of the slice (line 10) ---------------
+  t0 = std::chrono::steady_clock::now();
+  symex::SymbolicExecutor se(*r.module, r.cats);
+  symex::ExecOptions slice_opts = opts.se_slice;
+  slice_opts.filter = &r.union_slice;
+  r.slice_paths = se.run(slice_opts, &r.slice_stats);
+  r.times.se_slice_ms = ms_since(t0);
+
+  // ---- Stage 4: refactor paths into the model (lines 11-16) -------------
+  r.model = model::build_model(r.module->name, r.slice_paths, r.cats);
+
+  // ---- Optional: SE on the original program (Table 2 baseline) ----------
+  if (opts.run_orig_se) {
+    t0 = std::chrono::steady_clock::now();
+    r.orig_paths = se.run(opts.se_orig, &r.orig_stats);
+    r.times.se_orig_ms = ms_since(t0);
+  }
+
+  // ---- Metrics -----------------------------------------------------------
+  r.loc_orig = r.module->body.source_lines();
+  r.loc_slice = r.module->body.source_lines(r.union_slice);
+  for (const auto& p : r.slice_paths) {
+    if (p.truncated) continue;
+    r.loc_path = std::max(r.loc_path, r.module->body.source_lines(p.nodes));
+  }
+
+  r.times.total_ms = ms_since(t_total);
+  return r;
+}
+
+PipelineResult run_source(std::string_view source, std::string unit_name,
+                          const PipelineOptions& opts) {
+  return run(lang::parse(source, std::move(unit_name)), opts);
+}
+
+}  // namespace nfactor::pipeline

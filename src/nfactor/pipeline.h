@@ -1,0 +1,71 @@
+// NFactor end-to-end pipeline (paper §2.4, Algorithm 1):
+//   1. normalize the code structure (§3.2) and lower to the per-packet CFG;
+//   2. packet-processing slice: backward slices from every send();
+//   3. StateAlyzer variable categorization on the packet slice;
+//   4. state-transition slice: backward slices from every oisVar update;
+//   5. symbolic execution of the union slice -> execution paths;
+//   6. refactor each path into a model table entry.
+// Also (optionally) runs symbolic execution on the original, unsliced
+// program to produce the Table-2 comparison columns.
+#pragma once
+
+#include <memory>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/pdg.h"
+#include "ir/ir.h"
+#include "lang/ast.h"
+#include "model/model.h"
+#include "statealyzer/statealyzer.h"
+#include "symex/executor.h"
+
+namespace nfactor::pipeline {
+
+struct PipelineOptions {
+  bool normalize_structure = true;  // apply §3.2 transforms first
+  symex::ExecOptions se_slice;      // symbolic execution on the slice
+  symex::ExecOptions se_orig;       // symbolic execution on the original
+  bool run_orig_se = false;         // Table 2's "orig" columns
+};
+
+struct StageTimes {
+  double lower_ms = 0;
+  double slicing_ms = 0;      // PDG + packet & state slices (paper: "Slicing Time")
+  double se_slice_ms = 0;
+  double se_orig_ms = 0;
+  double total_ms = 0;
+};
+
+struct PipelineResult {
+  std::unique_ptr<ir::Module> module;  // stable address: pdg refers into it
+  std::unique_ptr<analysis::Pdg> pdg;
+  statealyzer::Result cats;
+
+  std::set<int> pkt_slice;
+  std::set<int> state_slice;
+  std::set<int> union_slice;
+
+  std::vector<symex::ExecPath> slice_paths;
+  symex::ExecStats slice_stats;
+  std::vector<symex::ExecPath> orig_paths;
+  symex::ExecStats orig_stats;
+
+  model::Model model;
+  StageTimes times;
+
+  // Table-2 metrics (source-line counts).
+  int loc_orig = 0;
+  int loc_slice = 0;
+  int loc_path = 0;  // largest single execution path within the slice
+};
+
+PipelineResult run(const lang::Program& prog, const PipelineOptions& opts = {});
+
+/// Parse + run.
+PipelineResult run_source(std::string_view source, std::string unit_name,
+                          const PipelineOptions& opts = {});
+
+}  // namespace nfactor::pipeline

@@ -1,0 +1,175 @@
+#include "runtime/value.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace nfactor::runtime {
+
+bool value_eq(const Value& a, const Value& b) {
+  if (a.v.index() != b.v.index()) return false;
+  if (a.is_list()) {
+    const auto& la = a.as_list().items;
+    const auto& lb = b.as_list().items;
+    if (la.size() != lb.size()) return false;
+    for (std::size_t i = 0; i < la.size(); ++i) {
+      if (!value_eq(la[i], lb[i])) return false;
+    }
+    return true;
+  }
+  if (a.is_map()) {
+    const auto& ma = a.as_map().items;
+    const auto& mb = b.as_map().items;
+    if (ma.size() != mb.size()) return false;
+    auto ia = ma.begin();
+    auto ib = mb.begin();
+    for (; ia != ma.end(); ++ia, ++ib) {
+      if (ia->first != ib->first || !value_eq(ia->second, ib->second)) {
+        return false;
+      }
+    }
+    return true;
+  }
+  return a.v == b.v;
+}
+
+Tuple to_key(const Value& v) {
+  if (v.is_int()) return Tuple{v.as_int()};
+  if (v.is_bool()) return Tuple{v.as_bool() ? 1 : 0};
+  if (v.is_tuple()) return v.as_tuple();
+  throw std::invalid_argument("map keys must be ints or tuples, got " +
+                              to_string(v));
+}
+
+Int dsl_hash(const Tuple& t) {
+  // FNV-1a over the elements; masked positive so `hash(x) % n` behaves.
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const Int x : t) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (static_cast<std::uint64_t>(x) >> (i * 8)) & 0xFF;
+      h *= 1099511628211ULL;
+    }
+  }
+  return static_cast<Int>(h & 0x7FFFFFFFFFFFFFFFULL);
+}
+
+std::string to_string(const Value& v) {
+  std::ostringstream os;
+  if (v.is_unset()) {
+    os << "<unset>";
+  } else if (v.is_int()) {
+    os << v.as_int();
+  } else if (v.is_bool()) {
+    os << (v.as_bool() ? "true" : "false");
+  } else if (v.is_str()) {
+    os << '"' << v.as_str() << '"';
+  } else if (v.is_tuple()) {
+    os << '(';
+    const auto& t = v.as_tuple();
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      if (i) os << ", ";
+      os << t[i];
+    }
+    os << ')';
+  } else if (v.is_list()) {
+    os << '[';
+    const auto& l = v.as_list().items;
+    for (std::size_t i = 0; i < l.size(); ++i) {
+      if (i) os << ", ";
+      os << to_string(l[i]);
+    }
+    os << ']';
+  } else if (v.is_map()) {
+    os << '{';
+    bool first = true;
+    for (const auto& [k, val] : v.as_map().items) {
+      if (!first) os << ", ";
+      first = false;
+      os << to_string(Value(k)) << ": " << to_string(val);
+    }
+    os << '}';
+  } else if (v.is_packet()) {
+    os << netsim::to_string(v.as_packet());
+  }
+  return os.str();
+}
+
+namespace {
+
+Int mac_to_int(const netsim::MacAddr& m) {
+  Int out = 0;
+  for (int i = 0; i < 6; ++i) out = out << 8 | m[static_cast<std::size_t>(i)];
+  return out;
+}
+
+netsim::MacAddr int_to_mac(Int v) {
+  netsim::MacAddr m;
+  for (int i = 5; i >= 0; --i) {
+    m[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(v);
+    v >>= 8;
+  }
+  return m;
+}
+
+}  // namespace
+
+Int get_packet_field(const netsim::Packet& p, const std::string& field) {
+  if (field == "eth_src") return mac_to_int(p.eth_src);
+  if (field == "eth_dst") return mac_to_int(p.eth_dst);
+  if (field == "eth_type") return p.eth_type;
+  if (field == "ip_src") return p.ip_src;
+  if (field == "ip_dst") return p.ip_dst;
+  if (field == "ip_proto") return p.ip_proto;
+  if (field == "ip_ttl") return p.ip_ttl;
+  if (field == "ip_id") return p.ip_id;
+  if (field == "ip_tos") return p.ip_tos;
+  if (field == "sport") return p.sport;
+  if (field == "dport") return p.dport;
+  if (field == "tcp_flags") return p.tcp_flags;
+  if (field == "tcp_seq") return p.tcp_seq;
+  if (field == "tcp_ack") return p.tcp_ack;
+  if (field == "tcp_win") return p.tcp_win;
+  if (field == "len") return static_cast<Int>(p.payload.size());
+  if (field == "in_port") return p.in_port;
+  throw std::invalid_argument("unknown packet field '" + field + "'");
+}
+
+void set_packet_field(netsim::Packet& p, const std::string& field, Int value) {
+  const auto u32 = static_cast<std::uint32_t>(value);
+  const auto u16 = static_cast<std::uint16_t>(value);
+  const auto u8 = static_cast<std::uint8_t>(value);
+  if (field == "eth_src") {
+    p.eth_src = int_to_mac(value);
+  } else if (field == "eth_dst") {
+    p.eth_dst = int_to_mac(value);
+  } else if (field == "eth_type") {
+    p.eth_type = u16;
+  } else if (field == "ip_src") {
+    p.ip_src = u32;
+  } else if (field == "ip_dst") {
+    p.ip_dst = u32;
+  } else if (field == "ip_proto") {
+    p.ip_proto = u8;
+  } else if (field == "ip_ttl") {
+    p.ip_ttl = u8;
+  } else if (field == "ip_id") {
+    p.ip_id = u16;
+  } else if (field == "ip_tos") {
+    p.ip_tos = u8;
+  } else if (field == "sport") {
+    p.sport = u16;
+  } else if (field == "dport") {
+    p.dport = u16;
+  } else if (field == "tcp_flags") {
+    p.tcp_flags = u8;
+  } else if (field == "tcp_seq") {
+    p.tcp_seq = u32;
+  } else if (field == "tcp_ack") {
+    p.tcp_ack = u32;
+  } else if (field == "tcp_win") {
+    p.tcp_win = u16;
+  } else {
+    throw std::invalid_argument("packet field '" + field + "' is not writable");
+  }
+}
+
+}  // namespace nfactor::runtime

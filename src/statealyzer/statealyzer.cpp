@@ -1,0 +1,124 @@
+#include "statealyzer/statealyzer.h"
+
+#include <sstream>
+
+namespace nfactor::statealyzer {
+
+namespace {
+
+std::string base_of(const ir::Location& loc) {
+  std::string base;
+  return ir::split_field_loc(loc, &base, nullptr) ? base : loc;
+}
+
+}  // namespace
+
+std::string to_string(VarCategory c) {
+  switch (c) {
+    case VarCategory::kPkt: return "pktVar";
+    case VarCategory::kConfig: return "cfgVar";
+    case VarCategory::kOis: return "oisVar";
+    case VarCategory::kLog: return "logVar";
+    case VarCategory::kLocal: return "local";
+  }
+  return "?";
+}
+
+Result analyze(const ir::Module& m, const analysis::Pdg& pdg) {
+  const ir::Cfg& body = m.body;
+  Result r;
+
+  // ---- Packet-processing slice: backward from every send (Alg.1 l.1-4).
+  std::set<int> send_nodes;
+  for (const auto& n : body.nodes) {
+    if (n->kind == ir::InstrKind::kSend) send_nodes.insert(n->id);
+  }
+  r.pkt_slice = pdg.backward_slice(send_nodes);
+
+  // ---- Variable universe and body-level features.
+  auto& feats = r.features;
+  auto touch = [&](const std::string& v) -> VarFeatures& { return feats[v]; };
+
+  for (const auto& g : m.globals) touch(g.name).persistent = true;
+  for (const auto& v : m.persistent) touch(v).persistent = true;
+
+  for (const auto& n : body.nodes) {
+    for (const auto& u : n->uses()) touch(base_of(u)).top_level = true;
+    for (const auto& d : n->defs()) {
+      VarFeatures& f = touch(base_of(d));
+      f.top_level = true;
+      f.updateable = true;
+    }
+  }
+
+  // ---- Packet variables: recv targets plus whole-packet aliases.
+  std::set<std::string> pkt;
+  for (const auto& n : body.nodes) {
+    if (n->kind == ir::InstrKind::kRecv) pkt.insert(n->var);
+  }
+  bool grew = true;
+  while (grew) {
+    grew = false;
+    for (const auto& n : body.nodes) {
+      if (n->kind != ir::InstrKind::kAssign) continue;
+      if (n->value->kind != lang::ExprKind::kVarRef) continue;
+      const auto& src = static_cast<const lang::VarRef&>(*n->value).name;
+      if (pkt.count(src) && pkt.insert(n->var).second) grew = true;
+    }
+  }
+  for (const auto& v : pkt) touch(v).is_packet = true;
+
+  // ---- Output-impacting: appears in the packet slice.
+  for (const int id : r.pkt_slice) {
+    const ir::Instr& n = body.node(id);
+    for (const auto& u : n.uses()) touch(base_of(u)).output_impacting = true;
+    for (const auto& d : n.defs()) touch(base_of(d)).output_impacting = true;
+  }
+
+  // ---- Categorize (Table 1).
+  for (auto& [name, f] : feats) {
+    if (name.starts_with("__t")) {
+      r.category[name] = VarCategory::kLocal;  // lowering temporaries
+      continue;
+    }
+    if (f.is_packet) {
+      r.category[name] = VarCategory::kPkt;
+      r.pkt_vars.insert(name);
+    } else if (f.persistent && f.top_level && !f.updateable) {
+      r.category[name] = VarCategory::kConfig;
+      r.cfg_vars.insert(name);
+    } else if (f.persistent && f.top_level && f.updateable &&
+               f.output_impacting) {
+      r.category[name] = VarCategory::kOis;
+      r.ois_vars.insert(name);
+    } else if (f.persistent && f.top_level && f.updateable) {
+      r.category[name] = VarCategory::kLog;
+      r.log_vars.insert(name);
+    } else {
+      r.category[name] = VarCategory::kLocal;
+    }
+  }
+
+  return r;
+}
+
+std::string Result::to_table() const {
+  std::ostringstream os;
+  auto row = [&](const char* label, const std::set<std::string>& vars) {
+    os << label << ": ";
+    bool first = true;
+    for (const auto& v : vars) {
+      if (!first) os << ", ";
+      os << v;
+      first = false;
+    }
+    os << '\n';
+  };
+  row("pktVar", pkt_vars);
+  row("cfgVar", cfg_vars);
+  row("oisVar", ois_vars);
+  row("logVar", log_vars);
+  return os.str();
+}
+
+}  // namespace nfactor::statealyzer

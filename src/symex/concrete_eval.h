@@ -1,0 +1,36 @@
+// Concrete evaluation of symbolic expressions: given an input packet,
+// a concrete state store, and config values, compute the value of any
+// SymExpr the executor can produce. This is what lets the synthesized
+// model *run* on real packets (model interpreter) and what closes the
+// loop in the §5 accuracy experiment.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "netsim/packet.h"
+#include "runtime/value.h"
+#include "symex/expr.h"
+
+namespace nfactor::symex {
+
+struct ConcreteEnv {
+  /// Value of a named symbol ("pkt.ip_src", "rr_idx", "mode", ...).
+  /// Must throw std::out_of_range for unknown names.
+  std::function<runtime::Value(const std::string&)> var;
+
+  /// Contents of a named state map (MapBase); nullptr = empty.
+  std::function<const runtime::MapV*(const std::string&)> map_base;
+
+  /// Input packet, needed by uninterpreted payload predicates.
+  const netsim::Packet* input_packet = nullptr;
+};
+
+/// Evaluate `e` under `env`. Throws std::runtime_error on expressions
+/// that cannot be concretized (e.g. undef$ symbols).
+runtime::Value eval_concrete(const SymRef& e, const ConcreteEnv& env);
+
+/// Convenience: evaluate a boolean expression.
+bool eval_concrete_bool(const SymRef& e, const ConcreteEnv& env);
+
+}  // namespace nfactor::symex

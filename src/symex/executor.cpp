@@ -1,0 +1,499 @@
+#include "symex/executor.h"
+
+#include <chrono>
+#include <sstream>
+#include <stdexcept>
+
+#include "lang/builtins.h"
+#include "runtime/value.h"
+
+namespace nfactor::symex {
+
+namespace {
+
+using lang::Expr;
+using lang::ExprKind;
+
+/// Pseudo-field carrying payload identity for uninterpreted payload
+/// predicates; never touched by field stores.
+constexpr const char* kPayloadField = "__payload";
+
+}  // namespace
+
+std::string ExecPath::signature() const {
+  std::ostringstream os;
+  os << "C:";
+  std::set<std::string> cond_keys;
+  for (const auto& c : constraints) cond_keys.insert(c->key());
+  for (const auto& k : cond_keys) os << k << '&';
+  os << "|S:";
+  for (const auto& s : sends) {
+    os << "snd(";
+    for (const auto& [f, v] : s.fields) {
+      if (f == kPayloadField) continue;
+      os << f << '=' << v->key() << ';';
+    }
+    os << "@" << s.port->key() << ')';
+  }
+  os << "|T:";
+  for (const auto& [var, v] : final_state) {
+    // Only record state that actually changed from its initial symbol.
+    if (v->kind == SymKind::kVar && v->str_val == var) continue;
+    if (v->kind == SymKind::kMapBase && v->str_val == var) continue;
+    os << var << '=' << v->key() << ';';
+  }
+  return os.str();
+}
+
+struct SymbolicExecutor::State {
+  int node = -1;
+  std::map<std::string, SymRef> env;
+  std::vector<SymRef> pc;
+  std::vector<BranchRecord> branches;
+  std::vector<SendRecord> sends;
+  std::set<int> nodes;
+  std::map<int, int> visits;  // symbolic-branch node -> count
+  std::size_t steps = 0;
+};
+
+SymRef const_expr_to_sym(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::kIntLit:
+      return make_int(static_cast<const lang::IntLit&>(e).value);
+    case ExprKind::kBoolLit:
+      return make_bool(static_cast<const lang::BoolLit&>(e).value);
+    case ExprKind::kStrLit:
+      return make_str(static_cast<const lang::StrLit&>(e).value);
+    case ExprKind::kTupleLit: {
+      std::vector<SymRef> elems;
+      for (const auto& x : static_cast<const lang::TupleLit&>(e).elems) {
+        elems.push_back(const_expr_to_sym(*x));
+      }
+      return make_tuple(std::move(elems));
+    }
+    case ExprKind::kListLit: {
+      std::vector<SymRef> elems;
+      for (const auto& x : static_cast<const lang::ListLit&>(e).elems) {
+        elems.push_back(const_expr_to_sym(*x));
+      }
+      return make_list_const(std::move(elems));
+    }
+    case ExprKind::kUnary: {
+      const auto& u = static_cast<const lang::Unary&>(e);
+      return make_un(u.op, const_expr_to_sym(*u.operand));
+    }
+    case ExprKind::kBinary: {
+      const auto& b = static_cast<const lang::Binary&>(e);
+      return make_bin(b.op, const_expr_to_sym(*b.lhs), const_expr_to_sym(*b.rhs));
+    }
+    default:
+      throw std::invalid_argument("not a constant expression: " +
+                                  lang::to_source(e));
+  }
+}
+
+SymbolicExecutor::SymbolicExecutor(const ir::Module& m,
+                                   const statealyzer::Result& cats)
+    : m_(m), cats_(cats) {}
+
+SymRef SymbolicExecutor::initial_global_value(const ir::Global& g) const {
+  const bool is_cfg = cats_.is_cfg(g.name);
+  switch (g.type) {
+    case lang::Type::kMap:
+      // State maps start as symbolic bases: membership is a state match.
+      // Config maps (static rule tables) are also kept symbolic-base so
+      // rule contents parameterize the model.
+      return make_map_base(g.name);
+    case lang::Type::kList:
+    case lang::Type::kStr:
+      // Containers/strings concretize from their initializers (bounded
+      // loops over them unroll — the style restriction of §3.2).
+      try {
+        return const_expr_to_sym(*g.init);
+      } catch (const std::invalid_argument&) {
+        return make_var(g.name, is_cfg ? VarClass::kCfg : VarClass::kState);
+      }
+    default:
+      return make_var(g.name, is_cfg ? VarClass::kCfg : VarClass::kState);
+  }
+}
+
+SymRef SymbolicExecutor::lookup(const std::string& var, State& st) const {
+  const auto it = st.env.find(var);
+  if (it != st.env.end()) return it->second;
+  // Read of a variable with no definition on this path: give it a fresh
+  // opaque symbol (can arise when executing slices or on paths where the
+  // defining branch side was not taken in the original code).
+  SymRef v = make_var("undef$" + var, VarClass::kLocal);
+  st.env.emplace(var, v);
+  return v;
+}
+
+SymRef SymbolicExecutor::eval_call(const lang::Call& c, State& st) const {
+  if (c.callee == "len") {
+    const SymRef x = eval(*c.args[0], st);
+    if (x->kind == SymKind::kConstList) {
+      return make_int(static_cast<Int>(x->operands.size()));
+    }
+    if (x->kind == SymKind::kConstTuple) {
+      return make_int(static_cast<Int>(x->tuple_val.size()));
+    }
+    if (x->kind == SymKind::kTupleExpr) {
+      return make_int(static_cast<Int>(x->operands.size()));
+    }
+    if (x->kind == SymKind::kConstStr) {
+      return make_int(static_cast<Int>(x->str_val.size()));
+    }
+    return make_call("len", {x});
+  }
+  if (c.callee == "hash") {
+    const SymRef x = eval(*c.args[0], st);
+    if (x->kind == SymKind::kConstTuple) {
+      return make_int(runtime::dsl_hash(x->tuple_val));
+    }
+    if (x->kind == SymKind::kConstInt) {
+      return make_int(runtime::dsl_hash({x->int_val}));
+    }
+    return make_call("hash", {x});
+  }
+  if (c.callee == "payload_contains") {
+    const SymRef pkt = eval(*c.args[0], st);
+    const SymRef needle = eval(*c.args[1], st);
+    SymRef payload_id = make_var(std::string("pkt.") + kPayloadField,
+                                 VarClass::kPkt);
+    if (pkt->kind == SymKind::kPacket) {
+      const auto it = pkt->fields.find(kPayloadField);
+      if (it != pkt->fields.end()) payload_id = it->second;
+    }
+    return make_call("payload_contains", {payload_id, needle});
+  }
+  throw std::invalid_argument("unsupported pure builtin in symbolic eval: " +
+                              c.callee);
+}
+
+SymRef SymbolicExecutor::eval(const Expr& e, State& st) const {
+  switch (e.kind) {
+    case ExprKind::kIntLit:
+      return make_int(static_cast<const lang::IntLit&>(e).value);
+    case ExprKind::kBoolLit:
+      return make_bool(static_cast<const lang::BoolLit&>(e).value);
+    case ExprKind::kStrLit:
+      return make_str(static_cast<const lang::StrLit&>(e).value);
+    case ExprKind::kMapLit:
+      return make_map_base("{}" );  // fresh empty map value
+    case ExprKind::kVarRef:
+      return lookup(static_cast<const lang::VarRef&>(e).name, st);
+    case ExprKind::kUnary: {
+      const auto& u = static_cast<const lang::Unary&>(e);
+      return make_un(u.op, eval(*u.operand, st));
+    }
+    case ExprKind::kBinary: {
+      const auto& b = static_cast<const lang::Binary&>(e);
+      if (b.op == lang::BinOp::kIn) {
+        return make_contains(eval(*b.rhs, st), eval(*b.lhs, st));
+      }
+      return make_bin(b.op, eval(*b.lhs, st), eval(*b.rhs, st));
+    }
+    case ExprKind::kTupleLit: {
+      std::vector<SymRef> elems;
+      for (const auto& x : static_cast<const lang::TupleLit&>(e).elems) {
+        elems.push_back(eval(*x, st));
+      }
+      return make_tuple(std::move(elems));
+    }
+    case ExprKind::kListLit: {
+      std::vector<SymRef> elems;
+      bool all_const = true;
+      for (const auto& x : static_cast<const lang::ListLit&>(e).elems) {
+        elems.push_back(eval(*x, st));
+        all_const &= elems.back()->kind == SymKind::kConstInt ||
+                     elems.back()->kind == SymKind::kConstTuple;
+      }
+      if (all_const) return make_list_const(std::move(elems));
+      return make_call("list", std::move(elems));
+    }
+    case ExprKind::kIndex: {
+      const auto& i = static_cast<const lang::Index&>(e);
+      const SymRef base = eval(*i.base, st);
+      const SymRef idx = eval(*i.index, st);
+      if (base->kind == SymKind::kConstTuple) {
+        if (is_const_int(idx) && idx->int_val >= 0 &&
+            static_cast<std::size_t>(idx->int_val) < base->tuple_val.size()) {
+          return make_int(base->tuple_val[static_cast<std::size_t>(idx->int_val)]);
+        }
+        return make_call("tuple_get", {base, idx});
+      }
+      if (base->kind == SymKind::kTupleExpr) {
+        if (is_const_int(idx) && idx->int_val >= 0 &&
+            static_cast<std::size_t>(idx->int_val) < base->operands.size()) {
+          return base->operands[static_cast<std::size_t>(idx->int_val)];
+        }
+        return make_call("tuple_get", {base, idx});
+      }
+      if (base->kind == SymKind::kConstList) return make_list_get(base, idx);
+      if (base->kind == SymKind::kMapBase ||
+          base->kind == SymKind::kMapStore) {
+        return make_map_get(base, idx);
+      }
+      // Opaque container value.
+      return make_call("get", {base, idx});
+    }
+    case ExprKind::kField: {
+      const auto& f = static_cast<const lang::FieldRef&>(e);
+      const SymRef base = eval(*f.base, st);
+      if (base->kind == SymKind::kPacket) {
+        const auto it = base->fields.find(f.field);
+        if (it != base->fields.end()) return it->second;
+      }
+      return make_call("field_" + f.field, {base});
+    }
+    case ExprKind::kCall:
+      return eval_call(static_cast<const lang::Call&>(e), st);
+  }
+  throw std::invalid_argument("unhandled expression kind in symbolic eval");
+}
+
+std::vector<ExecPath> SymbolicExecutor::run(const ExecOptions& opts,
+                                            ExecStats* stats_out) {
+  const auto t0 = std::chrono::steady_clock::now();
+  ExecStats stats;
+  Solver solver;
+  std::vector<ExecPath> paths;
+
+  auto elapsed_ms = [&] {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+  };
+
+  auto node_enabled = [&](int id) {
+    return opts.filter == nullptr || opts.filter->count(id) != 0;
+  };
+
+  // Initial state.
+  State init;
+  init.node = m_.body.entry;
+  if (opts.initial_globals != nullptr) {
+    init.env = *opts.initial_globals;
+  } else {
+    for (const auto& g : m_.globals) {
+      init.env[g.name] = initial_global_value(g);
+    }
+    // Init-section definitions: treat like state scalars (persistent).
+    for (const auto& v : m_.persistent) {
+      if (!init.env.count(v)) {
+        init.env[v] = make_var(v, cats_.is_cfg(v) ? VarClass::kCfg
+                                                  : VarClass::kState);
+      }
+    }
+  }
+  if (opts.initial_pc != nullptr) init.pc = *opts.initial_pc;
+
+  std::vector<State> stack;
+  stack.push_back(std::move(init));
+
+  auto finalize = [&](State& st, bool truncated) {
+    ExecPath p;
+    p.branches = std::move(st.branches);
+    for (const auto& b : p.branches) {
+      const SymRef eff = b.effective();
+      if (!is_const_bool(eff)) p.constraints.push_back(eff);
+    }
+    p.sends = std::move(st.sends);
+    for (const auto& v : m_.persistent) {
+      const auto it = st.env.find(v);
+      if (it != st.env.end()) p.final_state[v] = it->second;
+    }
+    p.nodes = std::move(st.nodes);
+    p.truncated = truncated;
+    paths.push_back(std::move(p));
+    if (truncated) {
+      ++stats.paths_truncated;
+    } else {
+      ++stats.paths_completed;
+    }
+  };
+
+  while (!stack.empty()) {
+    if (paths.size() >= opts.max_paths) {
+      stats.hit_path_cap = true;
+      break;
+    }
+    if (elapsed_ms() > opts.timeout_ms) {
+      stats.timed_out = true;
+      break;
+    }
+
+    State st = std::move(stack.back());
+    stack.pop_back();
+
+    bool done = false;
+    while (!done) {
+      if (++st.steps > opts.max_steps_per_path) {
+        finalize(st, /*truncated=*/true);
+        break;
+      }
+      ++stats.steps;
+      const ir::Instr& n = m_.body.node(st.node);
+      const bool enabled = node_enabled(n.id);
+      int next = n.succs.empty() ? m_.body.exit : n.succs[0];
+
+      if (st.node == m_.body.exit) {
+        finalize(st, /*truncated=*/false);
+        break;
+      }
+      if (enabled && n.kind != ir::InstrKind::kEntry &&
+          n.kind != ir::InstrKind::kExit) {
+        st.nodes.insert(n.id);
+      }
+
+      switch (n.kind) {
+        case ir::InstrKind::kEntry:
+        case ir::InstrKind::kExit:
+          break;
+        case ir::InstrKind::kRecv: {
+          std::map<std::string, SymRef> fields;
+          for (const auto& f : lang::packet_fields()) {
+            fields[f.name] = make_var(opts.pkt_prefix + f.name, VarClass::kPkt);
+          }
+          fields[kPayloadField] =
+              make_var(opts.pkt_prefix + kPayloadField, VarClass::kPkt);
+          st.env[n.var] = make_packet(std::move(fields));
+          break;
+        }
+        case ir::InstrKind::kAssign:
+          if (enabled) st.env[n.var] = eval(*n.value, st);
+          break;
+        case ir::InstrKind::kFieldStore:
+          if (enabled) {
+            const SymRef base = lookup(n.var, st);
+            if (base->kind == SymKind::kPacket) {
+              auto fields = base->fields;
+              fields[n.field] = eval(*n.value, st);
+              st.env[n.var] = make_packet(std::move(fields));
+            }
+          }
+          break;
+        case ir::InstrKind::kIndexStore:
+          if (enabled) {
+            const SymRef base = lookup(n.var, st);
+            const SymRef key = eval(*n.index, st);
+            const SymRef val = eval(*n.value, st);
+            if (base->kind == SymKind::kMapBase ||
+                base->kind == SymKind::kMapStore) {
+              st.env[n.var] = make_map_store(base, key, val);
+            } else if (base->kind == SymKind::kConstList &&
+                       is_const_int(key) && key->int_val >= 0 &&
+                       static_cast<std::size_t>(key->int_val) <
+                           base->operands.size()) {
+              auto elems = base->operands;
+              elems[static_cast<std::size_t>(key->int_val)] = val;
+              st.env[n.var] = make_list_const(std::move(elems));
+            } else {
+              st.env[n.var] = make_call("list_store", {base, key, val});
+            }
+          }
+          break;
+        case ir::InstrKind::kSend:
+          if (enabled) {
+            const SymRef pkt = eval(*n.value, st);
+            SendRecord rec;
+            if (pkt->kind == SymKind::kPacket) {
+              rec.fields = pkt->fields;
+            }
+            rec.port = eval(*n.aux, st);
+            st.sends.push_back(std::move(rec));
+          }
+          break;
+        case ir::InstrKind::kCall:
+          if (enabled) {
+            if (n.callee == "push") {
+              const SymRef q = eval(*n.args[0], st);
+              const SymRef v = eval(*n.args[1], st);
+              if (n.args[0]->kind == ExprKind::kVarRef) {
+                const auto& qn =
+                    static_cast<const lang::VarRef&>(*n.args[0]).name;
+                st.env[qn] = make_call("list_push", {q, v});
+              }
+            } else if (n.callee == "pop") {
+              const SymRef q = eval(*n.args[0], st);
+              if (!n.var.empty()) st.env[n.var] = make_call("list_front", {q});
+              if (n.args[0]->kind == ExprKind::kVarRef) {
+                const auto& qn =
+                    static_cast<const lang::VarRef&>(*n.args[0]).name;
+                st.env[qn] = make_call("list_rest", {q});
+              }
+            }
+            // log(): no model-visible effect.
+          }
+          break;
+        case ir::InstrKind::kBranch: {
+          if (!enabled) {
+            // Sliced-out branch: guards only sliced-out nodes (the slice
+            // is control-dependence closed), so skip the loop/if body.
+            next = n.succs[1];
+            break;
+          }
+          const SymRef cond = eval(*n.value, st);
+          if (is_const_bool(cond)) {
+            next = cond->bool_val ? n.succs[0] : n.succs[1];
+            break;
+          }
+          // Symbolic branch: loop bound, then two-sided SAT check.
+          if (++st.visits[n.id] > opts.max_loop_iters) {
+            finalize(st, /*truncated=*/true);
+            done = true;
+            break;
+          }
+          std::vector<SymRef> pc_true = st.pc;
+          pc_true.push_back(cond);
+          std::vector<SymRef> pc_false = st.pc;
+          pc_false.push_back(negate(cond));
+          const bool sat_t = opts.assume_all_feasible ||
+                             solver.check(pc_true) == SatResult::kSat;
+          const bool sat_f = opts.assume_all_feasible ||
+                             solver.check(pc_false) == SatResult::kSat;
+
+          if (sat_t && sat_f) {
+            State other = st;  // fork
+            other.node = n.succs[1];
+            other.pc = std::move(pc_false);
+            other.branches.push_back({n.id, cond, false});
+            stack.push_back(std::move(other));
+
+            st.pc = std::move(pc_true);
+            st.branches.push_back({n.id, cond, true});
+            next = n.succs[0];
+          } else if (sat_t) {
+            ++stats.paths_pruned;
+            st.pc = std::move(pc_true);
+            st.branches.push_back({n.id, cond, true});
+            next = n.succs[0];
+          } else if (sat_f) {
+            ++stats.paths_pruned;
+            st.pc = std::move(pc_false);
+            st.branches.push_back({n.id, cond, false});
+            next = n.succs[1];
+          } else {
+            // Whole state infeasible (should not happen: pc was sat).
+            ++stats.paths_pruned;
+            done = true;
+            break;
+          }
+          break;
+        }
+      }
+
+      if (!done) st.node = next;
+    }
+
+    stats.solver_queries = solver.query_count();
+  }
+
+  stats.solver_queries = solver.query_count();
+  stats.wall_ms = elapsed_ms();
+  if (stats_out != nullptr) *stats_out = stats;
+  return paths;
+}
+
+}  // namespace nfactor::symex

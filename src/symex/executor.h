@@ -1,0 +1,108 @@
+// KLEE-style symbolic executor over the per-packet CFG. Forks at
+// branches whose condition is symbolic, carries per-path constraint sets,
+// prunes infeasible paths with the solver, bounds loops, and produces one
+// ExecPath record per feasible terminal path — the raw material of
+// Algorithm 1's FindExecPaths() and of the model refactoring step.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ir/ir.h"
+#include "statealyzer/statealyzer.h"
+#include "symex/expr.h"
+#include "symex/solver.h"
+
+namespace nfactor::symex {
+
+/// One send() observed on a path: the packet's symbolic field values at
+/// the call, and the output port expression.
+struct SendRecord {
+  std::map<std::string, SymRef> fields;
+  SymRef port;
+};
+
+/// One branch decision on a path.
+struct BranchRecord {
+  int node = -1;
+  SymRef cond;   // condition as evaluated (before polarity)
+  bool taken = false;
+
+  /// The condition with polarity applied.
+  SymRef effective() const { return taken ? cond : negate(cond); }
+};
+
+struct ExecPath {
+  std::vector<BranchRecord> branches;
+  std::vector<SymRef> constraints;  // polarity-applied symbolic conjuncts
+  std::vector<SendRecord> sends;
+  /// Final symbolic values of persistent variables (state after the
+  /// packet), as expressions over initial-state/packet/config symbols.
+  std::map<std::string, SymRef> final_state;
+  std::set<int> nodes;  // executed CFG nodes
+  bool truncated = false;
+
+  /// Canonical signature for path-set comparison (§5 accuracy).
+  std::string signature() const;
+};
+
+struct ExecOptions {
+  int max_loop_iters = 8;           // symbolic-branch revisits per path
+  std::size_t max_paths = 4096;     // completed-path cap
+  std::size_t max_steps_per_path = 50000;
+  double timeout_ms = 120000.0;
+  const std::set<int>* filter = nullptr;  // run only these nodes (slice SE)
+  /// Ablation switch: skip the feasibility solver and fork both sides of
+  /// every symbolic branch. Produces spurious (infeasible) paths — used
+  /// by bench_ablation to quantify what the solver buys.
+  bool assume_all_feasible = false;
+
+  /// Multi-packet exploration hooks (see verify/multi_packet.h):
+  /// symbol prefix for this packet's header fields ("pkt." by default,
+  /// "pkt2." for the second packet of a sequence)...
+  std::string pkt_prefix = "pkt.";
+  /// ...the persistent-variable environment to start from (defaults to
+  /// the fresh symbolic initial state)...
+  const std::map<std::string, SymRef>* initial_globals = nullptr;
+  /// ...and path constraints inherited from earlier packets.
+  const std::vector<SymRef>* initial_pc = nullptr;
+};
+
+struct ExecStats {
+  std::size_t paths_completed = 0;
+  std::size_t paths_truncated = 0;
+  std::size_t paths_pruned = 0;  // infeasible branch sides cut by the solver
+  std::uint64_t solver_queries = 0;
+  std::uint64_t steps = 0;
+  bool hit_path_cap = false;
+  bool timed_out = false;
+  double wall_ms = 0.0;
+};
+
+class SymbolicExecutor {
+ public:
+  SymbolicExecutor(const ir::Module& m, const statealyzer::Result& cats);
+
+  std::vector<ExecPath> run(const ExecOptions& opts, ExecStats* stats = nullptr);
+
+ private:
+  struct State;
+
+  SymRef initial_global_value(const ir::Global& g) const;
+  SymRef eval(const lang::Expr& e, State& st) const;
+  SymRef eval_call(const lang::Call& c, State& st) const;
+  SymRef lookup(const std::string& var, State& st) const;
+
+  const ir::Module& m_;
+  const statealyzer::Result& cats_;
+};
+
+/// Convert a constant initializer expression to a symbolic constant.
+/// Throws std::invalid_argument on non-constant input.
+SymRef const_expr_to_sym(const lang::Expr& e);
+
+}  // namespace nfactor::symex

@@ -1,0 +1,503 @@
+#include "symex/expr.h"
+
+#include <sstream>
+
+namespace nfactor::symex {
+
+namespace {
+
+SymRef node(SymKind k) {
+  auto e = std::make_shared<SymExpr>();
+  e->kind = k;
+  return e;
+}
+
+SymExpr* mut(SymRef& r) { return const_cast<SymExpr*>(r.get()); }
+
+Int fold_bin_int(lang::BinOp op, Int a, Int b, bool* ok) {
+  *ok = true;
+  using lang::BinOp;
+  switch (op) {
+    case BinOp::kAdd: return a + b;
+    case BinOp::kSub: return a - b;
+    case BinOp::kMul: return a * b;
+    case BinOp::kDiv:
+      if (b == 0) { *ok = false; return 0; }
+      return a / b;
+    case BinOp::kMod:
+      if (b == 0) { *ok = false; return 0; }
+      return ((a % b) + b) % b;
+    case BinOp::kBitAnd: return a & b;
+    case BinOp::kBitOr: return a | b;
+    case BinOp::kBitXor: return a ^ b;
+    case BinOp::kShl: return a << (b & 63);
+    case BinOp::kShr:
+      return static_cast<Int>(static_cast<std::uint64_t>(a) >> (b & 63));
+    default:
+      *ok = false;
+      return 0;
+  }
+}
+
+}  // namespace
+
+const std::string& SymExpr::key() const {
+  if (!key_.empty()) return key_;
+  std::ostringstream os;
+  switch (kind) {
+    case SymKind::kConstInt: os << 'i' << int_val; break;
+    case SymKind::kConstBool: os << (bool_val ? "#t" : "#f"); break;
+    case SymKind::kConstStr: os << 's' << str_val; break;
+    case SymKind::kConstTuple: {
+      os << "t(";
+      for (const Int x : tuple_val) os << x << ',';
+      os << ')';
+      break;
+    }
+    case SymKind::kConstList: {
+      os << "L(";
+      for (const auto& x : operands) os << x->key() << ',';
+      os << ')';
+      break;
+    }
+    case SymKind::kVar: os << 'v' << str_val; break;
+    case SymKind::kUn:
+      os << lang::to_string(un_op) << '(' << operands[0]->key() << ')';
+      break;
+    case SymKind::kBin:
+      os << '(' << operands[0]->key() << ' ' << lang::to_string(bin_op) << ' '
+         << operands[1]->key() << ')';
+      break;
+    case SymKind::kTupleExpr: {
+      os << "T(";
+      for (const auto& x : operands) os << x->key() << ',';
+      os << ')';
+      break;
+    }
+    case SymKind::kListGet:
+      os << "lg(" << operands[0]->key() << ',' << operands[1]->key() << ')';
+      break;
+    case SymKind::kMapBase: os << "M0:" << str_val; break;
+    case SymKind::kMapStore:
+      os << "st(" << operands[0]->key() << ',' << operands[1]->key() << ','
+         << operands[2]->key() << ')';
+      break;
+    case SymKind::kMapGet:
+      os << "get(" << operands[0]->key() << ',' << operands[1]->key() << ')';
+      break;
+    case SymKind::kContains:
+      os << "in(" << operands[1]->key() << ',' << operands[0]->key() << ')';
+      break;
+    case SymKind::kCall: {
+      os << str_val << '(';
+      for (const auto& x : operands) os << x->key() << ',';
+      os << ')';
+      break;
+    }
+    case SymKind::kPacket: {
+      os << "P{";
+      for (const auto& [f, v] : fields) os << f << '=' << v->key() << ';';
+      os << '}';
+      break;
+    }
+  }
+  key_ = os.str();
+  return key_;
+}
+
+SymRef make_int(Int v) {
+  auto e = node(SymKind::kConstInt);
+  mut(e)->int_val = v;
+  return e;
+}
+
+SymRef make_bool(bool v) {
+  auto e = node(SymKind::kConstBool);
+  mut(e)->bool_val = v;
+  return e;
+}
+
+SymRef make_str(std::string s) {
+  auto e = node(SymKind::kConstStr);
+  mut(e)->str_val = std::move(s);
+  return e;
+}
+
+SymRef make_tuple_const(std::vector<Int> t) {
+  auto e = node(SymKind::kConstTuple);
+  mut(e)->tuple_val = std::move(t);
+  return e;
+}
+
+SymRef make_list_const(std::vector<SymRef> elems) {
+  auto e = node(SymKind::kConstList);
+  mut(e)->operands = std::move(elems);
+  return e;
+}
+
+SymRef make_var(std::string name, VarClass cls) {
+  auto e = node(SymKind::kVar);
+  mut(e)->str_val = std::move(name);
+  mut(e)->var_class = cls;
+  return e;
+}
+
+SymRef make_un(lang::UnOp op, SymRef a) {
+  if (op == lang::UnOp::kNeg && is_const_int(a)) return make_int(-a->int_val);
+  if (op == lang::UnOp::kNot) return negate(a);
+  auto e = node(SymKind::kUn);
+  mut(e)->un_op = op;
+  mut(e)->operands = {std::move(a)};
+  return e;
+}
+
+SymRef negate(const SymRef& a) {
+  using lang::BinOp;
+  if (is_const_bool(a)) return make_bool(!a->bool_val);
+  if (a->kind == SymKind::kUn && a->un_op == lang::UnOp::kNot) {
+    return a->operands[0];
+  }
+  if (a->kind == SymKind::kBin) {
+    auto inverted = [&](BinOp op) {
+      auto e = node(SymKind::kBin);
+      mut(e)->bin_op = op;
+      mut(e)->operands = a->operands;
+      return e;
+    };
+    switch (a->bin_op) {
+      case BinOp::kEq: return inverted(BinOp::kNe);
+      case BinOp::kNe: return inverted(BinOp::kEq);
+      case BinOp::kLt: return inverted(BinOp::kGe);
+      case BinOp::kGe: return inverted(BinOp::kLt);
+      case BinOp::kGt: return inverted(BinOp::kLe);
+      case BinOp::kLe: return inverted(BinOp::kGt);
+      default: break;
+    }
+  }
+  auto e = node(SymKind::kUn);
+  mut(e)->un_op = lang::UnOp::kNot;
+  mut(e)->operands = {a};
+  return e;
+}
+
+SymRef make_bin(lang::BinOp op, SymRef a, SymRef b) {
+  using lang::BinOp;
+  // Constant folding.
+  if (is_const_int(a) && is_const_int(b)) {
+    switch (op) {
+      case BinOp::kEq: return make_bool(a->int_val == b->int_val);
+      case BinOp::kNe: return make_bool(a->int_val != b->int_val);
+      case BinOp::kLt: return make_bool(a->int_val < b->int_val);
+      case BinOp::kLe: return make_bool(a->int_val <= b->int_val);
+      case BinOp::kGt: return make_bool(a->int_val > b->int_val);
+      case BinOp::kGe: return make_bool(a->int_val >= b->int_val);
+      default: {
+        bool ok = false;
+        const Int v = fold_bin_int(op, a->int_val, b->int_val, &ok);
+        if (ok) return make_int(v);
+        break;
+      }
+    }
+  }
+  if (is_const_bool(a) && is_const_bool(b)) {
+    switch (op) {
+      case BinOp::kAnd: return make_bool(a->bool_val && b->bool_val);
+      case BinOp::kOr: return make_bool(a->bool_val || b->bool_val);
+      case BinOp::kEq: return make_bool(a->bool_val == b->bool_val);
+      case BinOp::kNe: return make_bool(a->bool_val != b->bool_val);
+      default: break;
+    }
+  }
+  // Short-circuit simplifications.
+  if (op == BinOp::kAnd) {
+    if (is_const_bool(a)) return a->bool_val ? b : make_bool(false);
+    if (is_const_bool(b)) return b->bool_val ? a : make_bool(false);
+  }
+  if (op == BinOp::kOr) {
+    if (is_const_bool(a)) return a->bool_val ? make_bool(true) : b;
+    if (is_const_bool(b)) return b->bool_val ? make_bool(true) : a;
+  }
+  // Tuple equality folding.
+  if ((op == BinOp::kEq || op == BinOp::kNe) &&
+      a->kind == SymKind::kConstTuple && b->kind == SymKind::kConstTuple) {
+    const bool eq = a->tuple_val == b->tuple_val;
+    return make_bool(op == BinOp::kEq ? eq : !eq);
+  }
+  // Syntactic identity: e == e is true.
+  if ((op == BinOp::kEq || op == BinOp::kLe || op == BinOp::kGe) &&
+      a->key() == b->key()) {
+    return make_bool(true);
+  }
+  if ((op == BinOp::kNe || op == BinOp::kLt || op == BinOp::kGt) &&
+      a->key() == b->key()) {
+    return make_bool(false);
+  }
+  // x + 0, x - 0, x * 1, x % with concrete... keep it minimal: identities.
+  if (op == BinOp::kAdd && is_const_int(b) && b->int_val == 0) return a;
+  if (op == BinOp::kAdd && is_const_int(a) && a->int_val == 0) return b;
+  if (op == BinOp::kSub && is_const_int(b) && b->int_val == 0) return a;
+  if (op == BinOp::kMul && is_const_int(b) && b->int_val == 1) return a;
+  if (op == BinOp::kMul && is_const_int(a) && a->int_val == 1) return b;
+
+  auto e = node(SymKind::kBin);
+  mut(e)->bin_op = op;
+  mut(e)->operands = {std::move(a), std::move(b)};
+  return e;
+}
+
+SymRef make_tuple(std::vector<SymRef> elems) {
+  bool all_const = true;
+  for (const auto& x : elems) all_const &= is_const_int(x);
+  if (all_const) {
+    std::vector<Int> t;
+    t.reserve(elems.size());
+    for (const auto& x : elems) t.push_back(x->int_val);
+    return make_tuple_const(std::move(t));
+  }
+  auto e = node(SymKind::kTupleExpr);
+  mut(e)->operands = std::move(elems);
+  return e;
+}
+
+SymRef make_list_get(SymRef list, SymRef idx) {
+  if (list->kind == SymKind::kConstList && is_const_int(idx)) {
+    const Int i = idx->int_val;
+    if (i >= 0 && static_cast<std::size_t>(i) < list->operands.size()) {
+      return list->operands[static_cast<std::size_t>(i)];
+    }
+  }
+  auto e = node(SymKind::kListGet);
+  mut(e)->operands = {std::move(list), std::move(idx)};
+  return e;
+}
+
+SymRef make_map_base(std::string name) {
+  auto e = node(SymKind::kMapBase);
+  mut(e)->str_val = std::move(name);
+  return e;
+}
+
+SymRef make_map_store(SymRef map, SymRef key, SymRef value) {
+  auto e = node(SymKind::kMapStore);
+  mut(e)->operands = {std::move(map), std::move(key), std::move(value)};
+  return e;
+}
+
+namespace {
+
+/// Definitely-different keys: both fully concrete and unequal.
+bool keys_definitely_differ(const SymRef& a, const SymRef& b) {
+  if (a->kind == SymKind::kConstTuple && b->kind == SymKind::kConstTuple) {
+    return a->tuple_val != b->tuple_val;
+  }
+  if (is_const_int(a) && is_const_int(b)) return a->int_val != b->int_val;
+  return false;
+}
+
+}  // namespace
+
+SymRef make_map_get(SymRef map, SymRef key) {
+  // Resolve through the store chain when possible.
+  SymRef m = map;
+  while (m->kind == SymKind::kMapStore) {
+    const SymRef& sk = m->operands[1];
+    if (sk->key() == key->key()) return m->operands[2];
+    if (keys_definitely_differ(sk, key)) {
+      m = m->operands[0];
+      continue;
+    }
+    break;  // undecidable: keep the residual over the full chain
+  }
+  auto e = node(SymKind::kMapGet);
+  mut(e)->operands = {std::move(map), std::move(key)};
+  return e;
+}
+
+SymRef make_contains(SymRef container, SymRef key) {
+  if (container->kind == SymKind::kConstList) {
+    // Concrete list: fold when the key is concrete too.
+    bool all_comparable = key->kind == SymKind::kConstTuple || is_const_int(key);
+    if (all_comparable) {
+      for (const auto& x : container->operands) {
+        if (x->key() == key->key()) return make_bool(true);
+        if (!keys_definitely_differ(x, key)) {
+          all_comparable = false;
+          break;
+        }
+      }
+      if (all_comparable) return make_bool(false);
+    }
+  }
+  SymRef m = container;
+  while (m->kind == SymKind::kMapStore) {
+    const SymRef& sk = m->operands[1];
+    if (sk->key() == key->key()) return make_bool(true);
+    if (keys_definitely_differ(sk, key)) {
+      m = m->operands[0];
+      continue;
+    }
+    break;
+  }
+  // Empty concrete base: a MapBase marked concrete-empty would fold to
+  // false; initial state maps stay symbolic (the whole point: membership
+  // is a state match).
+  auto e = node(SymKind::kContains);
+  mut(e)->operands = {std::move(m), std::move(key)};
+  return e;
+}
+
+SymRef make_call(std::string name, std::vector<SymRef> args) {
+  auto e = node(SymKind::kCall);
+  mut(e)->str_val = std::move(name);
+  mut(e)->operands = std::move(args);
+  return e;
+}
+
+SymRef make_packet(std::map<std::string, SymRef> fields) {
+  auto e = node(SymKind::kPacket);
+  mut(e)->fields = std::move(fields);
+  return e;
+}
+
+std::string to_string(const SymExpr& e) {
+  std::ostringstream os;
+  switch (e.kind) {
+    case SymKind::kConstInt: os << e.int_val; break;
+    case SymKind::kConstBool: os << (e.bool_val ? "true" : "false"); break;
+    case SymKind::kConstStr: os << '"' << e.str_val << '"'; break;
+    case SymKind::kConstTuple: {
+      os << '(';
+      for (std::size_t i = 0; i < e.tuple_val.size(); ++i) {
+        if (i) os << ", ";
+        os << e.tuple_val[i];
+      }
+      os << ')';
+      break;
+    }
+    case SymKind::kConstList: {
+      os << '[';
+      for (std::size_t i = 0; i < e.operands.size(); ++i) {
+        if (i) os << ", ";
+        os << to_string(*e.operands[i]);
+      }
+      os << ']';
+      break;
+    }
+    case SymKind::kVar: os << e.str_val; break;
+    case SymKind::kUn:
+      os << lang::to_string(e.un_op) << '(' << to_string(*e.operands[0]) << ')';
+      break;
+    case SymKind::kBin:
+      os << '(' << to_string(*e.operands[0]) << ' ' << lang::to_string(e.bin_op)
+         << ' ' << to_string(*e.operands[1]) << ')';
+      break;
+    case SymKind::kTupleExpr: {
+      os << '(';
+      for (std::size_t i = 0; i < e.operands.size(); ++i) {
+        if (i) os << ", ";
+        os << to_string(*e.operands[i]);
+      }
+      os << ')';
+      break;
+    }
+    case SymKind::kListGet:
+      os << to_string(*e.operands[0]) << '[' << to_string(*e.operands[1]) << ']';
+      break;
+    case SymKind::kMapBase: os << e.str_val; break;
+    case SymKind::kMapStore:
+      os << to_string(*e.operands[0]) << "{" << to_string(*e.operands[1])
+         << " -> " << to_string(*e.operands[2]) << "}";
+      break;
+    case SymKind::kMapGet:
+      os << to_string(*e.operands[0]) << '[' << to_string(*e.operands[1]) << ']';
+      break;
+    case SymKind::kContains:
+      os << to_string(*e.operands[1]) << " in " << to_string(*e.operands[0]);
+      break;
+    case SymKind::kCall: {
+      os << e.str_val << '(';
+      for (std::size_t i = 0; i < e.operands.size(); ++i) {
+        if (i) os << ", ";
+        os << to_string(*e.operands[i]);
+      }
+      os << ')';
+      break;
+    }
+    case SymKind::kPacket: {
+      os << "packet{";
+      bool first = true;
+      for (const auto& [f, v] : e.fields) {
+        if (!first) os << ", ";
+        first = false;
+        os << f << '=' << to_string(*v);
+      }
+      os << '}';
+      break;
+    }
+  }
+  return os.str();
+}
+
+SymRef substitute(const SymRef& e, const std::map<std::string, SymRef>& subst) {
+  switch (e->kind) {
+    case SymKind::kVar:
+    case SymKind::kMapBase: {
+      const auto it = subst.find(e->str_val);
+      return it == subst.end() ? e : it->second;
+    }
+    case SymKind::kConstInt:
+    case SymKind::kConstBool:
+    case SymKind::kConstStr:
+    case SymKind::kConstTuple:
+      return e;
+    default:
+      break;
+  }
+  std::vector<SymRef> ops;
+  ops.reserve(e->operands.size());
+  bool changed = false;
+  for (const auto& c : e->operands) {
+    ops.push_back(substitute(c, subst));
+    changed |= ops.back() != c;
+  }
+  std::map<std::string, SymRef> fields;
+  for (const auto& [f, v] : e->fields) {
+    fields[f] = substitute(v, subst);
+    changed |= fields[f] != v;
+  }
+  if (!changed) return e;
+
+  switch (e->kind) {
+    case SymKind::kConstList: return make_list_const(std::move(ops));
+    case SymKind::kUn: return make_un(e->un_op, std::move(ops[0]));
+    case SymKind::kBin:
+      return make_bin(e->bin_op, std::move(ops[0]), std::move(ops[1]));
+    case SymKind::kTupleExpr: return make_tuple(std::move(ops));
+    case SymKind::kListGet:
+      return make_list_get(std::move(ops[0]), std::move(ops[1]));
+    case SymKind::kMapStore:
+      return make_map_store(std::move(ops[0]), std::move(ops[1]),
+                            std::move(ops[2]));
+    case SymKind::kMapGet:
+      return make_map_get(std::move(ops[0]), std::move(ops[1]));
+    case SymKind::kContains:
+      return make_contains(std::move(ops[0]), std::move(ops[1]));
+    case SymKind::kCall: return make_call(e->str_val, std::move(ops));
+    case SymKind::kPacket: return make_packet(std::move(fields));
+    default:
+      return e;
+  }
+}
+
+void collect_vars(const SymRef& e, std::map<std::string, VarClass>& out) {
+  if (e->kind == SymKind::kVar) {
+    out.emplace(e->str_val, e->var_class);
+  }
+  for (const auto& c : e->operands) collect_vars(c, out);
+  for (const auto& [f, v] : e->fields) {
+    (void)f;
+    collect_vars(v, out);
+  }
+}
+
+}  // namespace nfactor::symex

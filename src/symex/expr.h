@@ -1,0 +1,114 @@
+// Symbolic expressions for the KLEE-style executor. Immutable DAG nodes
+// shared via shared_ptr; builders constant-fold eagerly so fully concrete
+// programs never touch the solver. Each node renders to a canonical key
+// used for structural equality, term abstraction in the solver, and the
+// path-set comparison in the accuracy experiment (§5).
+//
+// State maps are modeled as store chains (MapBase -> MapStore*), and map
+// membership as Contains atoms — which is exactly what turns
+// "cs_ftpl not in f2b_nat" into a *state match* in the extracted model.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lang/ast.h"
+
+namespace nfactor::symex {
+
+using Int = std::int64_t;
+
+enum class SymKind : std::uint8_t {
+  kConstInt,
+  kConstBool,
+  kConstStr,
+  kConstTuple,  // fully concrete tuple
+  kConstList,   // concrete list of const elements (config containers)
+  kVar,         // symbolic input: packet field / state scalar / config scalar
+  kUn,
+  kBin,
+  kTupleExpr,   // tuple with symbolic elements
+  kListGet,     // residual list index with symbolic index
+  kMapBase,     // initial contents of a state map
+  kMapStore,    // map after an element store
+  kMapGet,      // residual map lookup
+  kContains,    // membership atom
+  kCall,        // uninterpreted function (hash, payload_contains)
+  kPacket,      // compound packet value (environment-only, not in constraints)
+};
+
+/// Classification of symbolic variables — Algorithm 1 (lines 13-14)
+/// partitions path conditions by exactly this.
+enum class VarClass : std::uint8_t { kPkt, kState, kCfg, kLocal };
+
+struct SymExpr;
+using SymRef = std::shared_ptr<const SymExpr>;
+
+struct SymExpr {
+  SymKind kind;
+
+  // Payload (union-of-fields style; only the relevant members are set).
+  Int int_val = 0;
+  bool bool_val = false;
+  std::string str_val;                 // kConstStr; kVar/kMapBase/kCall name
+  std::vector<Int> tuple_val;          // kConstTuple
+  std::vector<SymRef> operands;        // children (kind-specific layout)
+  lang::BinOp bin_op = lang::BinOp::kAdd;
+  lang::UnOp un_op = lang::UnOp::kNeg;
+  VarClass var_class = VarClass::kLocal;
+  std::map<std::string, SymRef> fields;  // kPacket
+
+  /// Canonical rendering; equal keys <=> structurally equal expressions.
+  const std::string& key() const;
+
+ private:
+  mutable std::string key_;
+};
+
+// ---- Builders (with eager constant folding) -------------------------------
+
+SymRef make_int(Int v);
+SymRef make_bool(bool v);
+SymRef make_str(std::string s);
+SymRef make_tuple_const(std::vector<Int> t);
+SymRef make_list_const(std::vector<SymRef> elems);
+SymRef make_var(std::string name, VarClass cls);
+SymRef make_un(lang::UnOp op, SymRef a);
+SymRef make_bin(lang::BinOp op, SymRef a, SymRef b);
+SymRef make_tuple(std::vector<SymRef> elems);
+SymRef make_list_get(SymRef list, SymRef idx);
+SymRef make_map_base(std::string name);
+SymRef make_map_store(SymRef map, SymRef key, SymRef value);
+SymRef make_map_get(SymRef map, SymRef key);
+SymRef make_contains(SymRef container, SymRef key);
+SymRef make_call(std::string name, std::vector<SymRef> args);
+SymRef make_packet(std::map<std::string, SymRef> fields);
+
+/// Logical negation with folding (!(a==b) -> a!=b etc.).
+SymRef negate(const SymRef& e);
+
+inline bool is_const_int(const SymRef& e) {
+  return e->kind == SymKind::kConstInt;
+}
+inline bool is_const_bool(const SymRef& e) {
+  return e->kind == SymKind::kConstBool;
+}
+
+/// Human-readable rendering (infix, for model printing).
+std::string to_string(const SymExpr& e);
+inline std::string to_string(const SymRef& e) { return to_string(*e); }
+
+/// All kVar nodes in the DAG, grouped by class.
+void collect_vars(const SymRef& e,
+                  std::map<std::string, VarClass>& out);
+
+/// Substitute named symbols (kVar and kMapBase, matched by name) with
+/// replacement expressions, rebuilding through the folding builders.
+/// Used by chain composition: NF2's packet-field symbols become NF1's
+/// output expressions.
+SymRef substitute(const SymRef& e, const std::map<std::string, SymRef>& subst);
+
+}  // namespace nfactor::symex

@@ -1,0 +1,419 @@
+#include "symex/solver.h"
+
+#include <limits>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+
+namespace nfactor::symex {
+
+namespace {
+
+using lang::BinOp;
+
+constexpr Int kMin = std::numeric_limits<Int>::min();
+constexpr Int kMax = std::numeric_limits<Int>::max();
+
+struct TermState {
+  Int lo = kMin;
+  Int hi = kMax;
+  std::set<Int> forbidden;
+  int uf_parent = -1;  // index into term table
+};
+
+class Checker {
+ public:
+  bool run(const std::vector<SymRef>& cs) {
+    for (const auto& c : cs) {
+      if (!add(c, /*polarity=*/true)) return false;
+    }
+    return search();
+  }
+
+ private:
+  /// Case-split over collected disjunctions (DPLL-style, depth-bounded).
+  /// SAT if some branch assignment is consistent; disjunctions beyond the
+  /// split budget degrade to opaque atoms (sound: may over-report SAT).
+  bool search() {
+    if (!check_terms()) return false;
+    if (splits_.empty()) return true;
+
+    // Take one disjunction and try each side on a copy of the state.
+    auto [lhs, rhs, polarity] = splits_.back();
+    splits_.pop_back();
+    for (const SymRef& disjunct : {lhs, rhs}) {
+      Checker branch = *this;
+      branch.split_depth_ = split_depth_ + 1;
+      if (branch.add(disjunct, polarity) && branch.search()) return true;
+    }
+    return false;
+  }
+  // ---- term table / union-find ----
+  int term_id(const std::string& key) {
+    const auto it = ids_.find(key);
+    if (it != ids_.end()) return it->second;
+    const int id = static_cast<int>(terms_.size());
+    ids_.emplace(key, id);
+    terms_.push_back({});
+    terms_.back().uf_parent = id;
+    seed_width_bounds(key, id);
+    return id;
+  }
+
+  /// Intrinsic bounds a fresh term carries: packet header fields have
+  /// known widths (pkt.dport > 70000 is unsatisfiable), independent of
+  /// any explicit constraint.
+  void seed_width_bounds(const std::string& key, int id) {
+    // Canonical keys render variables as "v<name>"; packet fields as
+    // "vpkt.<field>" (or "vpktN.<field>" in multi-packet sequences).
+    if (key.size() < 2 || key[0] != 'v') return;
+    const auto dot = key.find('.');
+    if (dot == std::string::npos || key.compare(1, 3, "pkt") != 0) return;
+    const std::string field = key.substr(dot + 1);
+    TermState& ts = terms_[static_cast<std::size_t>(id)];
+    auto bound = [&ts](Int lo, Int hi) {
+      ts.lo = lo;
+      ts.hi = hi;
+    };
+    if (field == "sport" || field == "dport" || field == "eth_type" ||
+        field == "ip_id" || field == "tcp_win" || field == "len") {
+      bound(0, 65535);
+    } else if (field == "ip_proto" || field == "ip_ttl" ||
+               field == "ip_tos" || field == "tcp_flags") {
+      bound(0, 255);
+    } else if (field == "ip_src" || field == "ip_dst" ||
+               field == "tcp_seq" || field == "tcp_ack") {
+      bound(0, 0xFFFFFFFFLL);
+    } else if (field == "in_port") {
+      bound(0, 255);
+    } else if (field == "eth_src" || field == "eth_dst") {
+      bound(0, 0xFFFFFFFFFFFFLL);
+    }
+  }
+
+  int find(int x) {
+    while (terms_[static_cast<std::size_t>(x)].uf_parent != x) {
+      x = terms_[static_cast<std::size_t>(x)].uf_parent =
+          terms_[static_cast<std::size_t>(terms_[static_cast<std::size_t>(x)].uf_parent)]
+              .uf_parent;
+    }
+    return x;
+  }
+
+  bool unite(int a, int b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return true;
+    // Merge b into a.
+    TermState& ta = terms_[static_cast<std::size_t>(a)];
+    TermState& tb = terms_[static_cast<std::size_t>(b)];
+    ta.lo = std::max(ta.lo, tb.lo);
+    ta.hi = std::min(ta.hi, tb.hi);
+    ta.forbidden.insert(tb.forbidden.begin(), tb.forbidden.end());
+    tb.uf_parent = a;
+    // Re-point disequalities lazily (checked against find()).
+    return true;
+  }
+
+  bool narrow(int t, Int lo, Int hi) {
+    TermState& ts = terms_[static_cast<std::size_t>(find(t))];
+    ts.lo = std::max(ts.lo, lo);
+    ts.hi = std::min(ts.hi, hi);
+    return ts.lo <= ts.hi;
+  }
+
+  bool forbid(int t, Int v) {
+    terms_[static_cast<std::size_t>(find(t))].forbidden.insert(v);
+    return true;
+  }
+
+  // ---- atom ingestion ----
+
+  bool add(const SymRef& e, bool polarity) {
+    if (is_const_bool(e)) return e->bool_val == polarity;
+
+    if (e->kind == SymKind::kUn && e->un_op == lang::UnOp::kNot) {
+      return add(e->operands[0], !polarity);
+    }
+
+    if (e->kind == SymKind::kBin) {
+      switch (e->bin_op) {
+        case BinOp::kAnd:
+          if (polarity) {
+            return add(e->operands[0], true) && add(e->operands[1], true);
+          }
+          // !(a && b) == !a || !b : case-split.
+          if (split_depth_ + splits_.size() < kMaxSplits) {
+            splits_.push_back({e->operands[0], e->operands[1], false});
+            return true;
+          }
+          break;  // over budget: opaque
+        case BinOp::kOr:
+          if (!polarity) {
+            return add(e->operands[0], false) && add(e->operands[1], false);
+          }
+          if (split_depth_ + splits_.size() < kMaxSplits) {
+            splits_.push_back({e->operands[0], e->operands[1], true});
+            return true;
+          }
+          break;  // over budget: opaque
+        case BinOp::kEq: case BinOp::kNe: case BinOp::kLt:
+        case BinOp::kLe: case BinOp::kGt: case BinOp::kGe:
+          return add_cmp(e, polarity);
+        default:
+          break;
+      }
+    }
+
+    // Opaque boolean atom (Contains, uninterpreted call, residual Or...).
+    const std::string& k = e->key();
+    const auto it = bool_atoms_.find(k);
+    if (it != bool_atoms_.end() && it->second != polarity) return false;
+    bool_atoms_.emplace(k, polarity);
+    return true;
+  }
+
+  static BinOp apply_polarity(BinOp op, bool polarity) {
+    if (polarity) return op;
+    switch (op) {
+      case BinOp::kEq: return BinOp::kNe;
+      case BinOp::kNe: return BinOp::kEq;
+      case BinOp::kLt: return BinOp::kGe;
+      case BinOp::kGe: return BinOp::kLt;
+      case BinOp::kGt: return BinOp::kLe;
+      case BinOp::kLe: return BinOp::kGt;
+      default: return op;
+    }
+  }
+
+  /// (term, offset) view of an int expression: expr = term + offset, or
+  /// pure constant (term = nullopt).
+  struct Linear {
+    std::optional<std::string> term;  // canonical key of the term part
+    Int offset = 0;
+  };
+
+  Linear linearize(const SymRef& e) {
+    if (is_const_int(e)) return {std::nullopt, e->int_val};
+    if (e->kind == SymKind::kBin &&
+        (e->bin_op == BinOp::kAdd || e->bin_op == BinOp::kSub)) {
+      const Linear a = linearize(e->operands[0]);
+      const Linear b = linearize(e->operands[1]);
+      if (e->bin_op == BinOp::kAdd) {
+        if (!a.term) return {b.term, a.offset + b.offset};
+        if (!b.term) return {a.term, a.offset + b.offset};
+      } else {
+        if (!b.term) return {a.term, a.offset - b.offset};
+      }
+    }
+    // Modulo by a positive constant: the term's value is intrinsically
+    // within [0, c-1] (DSL modulo is Python-style non-negative).
+    if (e->kind == SymKind::kBin && e->bin_op == BinOp::kMod &&
+        is_const_int(e->operands[1]) && e->operands[1]->int_val > 0) {
+      const int t = term_id(e->key());
+      narrow(t, 0, e->operands[1]->int_val - 1);
+      return {e->key(), 0};
+    }
+    // Bitwise AND with a constant mask is bounded by the mask.
+    if (e->kind == SymKind::kBin && e->bin_op == BinOp::kBitAnd) {
+      for (int side = 0; side < 2; ++side) {
+        const SymRef& m = e->operands[static_cast<std::size_t>(side)];
+        if (is_const_int(m) && m->int_val >= 0) {
+          const int t = term_id(e->key());
+          narrow(t, 0, m->int_val);
+          break;
+        }
+      }
+    }
+    return {e->key(), 0};
+  }
+
+  bool add_cmp(const SymRef& e, bool polarity) {
+    const BinOp op = apply_polarity(e->bin_op, polarity);
+    const SymRef& lhs = e->operands[0];
+    const SymRef& rhs = e->operands[1];
+
+    // Tuple equality: decompose elementwise when arities match.
+    const bool lhs_tuple = lhs->kind == SymKind::kTupleExpr ||
+                           lhs->kind == SymKind::kConstTuple;
+    const bool rhs_tuple = rhs->kind == SymKind::kTupleExpr ||
+                           rhs->kind == SymKind::kConstTuple;
+    if (op == BinOp::kEq && lhs_tuple && rhs_tuple) {
+      const auto elems = [](const SymRef& t) {
+        std::vector<SymRef> out;
+        if (t->kind == SymKind::kConstTuple) {
+          for (const Int v : t->tuple_val) out.push_back(make_int(v));
+        } else {
+          out = t->operands;
+        }
+        return out;
+      };
+      const auto le = elems(lhs);
+      const auto re = elems(rhs);
+      if (le.size() != re.size()) return false;
+      for (std::size_t i = 0; i < le.size(); ++i) {
+        if (!add(make_bin(BinOp::kEq, le[i], re[i]), true)) return false;
+      }
+      return true;
+    }
+
+    const Linear a = linearize(lhs);
+    const Linear b = linearize(rhs);
+
+    if (!a.term && !b.term) {
+      // Fully constant; builders usually folded this already.
+      switch (op) {
+        case BinOp::kEq: return a.offset == b.offset;
+        case BinOp::kNe: return a.offset != b.offset;
+        case BinOp::kLt: return a.offset < b.offset;
+        case BinOp::kLe: return a.offset <= b.offset;
+        case BinOp::kGt: return a.offset > b.offset;
+        case BinOp::kGe: return a.offset >= b.offset;
+        default: return true;
+      }
+    }
+
+    if (a.term && b.term) {
+      const int ta = term_id(*a.term);
+      const int tb = term_id(*b.term);
+      if (*a.term == *b.term) {
+        // Same term: the relation is decided by the offsets alone.
+        switch (op) {
+          case BinOp::kEq: return a.offset == b.offset;
+          case BinOp::kNe: return a.offset != b.offset;
+          case BinOp::kLt: return a.offset < b.offset;
+          case BinOp::kLe: return a.offset <= b.offset;
+          case BinOp::kGt: return a.offset > b.offset;
+          case BinOp::kGe: return a.offset >= b.offset;
+          default: return true;
+        }
+      }
+      if (op == BinOp::kEq && a.offset == b.offset) {
+        return unite(ta, tb) && constrain_pair(*a.term, *b.term, kEqMask);
+      }
+      if (op == BinOp::kNe && a.offset == b.offset) {
+        diseq_.emplace_back(ta, tb);
+        return constrain_pair(*a.term, *b.term, kLtMask | kGtMask);
+      }
+      if (a.offset == b.offset) {
+        // Ordering between two distinct terms: track the allowed
+        // {<, =, >} relations per pair and detect contradictions like
+        // t1 >= t2 && t1 < t2.
+        std::uint8_t mask = kLtMask | kEqMask | kGtMask;
+        switch (op) {
+          case BinOp::kLt: mask = kLtMask; break;
+          case BinOp::kLe: mask = kLtMask | kEqMask; break;
+          case BinOp::kGt: mask = kGtMask; break;
+          case BinOp::kGe: mask = kGtMask | kEqMask; break;
+          default: break;
+        }
+        return constrain_pair(*a.term, *b.term, mask);
+      }
+      return true;  // differing offsets: undecided, assume satisfiable
+    }
+
+    // term + off OP const
+    const std::string& term = a.term ? *a.term : *b.term;
+    Int c = a.term ? b.offset - a.offset : a.offset - b.offset;
+    BinOp eff = op;
+    if (!a.term) {
+      // const OP term  ->  term OP' const
+      switch (op) {
+        case BinOp::kLt: eff = BinOp::kGt; break;
+        case BinOp::kLe: eff = BinOp::kGe; break;
+        case BinOp::kGt: eff = BinOp::kLt; break;
+        case BinOp::kGe: eff = BinOp::kLe; break;
+        default: break;
+      }
+    }
+    const int t = term_id(term);
+    switch (eff) {
+      case BinOp::kEq: return narrow(t, c, c);
+      case BinOp::kNe: return forbid(t, c);
+      case BinOp::kLt: return narrow(t, kMin, c == kMin ? kMin : c - 1);
+      case BinOp::kLe: return narrow(t, kMin, c);
+      case BinOp::kGt: return narrow(t, c == kMax ? kMax : c + 1, kMax);
+      case BinOp::kGe: return narrow(t, c, kMax);
+      default: return true;
+    }
+  }
+
+  bool check_terms() {
+    for (std::size_t i = 0; i < terms_.size(); ++i) {
+      const int r = find(static_cast<int>(i));
+      if (r != static_cast<int>(i)) continue;
+      const TermState& ts = terms_[static_cast<std::size_t>(r)];
+      if (ts.lo > ts.hi) return false;
+      if (ts.lo == ts.hi && ts.forbidden.count(ts.lo)) return false;
+      // Narrow finite small ranges against forbidden sets.
+      if (ts.hi != kMax && ts.lo != kMin && ts.hi - ts.lo < 64) {
+        bool any = false;
+        for (Int v = ts.lo; v <= ts.hi; ++v) {
+          if (!ts.forbidden.count(v)) {
+            any = true;
+            break;
+          }
+        }
+        if (!any) return false;
+      }
+    }
+    for (const auto& [a, b] : diseq_) {
+      if (find(a) == find(b)) return false;
+      const TermState& ta = terms_[static_cast<std::size_t>(find(a))];
+      const TermState& tb = terms_[static_cast<std::size_t>(find(b))];
+      if (ta.lo == ta.hi && tb.lo == tb.hi && ta.lo == tb.lo) return false;
+    }
+    return true;
+  }
+
+  // Allowed-relation masks for ordered term pairs.
+  static constexpr std::uint8_t kLtMask = 1;
+  static constexpr std::uint8_t kEqMask = 2;
+  static constexpr std::uint8_t kGtMask = 4;
+
+  /// Intersect the allowed {<, =, >} relations of the (a, b) pair with
+  /// `mask`; false when the pair's relation set becomes empty.
+  bool constrain_pair(const std::string& a, const std::string& b,
+                      std::uint8_t mask) {
+    std::string lo = a;
+    std::string hi = b;
+    if (lo > hi) {
+      std::swap(lo, hi);
+      // Flip the relation direction for the canonical order.
+      std::uint8_t flipped = mask & kEqMask;
+      if (mask & kLtMask) flipped |= kGtMask;
+      if (mask & kGtMask) flipped |= kLtMask;
+      mask = flipped;
+    }
+    auto [it, inserted] = pair_relations_.try_emplace(
+        std::make_pair(lo, hi), static_cast<std::uint8_t>(kLtMask | kEqMask | kGtMask));
+    (void)inserted;
+    it->second &= mask;
+    return it->second != 0;
+  }
+
+  struct Split {
+    SymRef lhs;
+    SymRef rhs;
+    bool polarity;
+  };
+  static constexpr std::size_t kMaxSplits = 12;
+
+  std::map<std::string, int> ids_;
+  std::vector<TermState> terms_;
+  std::vector<std::pair<int, int>> diseq_;
+  std::map<std::string, bool> bool_atoms_;
+  std::map<std::pair<std::string, std::string>, std::uint8_t> pair_relations_;
+  std::vector<Split> splits_;
+  std::size_t split_depth_ = 0;
+};
+
+}  // namespace
+
+SatResult Solver::check(const std::vector<SymRef>& constraints) {
+  ++queries_;
+  return Checker().run(constraints) ? SatResult::kSat : SatResult::kUnsat;
+}
+
+}  // namespace nfactor::symex

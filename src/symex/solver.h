@@ -1,0 +1,32 @@
+// Feasibility checker for path constraints. Decides the fragment NF
+// branch conditions live in: (in)equalities between terms and constants
+// with interval reasoning, term equalities via union-find, elementwise
+// tuple equality decomposition, and opaque boolean atoms (map membership,
+// uninterpreted predicates) with polarity-conflict detection.
+//
+// The solver is *sound for pruning*: kUnsat is only returned on a real
+// conflict; anything it cannot decide is kSat (explore the path). This is
+// the same posture KLEE takes with incomplete theory combinations.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "symex/expr.h"
+
+namespace nfactor::symex {
+
+enum class SatResult : std::uint8_t { kSat, kUnsat };
+
+class Solver {
+ public:
+  /// Check the conjunction of `constraints`.
+  SatResult check(const std::vector<SymRef>& constraints);
+
+  std::uint64_t query_count() const { return queries_; }
+
+ private:
+  std::uint64_t queries_ = 0;
+};
+
+}  // namespace nfactor::symex

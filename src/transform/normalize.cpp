@@ -1,0 +1,316 @@
+#include "transform/normalize.h"
+
+#include <functional>
+
+#include "lang/builtins.h"
+#include "transform/rewrite.h"
+#include "transform/unfold_sockets.h"
+
+namespace nfactor::transform {
+
+using namespace lang;
+
+namespace {
+
+/// Find a top-level `name(...)` expression statement in a block.
+const Call* find_call_stmt(const Block& b, const std::string& name,
+                           std::size_t* index = nullptr) {
+  for (std::size_t i = 0; i < b.stmts.size(); ++i) {
+    const Stmt& s = *b.stmts[i];
+    if (s.kind != StmtKind::kExprStmt) continue;
+    const Expr& e = *static_cast<const ExprStmt&>(s).expr;
+    if (e.kind != ExprKind::kCall) continue;
+    const auto& c = static_cast<const Call&>(e);
+    if (c.callee == name) {
+      if (index) *index = i;
+      return &c;
+    }
+  }
+  return nullptr;
+}
+
+bool uses_builtin(const Program& prog, const std::string& name) {
+  bool found = false;
+  std::function<void(const Expr&)> scan_e = [&](const Expr& e) {
+    if (e.kind == ExprKind::kCall) {
+      const auto& c = static_cast<const Call&>(e);
+      if (c.callee == name) found = true;
+      for (const auto& a : c.args) scan_e(*a);
+    } else if (e.kind == ExprKind::kUnary) {
+      scan_e(*static_cast<const Unary&>(e).operand);
+    } else if (e.kind == ExprKind::kBinary) {
+      scan_e(*static_cast<const Binary&>(e).lhs);
+      scan_e(*static_cast<const Binary&>(e).rhs);
+    } else if (e.kind == ExprKind::kIndex) {
+      scan_e(*static_cast<const Index&>(e).base);
+      scan_e(*static_cast<const Index&>(e).index);
+    } else if (e.kind == ExprKind::kField) {
+      scan_e(*static_cast<const FieldRef&>(e).base);
+    } else if (e.kind == ExprKind::kTupleLit) {
+      for (const auto& x : static_cast<const TupleLit&>(e).elems) scan_e(*x);
+    } else if (e.kind == ExprKind::kListLit) {
+      for (const auto& x : static_cast<const ListLit&>(e).elems) scan_e(*x);
+    }
+  };
+  std::function<void(const Stmt&)> scan_s = [&](const Stmt& s) {
+    switch (s.kind) {
+      case StmtKind::kBlock:
+        for (const auto& st : static_cast<const Block&>(s).stmts) scan_s(*st);
+        break;
+      case StmtKind::kAssign: {
+        const auto& a = static_cast<const Assign&>(s);
+        if (a.index) scan_e(*a.index);
+        scan_e(*a.value);
+        break;
+      }
+      case StmtKind::kIf: {
+        const auto& i = static_cast<const If&>(s);
+        scan_e(*i.cond);
+        scan_s(*i.then_body);
+        if (i.else_body) scan_s(*i.else_body);
+        break;
+      }
+      case StmtKind::kWhile: {
+        const auto& w = static_cast<const While&>(s);
+        scan_e(*w.cond);
+        scan_s(*w.body);
+        break;
+      }
+      case StmtKind::kFor: {
+        const auto& f = static_cast<const For&>(s);
+        scan_e(*f.begin);
+        scan_e(*f.end);
+        scan_s(*f.body);
+        break;
+      }
+      case StmtKind::kReturn: {
+        const auto& r = static_cast<const Return&>(s);
+        if (r.value) scan_e(*r.value);
+        break;
+      }
+      case StmtKind::kExprStmt:
+        scan_e(*static_cast<const ExprStmt&>(s).expr);
+        break;
+      default:
+        break;
+    }
+  };
+  for (const auto& f : prog.funcs) scan_s(*f.body);
+  return found;
+}
+
+const While* find_while_true(const Block& b) {
+  for (const auto& s : b.stmts) {
+    if (s->kind != StmtKind::kWhile) continue;
+    const auto& w = static_cast<const While&>(*s);
+    if (w.cond->kind == ExprKind::kBoolLit &&
+        static_cast<const BoolLit&>(*w.cond).value) {
+      return &w;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+std::string to_string(Structure s) {
+  switch (s) {
+    case Structure::kCanonicalLoop: return "canonical-loop";
+    case Structure::kCallback: return "callback";
+    case Structure::kConsumerProducer: return "consumer-producer";
+    case Structure::kNestedLoop: return "nested-loop";
+  }
+  return "?";
+}
+
+Structure detect_structure(const Program& prog) {
+  const FuncDef* main_fn = prog.find_func("main");
+  if (main_fn == nullptr) {
+    throw TransformError({0, 0}, "program has no main()");
+  }
+  if (uses_builtin(prog, "sock_listen") || uses_builtin(prog, "fork")) {
+    return Structure::kNestedLoop;
+  }
+  if (find_call_stmt(*main_fn->body, "sniff")) return Structure::kCallback;
+  if (find_call_stmt(*main_fn->body, "spawn")) {
+    return Structure::kConsumerProducer;
+  }
+  return Structure::kCanonicalLoop;
+}
+
+Program normalize_callback(const Program& prog) {
+  Program out = prog.clone();
+  FuncDef* main_fn = out.find_func("main");
+  std::size_t idx = 0;
+  const Call* sniff = find_call_stmt(*main_fn->body, "sniff", &idx);
+  if (sniff == nullptr) {
+    throw TransformError(main_fn->loc, "callback transform: no sniff() in main");
+  }
+  if (sniff->args.size() != 2 || sniff->args[1]->kind != ExprKind::kVarRef) {
+    throw TransformError(sniff->loc,
+                         "sniff(port, callback) expects a function name");
+  }
+  const std::string cb = static_cast<const VarRef&>(*sniff->args[1]).name;
+  if (out.find_func(cb) == nullptr) {
+    throw TransformError(sniff->loc, "unknown callback '" + cb + "'");
+  }
+  const SourceLoc loc = sniff->loc;
+
+  // while (true) { __pkt = recv(port); cb(__pkt); }
+  auto loop = std::make_unique<While>(loc);
+  loop->cond = std::make_unique<BoolLit>(true, loc);
+  auto body = std::make_unique<Block>(loc);
+
+  auto recv_assign = std::make_unique<Assign>(loc);
+  recv_assign->target = Assign::Target::kVar;
+  recv_assign->var = "__pkt";
+  std::vector<ExprPtr> recv_args;
+  recv_args.push_back(sniff->args[0]->clone());
+  recv_assign->value = std::make_unique<Call>("recv", std::move(recv_args), loc);
+  body->stmts.push_back(std::move(recv_assign));
+
+  auto call_cb = std::make_unique<ExprStmt>(loc);
+  std::vector<ExprPtr> cb_args;
+  cb_args.push_back(std::make_unique<VarRef>("__pkt", loc));
+  call_cb->expr = std::make_unique<Call>(cb, std::move(cb_args), loc);
+  body->stmts.push_back(std::move(call_cb));
+
+  loop->body = std::move(body);
+  main_fn->body->stmts[idx] = std::move(loop);
+  return out;
+}
+
+Program normalize_consumer_producer(const Program& prog) {
+  Program out = prog.clone();
+  FuncDef* main_fn = out.find_func("main");
+
+  // Collect the spawned functions.
+  std::vector<std::string> spawned;
+  std::vector<std::size_t> spawn_idx;
+  for (std::size_t i = 0; i < main_fn->body->stmts.size(); ++i) {
+    const Stmt& s = *main_fn->body->stmts[i];
+    if (s.kind != StmtKind::kExprStmt) continue;
+    const Expr& e = *static_cast<const ExprStmt&>(s).expr;
+    if (e.kind != ExprKind::kCall) continue;
+    const auto& c = static_cast<const Call&>(e);
+    if (c.callee != "spawn") continue;
+    if (c.args.size() != 1 || c.args[0]->kind != ExprKind::kVarRef) {
+      throw TransformError(c.loc, "spawn(fn) expects a function name");
+    }
+    spawned.push_back(static_cast<const VarRef&>(*c.args[0]).name);
+    spawn_idx.push_back(i);
+  }
+  if (spawned.size() != 2) {
+    throw TransformError(main_fn->loc,
+                         "consumer-producer transform expects exactly two "
+                         "spawned loops");
+  }
+
+  // Identify producer (contains recv) and consumer (contains pop).
+  const FuncDef* producer = nullptr;
+  const FuncDef* consumer = nullptr;
+  for (const auto& name : spawned) {
+    const FuncDef* f = out.find_func(name);
+    if (f == nullptr) throw TransformError(main_fn->loc, "unknown spawned fn");
+    Program probe;  // scan just this function
+    probe.funcs.push_back(f->clone());
+    if (uses_builtin(probe, "recv")) {
+      producer = f;
+    } else if (uses_builtin(probe, "pop")) {
+      consumer = f;
+    }
+  }
+  if (producer == nullptr || consumer == nullptr) {
+    throw TransformError(main_fn->loc,
+                         "could not identify producer (recv) and consumer "
+                         "(pop) loops");
+  }
+
+  // From the producer: the recv port expression.
+  const While* ploop = find_while_true(*producer->body);
+  if (ploop == nullptr) {
+    throw TransformError(producer->loc, "producer has no while(true) loop");
+  }
+  ExprPtr port;
+  for (const auto& s : static_cast<const Block&>(*ploop->body).stmts) {
+    if (s->kind != StmtKind::kAssign) continue;
+    const auto& a = static_cast<const Assign&>(*s);
+    if (a.target == Assign::Target::kVar &&
+        a.value->kind == ExprKind::kCall &&
+        static_cast<const Call&>(*a.value).callee == "recv") {
+      const auto& rc = static_cast<const Call&>(*a.value);
+      port = rc.args.empty() ? ExprPtr(std::make_unique<IntLit>(0, a.loc))
+                             : rc.args[0]->clone();
+    }
+  }
+  if (!port) throw TransformError(producer->loc, "producer loop has no recv");
+
+  // From the consumer: the loop body, with `x = pop(q)` replaced by
+  // `x = recv(port)`.
+  const While* cloop = find_while_true(*consumer->body);
+  if (cloop == nullptr) {
+    throw TransformError(consumer->loc, "consumer has no while(true) loop");
+  }
+  auto new_body = std::make_unique<Block>(cloop->loc);
+  bool replaced = false;
+  for (const auto& s : static_cast<const Block&>(*cloop->body).stmts) {
+    if (!replaced && s->kind == StmtKind::kAssign) {
+      const auto& a = static_cast<const Assign&>(*s);
+      if (a.target == Assign::Target::kVar &&
+          a.value->kind == ExprKind::kCall &&
+          static_cast<const Call&>(*a.value).callee == "pop") {
+        auto recv_assign = std::make_unique<Assign>(a.loc);
+        recv_assign->target = Assign::Target::kVar;
+        recv_assign->var = a.var;
+        std::vector<ExprPtr> args;
+        args.push_back(port->clone());
+        recv_assign->value =
+            std::make_unique<Call>("recv", std::move(args), a.loc);
+        new_body->stmts.push_back(std::move(recv_assign));
+        replaced = true;
+        continue;
+      }
+    }
+    new_body->stmts.push_back(s->clone());
+  }
+  if (!replaced) {
+    throw TransformError(consumer->loc, "consumer loop has no pop()");
+  }
+
+  auto loop = std::make_unique<While>(cloop->loc);
+  loop->cond = std::make_unique<BoolLit>(true, cloop->loc);
+  loop->body = std::move(new_body);
+
+  // Rebuild main: statements except the spawns, plus the merged loop.
+  auto new_main_body = std::make_unique<Block>(main_fn->body->loc);
+  for (std::size_t i = 0; i < main_fn->body->stmts.size(); ++i) {
+    if (i == spawn_idx[0] || i == spawn_idx[1]) continue;
+    new_main_body->stmts.push_back(main_fn->body->stmts[i]->clone());
+  }
+  new_main_body->stmts.push_back(std::move(loop));
+  main_fn->body = std::move(new_main_body);
+
+  // Drop the producer/consumer definitions (now folded into main).
+  const std::string pname = producer->name;
+  const std::string cname = consumer->name;
+  std::erase_if(out.funcs, [&](const FuncDef& f) {
+    return f.name == pname || f.name == cname;
+  });
+  return out;
+}
+
+Program normalize(const Program& prog) {
+  switch (detect_structure(prog)) {
+    case Structure::kCanonicalLoop:
+      return prog.clone();
+    case Structure::kCallback:
+      return normalize_callback(prog);
+    case Structure::kConsumerProducer:
+      return normalize_consumer_producer(prog);
+    case Structure::kNestedLoop:
+      return unfold_sockets(prog);
+  }
+  return prog.clone();
+}
+
+}  // namespace nfactor::transform

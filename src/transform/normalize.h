@@ -1,0 +1,46 @@
+// §3.2 "Code Structure" normalizations: rewrite the four typical NF code
+// structures (Fig. 4) into the canonical single packet-processing loop
+// (Fig. 4a) that the lowerer and the analyses require.
+//
+//   Fig. 4b  callback           sniff(port, cb)            -> loop calling cb
+//   Fig. 4c  consumer-producer  spawn(ReadLp); spawn(ProcLp) -> merged loop
+//   Fig. 4d  nested loop        socket calls + fork()      -> unfold_sockets
+//
+// `normalize` detects which structure a program uses and applies the
+// appropriate rewrite; canonical programs pass through unchanged.
+#pragma once
+
+#include "lang/ast.h"
+#include "lang/diagnostics.h"
+
+namespace nfactor::transform {
+
+class TransformError : public lang::FrontendError {
+  using FrontendError::FrontendError;
+};
+
+enum class Structure : std::uint8_t {
+  kCanonicalLoop,     // Fig. 4a — already in canonical form
+  kCallback,          // Fig. 4b
+  kConsumerProducer,  // Fig. 4c
+  kNestedLoop,        // Fig. 4d (socket-level)
+};
+
+std::string to_string(Structure s);
+
+/// Identify the code structure of `prog` (by inspecting main()).
+Structure detect_structure(const lang::Program& prog);
+
+/// Fig. 4b: replace `sniff(port, cb)` in main with
+/// `while (true) { pkt = recv(port); cb(pkt); }`.
+lang::Program normalize_callback(const lang::Program& prog);
+
+/// Fig. 4c: merge the producer loop (recv + queue push) and consumer loop
+/// (queue pop + process) spawned from main into one canonical loop.
+lang::Program normalize_consumer_producer(const lang::Program& prog);
+
+/// Detect + dispatch. Nested-loop programs route through unfold_sockets
+/// (see unfold_sockets.h for its recognizer's assumptions).
+lang::Program normalize(const lang::Program& prog);
+
+}  // namespace nfactor::transform

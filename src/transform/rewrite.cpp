@@ -1,0 +1,124 @@
+#include "transform/rewrite.h"
+
+namespace nfactor::transform {
+
+using namespace lang;
+
+ExprPtr rename_vars(const Expr& e,
+                    const std::map<std::string, std::string>& renames) {
+  switch (e.kind) {
+    case ExprKind::kVarRef: {
+      const auto& v = static_cast<const VarRef&>(e);
+      const auto it = renames.find(v.name);
+      return std::make_unique<VarRef>(it == renames.end() ? v.name : it->second,
+                                      v.loc);
+    }
+    case ExprKind::kUnary: {
+      const auto& u = static_cast<const Unary&>(e);
+      return std::make_unique<Unary>(u.op, rename_vars(*u.operand, renames),
+                                     u.loc);
+    }
+    case ExprKind::kBinary: {
+      const auto& b = static_cast<const Binary&>(e);
+      return std::make_unique<Binary>(b.op, rename_vars(*b.lhs, renames),
+                                      rename_vars(*b.rhs, renames), b.loc);
+    }
+    case ExprKind::kCall: {
+      const auto& c = static_cast<const Call&>(e);
+      std::vector<ExprPtr> args;
+      args.reserve(c.args.size());
+      for (const auto& a : c.args) args.push_back(rename_vars(*a, renames));
+      return std::make_unique<Call>(c.callee, std::move(args), c.loc);
+    }
+    case ExprKind::kTupleLit: {
+      const auto& t = static_cast<const TupleLit&>(e);
+      std::vector<ExprPtr> elems;
+      for (const auto& x : t.elems) elems.push_back(rename_vars(*x, renames));
+      return std::make_unique<TupleLit>(std::move(elems), t.loc);
+    }
+    case ExprKind::kListLit: {
+      const auto& l = static_cast<const ListLit&>(e);
+      std::vector<ExprPtr> elems;
+      for (const auto& x : l.elems) elems.push_back(rename_vars(*x, renames));
+      return std::make_unique<ListLit>(std::move(elems), l.loc);
+    }
+    case ExprKind::kIndex: {
+      const auto& i = static_cast<const Index&>(e);
+      return std::make_unique<Index>(rename_vars(*i.base, renames),
+                                     rename_vars(*i.index, renames), i.loc);
+    }
+    case ExprKind::kField: {
+      const auto& f = static_cast<const FieldRef&>(e);
+      return std::make_unique<FieldRef>(rename_vars(*f.base, renames), f.field,
+                                        f.loc);
+    }
+    default:
+      return e.clone();
+  }
+}
+
+StmtPtr rename_vars(const Stmt& s,
+                    const std::map<std::string, std::string>& renames) {
+  auto rename_name = [&](const std::string& n) {
+    const auto it = renames.find(n);
+    return it == renames.end() ? n : it->second;
+  };
+  switch (s.kind) {
+    case StmtKind::kBlock: {
+      const auto& b = static_cast<const Block&>(s);
+      auto out = std::make_unique<Block>(b.loc);
+      for (const auto& st : b.stmts) out->stmts.push_back(rename_vars(*st, renames));
+      return out;
+    }
+    case StmtKind::kAssign: {
+      const auto& a = static_cast<const Assign&>(s);
+      auto out = std::make_unique<Assign>(a.loc);
+      out->target = a.target;
+      out->var = rename_name(a.var);
+      out->field = a.field;
+      out->index = a.index ? rename_vars(*a.index, renames) : nullptr;
+      out->value = rename_vars(*a.value, renames);
+      return out;
+    }
+    case StmtKind::kIf: {
+      const auto& i = static_cast<const If&>(s);
+      auto out = std::make_unique<If>(i.loc);
+      out->cond = rename_vars(*i.cond, renames);
+      out->then_body = rename_vars(*i.then_body, renames);
+      out->else_body = i.else_body ? rename_vars(*i.else_body, renames) : nullptr;
+      return out;
+    }
+    case StmtKind::kWhile: {
+      const auto& w = static_cast<const While&>(s);
+      auto out = std::make_unique<While>(w.loc);
+      out->cond = rename_vars(*w.cond, renames);
+      out->body = rename_vars(*w.body, renames);
+      return out;
+    }
+    case StmtKind::kFor: {
+      const auto& f = static_cast<const For&>(s);
+      auto out = std::make_unique<For>(f.loc);
+      out->var = rename_name(f.var);
+      out->begin = rename_vars(*f.begin, renames);
+      out->end = rename_vars(*f.end, renames);
+      out->body = rename_vars(*f.body, renames);
+      return out;
+    }
+    case StmtKind::kReturn: {
+      const auto& r = static_cast<const Return&>(s);
+      auto out = std::make_unique<Return>(r.loc);
+      out->value = r.value ? rename_vars(*r.value, renames) : nullptr;
+      return out;
+    }
+    case StmtKind::kExprStmt: {
+      const auto& e = static_cast<const ExprStmt&>(s);
+      auto out = std::make_unique<ExprStmt>(e.loc);
+      out->expr = rename_vars(*e.expr, renames);
+      return out;
+    }
+    default:
+      return s.clone();
+  }
+}
+
+}  // namespace nfactor::transform

@@ -1,0 +1,21 @@
+// Small AST rewriting utilities shared by the §3.2 structure
+// normalizations.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "lang/ast.h"
+
+namespace nfactor::transform {
+
+/// Deep-clone an expression with variable renaming applied.
+lang::ExprPtr rename_vars(const lang::Expr& e,
+                          const std::map<std::string, std::string>& renames);
+
+/// Deep-clone a statement with variable renaming applied (assignment
+/// targets included).
+lang::StmtPtr rename_vars(const lang::Stmt& s,
+                          const std::map<std::string, std::string>& renames);
+
+}  // namespace nfactor::transform

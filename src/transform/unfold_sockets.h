@@ -1,0 +1,42 @@
+// §3.2 "Hidden States": NFs written against the socket API (Fig. 3 —
+// balance) keep per-connection state inside the OS. This transform
+// unfolds listen()/accept()/connect()/recv()/send() into packet-level
+// operations plus an explicit TCP state machine, and collapses the
+// nested accept/fork/relay loops (Fig. 4d) into the canonical single
+// packet loop (Fig. 5).
+//
+// Recognized shape (the stylization the paper also assumes):
+//
+//   def main() {
+//     lfd = sock_listen(PORT);
+//     while (true) {
+//       cfd = sock_accept(lfd);
+//       <backend-selection statements defining `server`>   // may use cfd
+//       child = fork();
+//       if (child == 0) {
+//         sfd = sock_connect(server[0], server[1]);
+//         while (true) { <relay via sock_recv/sock_send> }
+//       }
+//     }
+//   }
+//
+// The generated program tracks the client connection through
+// SYN -> SYN-ACK -> ACK (established) and relays data only on
+// established connections, NATing between the client leg and the chosen
+// backend leg — the packet-level behaviour of the proxying balancer.
+#pragma once
+
+#include "lang/ast.h"
+
+namespace nfactor::transform {
+
+struct UnfoldOptions {
+  /// Address the unfolded NF answers on (socket code binds the host's
+  /// address, which the program text does not name).
+  std::uint32_t lb_ip = 0x03030303;  // 3.3.3.3
+};
+
+lang::Program unfold_sockets(const lang::Program& prog,
+                             const UnfoldOptions& opts = {});
+
+}  // namespace nfactor::transform

@@ -1,0 +1,78 @@
+#include "verify/chain.h"
+
+#include <algorithm>
+#include <map>
+
+namespace nfactor::verify {
+
+IoSpace io_space(const model::Model& m) {
+  IoSpace io;
+  for (const auto& f : m.pkt_fields_read) {
+    io.fields_matched.insert(f);  // already "pkt.x" form
+  }
+  for (const auto& e : m.entries) {
+    for (const auto& a : e.flow_action) {
+      for (const auto& [field, expr] : a.rewrites) {
+        (void)expr;
+        io.fields_rewritten.insert("pkt." + field);
+      }
+    }
+  }
+  return io;
+}
+
+OrderAdvice advise_order(
+    const std::vector<std::pair<std::string, const model::Model*>>& nfs) {
+  OrderAdvice advice;
+  const std::size_t n = nfs.size();
+  std::vector<IoSpace> spaces;
+  spaces.reserve(n);
+  for (const auto& [name, m] : nfs) {
+    (void)name;
+    spaces.push_back(io_space(*m));
+  }
+
+  // matcher-before-rewriter edges.
+  std::vector<std::vector<std::size_t>> succ(n);
+  std::vector<int> indeg(static_cast<int>(n), 0);
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = 0; b < n; ++b) {
+      if (a == b) continue;
+      for (const auto& field : spaces[a].fields_matched) {
+        if (spaces[b].fields_rewritten.count(field)) {
+          // Skip if a also rewrites the field itself (it re-translates
+          // anyway) — both orders change semantics; prefer the matcher
+          // first, but don't double-add edges.
+          succ[a].push_back(b);
+          ++indeg[b];
+          advice.constraints.push_back({nfs[a].first, nfs[b].first, field});
+          break;  // one edge per pair is enough
+        }
+      }
+    }
+  }
+
+  // Kahn's algorithm, stable w.r.t. input order.
+  std::vector<char> placed(n, 0);
+  for (std::size_t placed_count = 0; placed_count < n;) {
+    bool progressed = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (placed[i] || indeg[i] != 0) continue;
+      placed[i] = 1;
+      ++placed_count;
+      progressed = true;
+      advice.order.push_back(nfs[i].first);
+      for (const std::size_t s : succ[i]) --indeg[s];
+    }
+    if (!progressed) {
+      advice.has_cycle = true;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!placed[i]) advice.order.push_back(nfs[i].first);
+      }
+      break;
+    }
+  }
+  return advice;
+}
+
+}  // namespace nfactor::verify

@@ -1,0 +1,43 @@
+// PGA-style service-chain composition (paper §4 "Service Policy
+// Composition"): use each NF model's input/output spaces — which packet
+// fields it matches on and which it rewrites — to decide a correct
+// ordering when composing chains like {FW, IDS} + {LB}.
+//
+// Rule of thumb the paper motivates: an NF that *matches* on a header
+// field must come before an NF that *rewrites* that field, otherwise its
+// policy is evaluated on translated addresses and silently misfires.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "model/model.h"
+
+namespace nfactor::verify {
+
+struct IoSpace {
+  std::set<std::string> fields_matched;   // pkt.* the model matches on
+  std::set<std::string> fields_rewritten; // pkt.* some entry rewrites
+};
+
+IoSpace io_space(const model::Model& m);
+
+struct OrderConstraint {
+  std::string before;
+  std::string after;
+  std::string field;  // the conflicting field
+};
+
+struct OrderAdvice {
+  std::vector<std::string> order;             // a valid ordering
+  std::vector<OrderConstraint> constraints;   // why
+  bool has_cycle = false;                     // no conflict-free order
+};
+
+/// Compute ordering constraints (matcher-before-rewriter) and a
+/// topological order. Ties keep the input order.
+OrderAdvice advise_order(
+    const std::vector<std::pair<std::string, const model::Model*>>& nfs);
+
+}  // namespace nfactor::verify

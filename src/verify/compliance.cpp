@@ -1,0 +1,423 @@
+#include "verify/compliance.h"
+
+#include <optional>
+#include <sstream>
+
+#include "model/interp.h"
+#include "runtime/interp.h"
+#include "symex/concrete_eval.h"
+
+namespace nfactor::verify {
+
+namespace {
+
+using symex::SymKind;
+using symex::SymRef;
+
+std::string to_statusless_note(const std::string& why) { return why; }
+
+/// Environment for evaluating the non-packet side of match constraints
+/// against the deployed configuration/initial state.
+symex::ConcreteEnv store_env(const std::map<std::string, runtime::Value>& store) {
+  symex::ConcreteEnv env;
+  env.var = [&store](const std::string& name) -> runtime::Value {
+    const auto it = store.find(name);
+    if (it == store.end()) throw std::out_of_range("unknown symbol " + name);
+    return it->second;
+  };
+  env.map_base = [&store](const std::string& name) -> const runtime::MapV* {
+    const auto it = store.find(name);
+    if (it == store.end() || !it->second.is_map()) return nullptr;
+    return &it->second.as_map();
+  };
+  return env;
+}
+
+std::optional<std::string> pkt_field_of(const SymRef& e) {
+  if (e->kind == SymKind::kVar && e->var_class == symex::VarClass::kPkt &&
+      e->str_val.starts_with("pkt.")) {
+    return e->str_val.substr(4);
+  }
+  return std::nullopt;
+}
+
+/// Try to evaluate an expression that should not depend on the packet.
+std::optional<runtime::Int> try_const(const SymRef& e,
+                                      const symex::ConcreteEnv& env) {
+  try {
+    const runtime::Value v = symex::eval_concrete(e, env);
+    if (v.is_int()) return v.as_int();
+    if (v.is_bool()) return v.as_bool() ? 1 : 0;
+  } catch (const std::exception&) {
+  }
+  return std::nullopt;
+}
+
+class ProbeBuilder {
+ public:
+  explicit ProbeBuilder(const symex::ConcreteEnv& env) : env_(env) {
+    // Neutral default probe.
+    probe_.ip_src = 0x0A000009;  // 10.0.0.9
+    probe_.ip_dst = 0x03030303;
+    probe_.sport = 1234;
+    probe_.dport = 80;
+    probe_.tcp_flags = netsim::kAck;
+  }
+
+  netsim::Packet packet() const { return probe_; }
+
+  /// Apply one flow-match constraint; false = unsupported shape.
+  bool apply(const SymRef& c, bool polarity = true) {
+    if (c->kind == SymKind::kUn && c->un_op == lang::UnOp::kNot) {
+      return apply(c->operands[0], !polarity);
+    }
+    if (c->kind == SymKind::kCall && c->str_val == "payload_contains") {
+      const SymRef& needle = c->operands[1];
+      if (needle->kind != SymKind::kConstStr) return false;
+      if (polarity) {
+        probe_.payload.assign(needle->str_val.begin(), needle->str_val.end());
+      } else {
+        probe_.payload.clear();
+      }
+      return true;
+    }
+    if (c->kind != SymKind::kBin) return false;
+    using lang::BinOp;
+    const BinOp op = c->bin_op;
+    const SymRef& a = c->operands[0];
+    const SymRef& b = c->operands[1];
+
+    if (op == BinOp::kAnd && polarity) {
+      return apply(a, true) && apply(b, true);
+    }
+    if (op == BinOp::kOr && polarity) {
+      return apply(a, true);  // satisfy the first disjunct
+    }
+    if (op == BinOp::kOr && !polarity) {
+      return apply(a, false) && apply(b, false);
+    }
+
+    // Flag-mask tests: (pkt.tcp_flags & m) ==/!= 0.
+    if ((op == BinOp::kEq || op == BinOp::kNe) &&
+        a->kind == SymKind::kBin && a->bin_op == BinOp::kBitAnd) {
+      const auto field = pkt_field_of(a->operands[0]);
+      const auto mask = try_const(a->operands[1], env_);
+      const auto rhs = try_const(b, env_);
+      if (field && *field == "tcp_flags" && mask && rhs && *rhs == 0) {
+        const bool want_set = (op == BinOp::kNe) == polarity;
+        if (want_set) {
+          probe_.tcp_flags |= static_cast<std::uint8_t>(*mask);
+        } else {
+          probe_.tcp_flags &= static_cast<std::uint8_t>(~*mask);
+        }
+        return true;
+      }
+      return false;
+    }
+
+    // field OP const-side
+    auto field = pkt_field_of(a);
+    SymRef other = b;
+    bool flipped = false;
+    if (!field) {
+      field = pkt_field_of(b);
+      other = a;
+      flipped = true;
+    }
+    if (!field) {
+      // Constraint not over the packet (pure config/state residue):
+      // verify it holds under the deployed config.
+      const auto v = try_const(c, env_);
+      return v.has_value() && ((*v != 0) == polarity);
+    }
+    const auto val = try_const(other, env_);
+    if (!val) return false;
+
+    BinOp eff = op;
+    if (!polarity) {
+      switch (op) {
+        case BinOp::kEq: eff = BinOp::kNe; break;
+        case BinOp::kNe: eff = BinOp::kEq; break;
+        case BinOp::kLt: eff = BinOp::kGe; break;
+        case BinOp::kGe: eff = BinOp::kLt; break;
+        case BinOp::kGt: eff = BinOp::kLe; break;
+        case BinOp::kLe: eff = BinOp::kGt; break;
+        default: return false;
+      }
+    }
+    if (flipped) {
+      switch (eff) {
+        case BinOp::kLt: eff = BinOp::kGt; break;
+        case BinOp::kGt: eff = BinOp::kLt; break;
+        case BinOp::kLe: eff = BinOp::kGe; break;
+        case BinOp::kGe: eff = BinOp::kLe; break;
+        default: break;
+      }
+    }
+    switch (eff) {
+      case BinOp::kEq: return set_field(*field, *val);
+      case BinOp::kNe: return set_field(*field, *val + 1);
+      case BinOp::kLt: return set_field(*field, *val - 1);
+      case BinOp::kLe: return set_field(*field, *val);
+      case BinOp::kGt: return set_field(*field, *val + 1);
+      case BinOp::kGe: return set_field(*field, *val);
+      default: return false;
+    }
+  }
+
+  bool set_field(const std::string& field, runtime::Int v) {
+    try {
+      runtime::set_packet_field(probe_, field, v);
+      return true;
+    } catch (const std::exception&) {
+      if (field == "in_port") {
+        probe_.in_port = static_cast<int>(v);
+        return true;
+      }
+      if (field == "len") {
+        if (v < 0 || v > 1400) return false;
+        probe_.payload.assign(static_cast<std::size_t>(v), 0x61);
+        return true;
+      }
+      return false;
+    }
+  }
+
+ private:
+  netsim::Packet probe_;
+  symex::ConcreteEnv env_;
+};
+
+/// Positive map-membership requirement extracted from a state match.
+struct MembershipNeed {
+  std::string map_name;  // MapBase name
+  SymRef key_expr;       // over pkt.* symbols of the probe
+};
+
+/// Inspect state_match: return needs (positive Contains on a MapBase).
+/// Negative Contains and other state predicates are fine on a *fresh*
+/// state, so they need no priming.
+bool analyze_state_match(const std::vector<SymRef>& state_match,
+                         std::vector<MembershipNeed>& needs) {
+  for (const auto& c : state_match) {
+    SymRef e = c;
+    bool polarity = true;
+    while (e->kind == SymKind::kUn && e->un_op == lang::UnOp::kNot) {
+      e = e->operands[0];
+      polarity = !polarity;
+    }
+    if (e->kind == SymKind::kContains) {
+      if (!polarity) continue;  // absent on fresh state: OK
+      const SymRef& container = e->operands[0];
+      if (container->kind != SymKind::kMapBase) return false;
+      needs.push_back({container->str_val, e->operands[1]});
+      continue;
+    }
+    // Non-membership state predicates (e.g. MapGet(...) == 1, counters):
+    // handled only when the priming step establishes them; accept
+    // optimistically — the run phase verifies actual compliance.
+  }
+  return true;
+}
+
+/// Invert a tuple-of-packet-fields key expression: assign probe fields so
+/// key(probe) == wanted.
+bool invert_key(const SymRef& key_expr, const runtime::Tuple& wanted,
+                ProbeBuilder& probe) {
+  if (key_expr->kind == SymKind::kTupleExpr) {
+    if (key_expr->operands.size() != wanted.size()) return false;
+    for (std::size_t i = 0; i < wanted.size(); ++i) {
+      const auto f = pkt_field_of(key_expr->operands[i]);
+      if (!f) return false;
+      if (!probe.set_field(*f, wanted[i])) return false;
+    }
+    return true;
+  }
+  if (const auto f = pkt_field_of(key_expr); f && wanted.size() == 1) {
+    return probe.set_field(*f, wanted[0]);
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string to_string(CaseStatus s) {
+  switch (s) {
+    case CaseStatus::kPassed: return "passed";
+    case CaseStatus::kFailed: return "failed";
+    case CaseStatus::kUncovered: return "uncovered";
+    case CaseStatus::kConfigSkip: return "config-skip";
+  }
+  return "?";
+}
+
+std::string ComplianceReport::summary() const {
+  std::ostringstream os;
+  os << passed << " passed, " << failed << " failed, " << uncovered
+     << " uncovered, " << config_skipped << " config-skipped (of "
+     << cases.size() << " entries)";
+  return os.str();
+}
+
+ComplianceReport run_compliance(const ir::Module& module,
+                                const model::Model& model) {
+  ComplianceReport report;
+  const auto store = model::initial_store(module);
+  const symex::ConcreteEnv cfg_env = store_env(store);
+
+  for (std::size_t ei = 0; ei < model.entries.size(); ++ei) {
+    const model::ModelEntry& entry = model.entries[ei];
+    TestCase tc;
+    tc.entry_index = static_cast<int>(ei);
+
+    // Entry must belong to the deployed configuration.
+    bool config_ok = true;
+    for (const auto& c : entry.config_match) {
+      const auto v = try_const(c, cfg_env);
+      if (!v || *v == 0) config_ok = false;
+    }
+    if (!config_ok) {
+      tc.status = CaseStatus::kConfigSkip;
+      tc.note = "entry belongs to a different configuration table";
+      report.cases.push_back(std::move(tc));
+      ++report.config_skipped;
+      continue;
+    }
+
+    // Build the probe from the flow match.
+    ProbeBuilder probe(cfg_env);
+    bool ok = true;
+    for (const auto& c : entry.flow_match) {
+      if (!probe.apply(c)) {
+        ok = false;
+        tc.note = to_statusless_note("unsupported flow constraint: " +
+                                     symex::to_string(*c));
+        break;
+      }
+    }
+
+    // State setup via priming.
+    std::vector<MembershipNeed> needs;
+    if (ok && !analyze_state_match(entry.state_match, needs)) {
+      ok = false;
+      tc.note = "state match too complex to synthesize";
+    }
+    std::vector<netsim::Packet> priming;
+    if (ok && !needs.empty()) {
+      for (const auto& need : needs) {
+        // Find an inserter entry for this map whose own state match has
+        // no positive membership requirement.
+        bool primed = false;
+        for (const auto& other : model.entries) {
+          const auto it = other.state_action.find(need.map_name);
+          if (it == other.state_action.end()) continue;
+          if (it->second->kind != SymKind::kMapStore) continue;
+          std::vector<MembershipNeed> sub;
+          if (!analyze_state_match(other.state_match, sub) || !sub.empty()) {
+            continue;
+          }
+          bool other_cfg_ok = true;
+          for (const auto& c : other.config_match) {
+            const auto v = try_const(c, cfg_env);
+            if (!v || *v == 0) other_cfg_ok = false;
+          }
+          if (!other_cfg_ok) continue;
+
+          ProbeBuilder prime(cfg_env);
+          bool prime_ok = true;
+          for (const auto& c : other.flow_match) {
+            if (!prime.apply(c)) {
+              prime_ok = false;
+              break;
+            }
+          }
+          if (!prime_ok) continue;
+
+          // Key the priming packet inserts.
+          const netsim::Packet prime_pkt = prime.packet();
+          symex::ConcreteEnv pk_env = cfg_env;
+          pk_env.input_packet = &prime_pkt;
+          pk_env.var = [&store, &prime_pkt](const std::string& name) {
+            if (name.starts_with("pkt.")) {
+              const std::string f = name.substr(4);
+              if (f == "__payload") return runtime::Value(runtime::Int(0));
+              if (f == "in_port") {
+                return runtime::Value(runtime::Int(prime_pkt.in_port));
+              }
+              return runtime::Value(runtime::get_packet_field(prime_pkt, f));
+            }
+            const auto it2 = store.find(name);
+            if (it2 == store.end()) throw std::out_of_range(name);
+            return it2->second;
+          };
+          try {
+            const runtime::Value inserted_key =
+                symex::eval_concrete(it->second->operands[1], pk_env);
+            const runtime::Tuple key = runtime::to_key(inserted_key);
+            if (!invert_key(need.key_expr, key, probe)) continue;
+          } catch (const std::exception&) {
+            continue;
+          }
+          priming.push_back(prime_pkt);
+          primed = true;
+          break;
+        }
+        if (!primed) {
+          ok = false;
+          tc.note = "no priming entry found for map '" + need.map_name + "'";
+          break;
+        }
+      }
+    }
+
+    if (!ok) {
+      tc.status = CaseStatus::kUncovered;
+      report.cases.push_back(std::move(tc));
+      ++report.uncovered;
+      continue;
+    }
+
+    // Execute the sequence against both sides.
+    tc.sequence = priming;
+    tc.sequence.push_back(probe.packet());
+
+    runtime::Interpreter orig(module);
+    model::ModelInterpreter synth(model, store);
+    bool behaviour_match = true;
+    int matched_entry = -1;
+    for (std::size_t i = 0; i < tc.sequence.size(); ++i) {
+      const runtime::Output oo = orig.process(tc.sequence[i]);
+      const model::ModelOutput mo = synth.process(tc.sequence[i]);
+      if (i + 1 == tc.sequence.size()) matched_entry = mo.matched_entry;
+      if (oo.sent.size() != mo.sent.size()) {
+        behaviour_match = false;
+        break;
+      }
+      for (std::size_t k = 0; k < oo.sent.size(); ++k) {
+        if (!(oo.sent[k].first == mo.sent[k].first) ||
+            oo.sent[k].second != mo.sent[k].second) {
+          behaviour_match = false;
+          break;
+        }
+      }
+    }
+
+    if (behaviour_match && matched_entry == tc.entry_index) {
+      tc.status = CaseStatus::kPassed;
+      ++report.passed;
+    } else if (!behaviour_match) {
+      tc.status = CaseStatus::kFailed;
+      tc.note = "original and model diverged on the generated sequence";
+      ++report.failed;
+    } else {
+      tc.status = CaseStatus::kUncovered;
+      tc.note = "probe matched entry " + std::to_string(matched_entry) +
+                " instead (overlapping matches)";
+      ++report.uncovered;
+    }
+    report.cases.push_back(std::move(tc));
+  }
+  return report;
+}
+
+}  // namespace nfactor::verify

@@ -1,0 +1,50 @@
+// BUZZ-style compliance testing (paper §4 "Testing"): use the
+// synthesized model to *generate* concrete test packets — including the
+// multi-step sequences needed to set up state (a priming packet that
+// installs a NAT/connection entry, then the probe that exercises the
+// state-dependent entry) — and run them against the original NF,
+// checking the observed behaviour matches the model entry's action.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/ir.h"
+#include "model/model.h"
+#include "netsim/packet.h"
+
+namespace nfactor::verify {
+
+enum class CaseStatus : std::uint8_t {
+  kPassed,       // generated, ran, behaviour matched the entry
+  kFailed,       // generated, ran, behaviour diverged
+  kUncovered,    // could not synthesize inputs for this entry
+  kConfigSkip,   // entry's config table is not the deployed config
+};
+
+std::string to_string(CaseStatus s);
+
+struct TestCase {
+  int entry_index = -1;
+  std::vector<netsim::Packet> sequence;  // priming packets + final probe
+  CaseStatus status = CaseStatus::kUncovered;
+  std::string note;
+};
+
+struct ComplianceReport {
+  std::vector<TestCase> cases;
+  int passed = 0;
+  int failed = 0;
+  int uncovered = 0;
+  int config_skipped = 0;
+
+  bool ok() const { return failed == 0; }
+  std::string summary() const;
+};
+
+/// Generate one test per model entry and execute it against the original
+/// program (concrete runtime), cross-checked with the model interpreter.
+ComplianceReport run_compliance(const ir::Module& module,
+                                const model::Model& model);
+
+}  // namespace nfactor::verify

@@ -1,0 +1,58 @@
+// §5 "Accuracy": checks that the synthesized model is logically
+// equivalent to the original program —
+//  (a) random differential testing: the same packet stream through the
+//      concrete runtime and the model interpreter must produce identical
+//      outputs and identical output-impacting state;
+//  (b) path-set comparison: the forwarding-action signatures of the
+//      original program's symbolic paths and the slice's symbolic paths
+//      must coincide.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ir/ir.h"
+#include "model/model.h"
+#include "netsim/packet.h"
+#include "statealyzer/statealyzer.h"
+#include "symex/executor.h"
+
+namespace nfactor::verify {
+
+struct DiffResult {
+  int packets = 0;
+  int mismatches = 0;
+  int original_sent = 0;
+  int model_sent = 0;
+  std::vector<std::string> details;  // first few mismatch descriptions
+
+  bool ok() const { return mismatches == 0; }
+};
+
+/// Run `packets` through both sides, comparing emitted packets (fields +
+/// port, in order) after every input and the oisVar state at the end.
+DiffResult differential_test(const ir::Module& module,
+                             const statealyzer::Result& cats,
+                             const model::Model& model,
+                             std::span<const netsim::Packet> packets);
+
+/// Forwarding-action signature of one symbolic path: which fields get
+/// rewritten to what (canonical keys), the output port, and the oisVar
+/// updates — ignoring conditions over forwarding-irrelevant code.
+std::string action_signature(const symex::ExecPath& path,
+                             const statealyzer::Result& cats);
+
+/// The deduplicated action-signature sets of two path collections.
+struct PathSetComparison {
+  std::vector<std::string> only_in_a;
+  std::vector<std::string> only_in_b;
+  std::size_t common = 0;
+  bool equal() const { return only_in_a.empty() && only_in_b.empty(); }
+};
+
+PathSetComparison compare_action_sets(const std::vector<symex::ExecPath>& a,
+                                      const std::vector<symex::ExecPath>& b,
+                                      const statealyzer::Result& cats);
+
+}  // namespace nfactor::verify

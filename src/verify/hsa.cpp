@@ -1,0 +1,148 @@
+#include "verify/hsa.h"
+
+#include <functional>
+
+#include "lang/builtins.h"
+#include "symex/solver.h"
+
+namespace nfactor::verify {
+
+namespace {
+
+using symex::SymRef;
+
+/// Rename an entry's state/config symbols with a per-hop prefix so two
+/// hops never share state.
+SymRef prefixed(const SymRef& e, const std::string& prefix) {
+  std::map<std::string, symex::VarClass> vars;
+  symex::collect_vars(e, vars);
+  std::map<std::string, SymRef> subst;
+  for (const auto& [name, cls] : vars) {
+    if (cls == symex::VarClass::kState || cls == symex::VarClass::kCfg) {
+      subst[name] = symex::make_var(prefix + name, cls);
+    }
+  }
+  // MapBase nodes are renamed through substitute() by name as well.
+  std::function<void(const SymRef&)> collect_maps = [&](const SymRef& x) {
+    if (x->kind == symex::SymKind::kMapBase && x->str_val != "{}") {
+      if (!subst.count(x->str_val)) {
+        subst[x->str_val] = symex::make_map_base(prefix + x->str_val);
+      }
+    }
+    for (const auto& c : x->operands) collect_maps(c);
+    for (const auto& [f, v] : x->fields) {
+      (void)f;
+      collect_maps(v);
+    }
+  };
+  collect_maps(e);
+  return symex::substitute(e, subst);
+}
+
+}  // namespace
+
+ReachabilityResult reachable(const std::vector<ChainHop>& chain,
+                             const std::vector<SymRef>& extra_constraints,
+                             std::size_t max_results) {
+  ReachabilityResult result;
+  symex::Solver solver;
+
+  struct Frame {
+    std::size_t hop;
+    std::vector<int> entries;
+    std::vector<SymRef> constraints;
+    std::map<std::string, SymRef> fields;  // current header expr per field
+  };
+
+  Frame init;
+  init.hop = 0;
+  init.constraints = extra_constraints;
+  for (const auto& f : lang::packet_fields()) {
+    init.fields["pkt." + f.name] = symex::make_var("pkt." + f.name,
+                                                   symex::VarClass::kPkt);
+  }
+
+  std::vector<Frame> stack = {std::move(init)};
+  while (!stack.empty()) {
+    Frame fr = std::move(stack.back());
+    stack.pop_back();
+
+    if (fr.hop == chain.size()) {
+      ChainPath p;
+      p.entry_index = fr.entries;
+      p.constraints = fr.constraints;
+      p.egress_fields = fr.fields;
+      p.delivered = true;
+      result.delivered.push_back(std::move(p));
+      if (result.delivered.size() >= max_results) break;
+      continue;
+    }
+
+    const ChainHop& hop = chain[fr.hop];
+    const std::string prefix = hop.name + "$" + std::to_string(fr.hop) + "$";
+
+    // Deployment config pins apply to every entry of this hop.
+    std::vector<SymRef> hop_pins;
+    for (const auto& c : hop.config) hop_pins.push_back(prefixed(c, prefix));
+
+    // Chain topology: this hop receives on a known port.
+    if (hop.in_port >= 0) {
+      fr.fields["pkt.in_port"] = symex::make_int(hop.in_port);
+    }
+
+    for (std::size_t ei = 0; ei < hop.model->entries.size(); ++ei) {
+      const model::ModelEntry& e = hop.model->entries[ei];
+      if (e.is_drop()) continue;  // dropped: never reaches the next hop
+
+      ++result.combinations_checked;
+      Frame next = fr;
+      next.hop = fr.hop + 1;
+      next.entries.push_back(static_cast<int>(ei));
+      next.constraints.insert(next.constraints.end(), hop_pins.begin(),
+                              hop_pins.end());
+
+      // Entry conditions, with this hop's state prefixed and packet
+      // symbols replaced by the incoming header expressions.
+      auto land = [&](const SymRef& c) {
+        return symex::substitute(prefixed(c, prefix), fr.fields);
+      };
+      bool trivially_false = false;
+      for (const auto& c : e.config_match) {
+        const SymRef cc = land(c);
+        if (symex::is_const_bool(cc) && !cc->bool_val) trivially_false = true;
+        next.constraints.push_back(cc);
+      }
+      for (const auto& c : e.flow_match) {
+        const SymRef cc = land(c);
+        if (symex::is_const_bool(cc) && !cc->bool_val) trivially_false = true;
+        next.constraints.push_back(cc);
+      }
+      for (const auto& c : e.state_match) {
+        const SymRef cc = land(c);
+        if (symex::is_const_bool(cc) && !cc->bool_val) trivially_false = true;
+        next.constraints.push_back(cc);
+      }
+      if (trivially_false ||
+          solver.check(next.constraints) == symex::SatResult::kUnsat) {
+        ++result.infeasible;
+        continue;
+      }
+
+      // Transform the header through the first send action.
+      const model::SendAction& a = e.flow_action.front();
+      for (const auto& [field, expr] : a.rewrites) {
+        next.fields["pkt." + field] =
+            symex::substitute(prefixed(expr, prefix), fr.fields);
+      }
+      stack.push_back(std::move(next));
+    }
+  }
+  return result;
+}
+
+bool can_reach_egress(const std::vector<ChainHop>& chain,
+                      const std::vector<SymRef>& ingress) {
+  return reachable(chain, ingress, 1).any();
+}
+
+}  // namespace nfactor::verify

@@ -1,0 +1,60 @@
+// Stateful header-space-style verification (paper §4 "Network
+// Verification", extension 2): each model entry is a transfer function
+// T(h, p, s). Chaining NFs composes the transfer functions; reachability
+// of the chain's egress is a satisfiability question over the composed
+// constraints — decided with the same solver the executor uses.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "model/model.h"
+#include "symex/expr.h"
+
+namespace nfactor::verify {
+
+/// One NF instance in a chain. State/config symbols get `prefix` so
+/// instances of the same NF keep disjoint state.
+struct ChainHop {
+  std::string name;
+  const model::Model* model = nullptr;
+  /// Deployment pins for this hop's configuration, expressed over the
+  /// NF's unprefixed config symbols (e.g. INLINE_DROP == 1). Without
+  /// pins the query quantifies over all configurations.
+  std::vector<symex::SymRef> config;
+
+  /// Ingress port of this hop in the chain topology (-1 = symbolic:
+  /// first hop sees the query's pkt.in_port). Port-sensitive NFs
+  /// (firewall, NAT) need this pinned for hops after the first.
+  int in_port = -1;
+};
+
+/// One end-to-end symbolic path through the chain.
+struct ChainPath {
+  std::vector<int> entry_index;        // chosen entry per hop (-1 = default drop)
+  std::vector<symex::SymRef> constraints;  // composed, over ingress symbols
+  std::map<std::string, symex::SymRef> egress_fields;  // field -> expr
+  bool delivered = false;              // reached the end without a drop
+};
+
+struct ReachabilityResult {
+  std::vector<ChainPath> delivered;  // feasible end-to-end paths
+  std::size_t combinations_checked = 0;
+  std::size_t infeasible = 0;
+  bool any() const { return !delivered.empty(); }
+};
+
+/// Enumerate feasible end-to-end paths (entry combinations) through the
+/// chain. `extra_constraints` restricts the ingress header space (e.g.
+/// pkt.dport == 80). Bounded by `max_results`.
+ReachabilityResult reachable(const std::vector<ChainHop>& chain,
+                             const std::vector<symex::SymRef>& extra_constraints = {},
+                             std::size_t max_results = 64);
+
+/// Convenience predicate: can any packet satisfying `ingress` traverse
+/// the whole chain without being dropped?
+bool can_reach_egress(const std::vector<ChainHop>& chain,
+                      const std::vector<symex::SymRef>& ingress = {});
+
+}  // namespace nfactor::verify

@@ -1,0 +1,64 @@
+#include "verify/multi_packet.h"
+
+namespace nfactor::verify {
+
+std::vector<symex::SymRef> SequencePath::constraints() const {
+  std::vector<symex::SymRef> out;
+  for (const auto& r : rounds) {
+    out.insert(out.end(), r.constraints.begin(), r.constraints.end());
+  }
+  return out;
+}
+
+std::size_t SequencePath::total_sends() const {
+  std::size_t n = 0;
+  for (const auto& r : rounds) n += r.sends.size();
+  return n;
+}
+
+std::vector<SequencePath> explore_sequences(const ir::Module& m,
+                                            const statealyzer::Result& cats,
+                                            const SequenceOptions& opts) {
+  symex::SymbolicExecutor se(m, cats);
+  std::vector<SequencePath> frontier;
+
+  // Round 1 from the fresh symbolic state.
+  {
+    symex::ExecOptions round = opts.per_round;
+    round.pkt_prefix = "pkt1.";
+    for (auto& p : se.run(round)) {
+      SequencePath sp;
+      sp.rounds.push_back(std::move(p));
+      frontier.push_back(std::move(sp));
+    }
+  }
+
+  for (int k = 2; k <= opts.packets; ++k) {
+    std::vector<SequencePath> next;
+    for (const SequencePath& sp : frontier) {
+      if (next.size() >= opts.max_sequences) break;
+      const symex::ExecPath& prev = sp.rounds.back();
+      if (prev.truncated) continue;  // incomplete state: do not extend
+
+      symex::ExecOptions round = opts.per_round;
+      round.pkt_prefix = "pkt" + std::to_string(k) + ".";
+      round.initial_globals = &prev.final_state;
+      const auto inherited = sp.constraints();
+      round.initial_pc = &inherited;
+
+      for (auto& p : se.run(round)) {
+        if (next.size() >= opts.max_sequences) break;
+        SequencePath extended = sp;
+        // ExecPath::constraints holds only this round's branch conditions
+        // (inherited constraints live in the solver's initial pc), so the
+        // rounds stay disjoint by construction.
+        extended.rounds.push_back(std::move(p));
+        next.push_back(std::move(extended));
+      }
+    }
+    frontier = std::move(next);
+  }
+  return frontier;
+}
+
+}  // namespace nfactor::verify

@@ -1,0 +1,46 @@
+// Multi-packet symbolic exploration: chain the per-packet symbolic
+// executor across a K-packet *sequence*, threading the symbolic state
+// (and accumulated path constraints) from each packet into the next.
+// Packet i's header fields are the symbols "pkt<i>.field".
+//
+// This is the machinery BUZZ-style stateful test generation needs (paper
+// §4 "Testing"): a state-dependent behaviour — "the reverse NAT entry
+// fires" — shows up as a round-2 path whose constraints *relate pkt2's
+// fields to pkt1's*, i.e. the generated second test packet must be
+// derived from the first.
+#pragma once
+
+#include <vector>
+
+#include "ir/ir.h"
+#include "statealyzer/statealyzer.h"
+#include "symex/executor.h"
+
+namespace nfactor::verify {
+
+struct SequencePath {
+  /// One execution path per packet in the sequence, in order.
+  std::vector<symex::ExecPath> rounds;
+
+  /// All constraints across the sequence (round order preserved).
+  std::vector<symex::SymRef> constraints() const;
+
+  std::size_t total_sends() const;
+  bool round_forwards(std::size_t i) const {
+    return !rounds[i].sends.empty();
+  }
+};
+
+struct SequenceOptions {
+  int packets = 2;
+  symex::ExecOptions per_round;       // filter, loop bounds, caps per packet
+  std::size_t max_sequences = 512;    // exploration cap on full sequences
+};
+
+/// Explore all feasible K-packet sequences. Truncated rounds are not
+/// extended further (their state is incomplete).
+std::vector<SequencePath> explore_sequences(const ir::Module& m,
+                                            const statealyzer::Result& cats,
+                                            const SequenceOptions& opts = {});
+
+}  // namespace nfactor::verify

@@ -1,0 +1,233 @@
+// Static slicing (PDG backward closure) and dynamic slicing.
+#include <gtest/gtest.h>
+
+#include "analysis/dynamic_slice.h"
+#include "analysis/pdg.h"
+#include "nfactor/pipeline.h"
+#include "nfs/corpus.h"
+#include "runtime/interp.h"
+#include "tests/test_util.h"
+
+namespace nfactor::analysis {
+namespace {
+
+using testutil::lowered;
+using testutil::nf_body;
+
+int find_send(const ir::Cfg& cfg) {
+  for (const auto& n : cfg.nodes) {
+    if (n->kind == ir::InstrKind::kSend) return n->id;
+  }
+  return -1;
+}
+
+TEST(Slicer, CriterionAlwaysInSlice) {
+  const ir::Module m = lowered(nf_body("x = 1;\nsend(pkt, x);"));
+  const Pdg pdg(m.body);
+  const int snd = find_send(m.body);
+  EXPECT_TRUE(pdg.backward_slice(snd).count(snd));
+}
+
+TEST(Slicer, PicksUpDataDependenceChain) {
+  const ir::Module m = lowered(nf_body(
+      "a = pkt.dport;\nb = a + 1;\nc = b * 2;\nunrelated = 99;\n"
+      "send(pkt, c);"));
+  const Pdg pdg(m.body);
+  const auto slice = pdg.backward_slice(find_send(m.body));
+  int in_slice_assigns = 0;
+  bool unrelated_in = false;
+  for (const int id : slice) {
+    const auto& n = m.body.node(id);
+    if (n.kind == ir::InstrKind::kAssign) {
+      ++in_slice_assigns;
+      if (n.var == "unrelated") unrelated_in = true;
+    }
+  }
+  EXPECT_EQ(in_slice_assigns, 3);  // a, b, c
+  EXPECT_FALSE(unrelated_in);
+}
+
+TEST(Slicer, IncludesControllingBranches) {
+  const ir::Module m = lowered(nf_body(
+      "x = 0;\nif (pkt.dport == 80) {\n  x = 1;\n}\nsend(pkt, x);"));
+  const Pdg pdg(m.body);
+  const auto slice = pdg.backward_slice(find_send(m.body));
+  bool branch_in = false;
+  for (const int id : slice) {
+    if (m.body.node(id).kind == ir::InstrKind::kBranch) branch_in = true;
+  }
+  EXPECT_TRUE(branch_in);
+}
+
+TEST(Slicer, ExcludesLogOnlyCode) {
+  const ir::Module m = lowered(nf_body(
+      "stat = stat + 1;\nlog(\"count\", stat);\nsend(pkt, 1);",
+      "var stat = 0;"));
+  const Pdg pdg(m.body);
+  const auto slice = pdg.backward_slice(find_send(m.body));
+  for (const int id : slice) {
+    const auto& n = m.body.node(id);
+    EXPECT_NE(n.kind, ir::InstrKind::kCall);  // the log() call
+    if (n.kind == ir::InstrKind::kAssign) {
+      EXPECT_NE(n.var, "stat");
+    }
+  }
+}
+
+TEST(Slicer, LocSpecificCriterionNarrowsSeeds) {
+  const ir::Module m = lowered(nf_body(
+      "a = pkt.dport;\nb = pkt.ip_ttl;\nsend(pkt, a + b);"));
+  const Pdg pdg(m.body);
+  const int snd = find_send(m.body);
+  const auto only_a = pdg.backward_slice(snd, {"a"});
+  bool b_in = false;
+  for (const int id : only_a) {
+    const auto& n = m.body.node(id);
+    if (n.kind == ir::InstrKind::kAssign && n.var == "b") b_in = true;
+  }
+  EXPECT_FALSE(b_in);
+}
+
+/// Dependence-closure property over all corpus NFs: every slice is closed
+/// under data and control dependences, and slicing is idempotent.
+class SliceClosure : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SliceClosure, SlicesAreDependenceClosed) {
+  const auto r = pipeline::run_source(nfs::find(GetParam()).source,
+                                      GetParam());
+  const Pdg& pdg = *r.pdg;
+  for (const std::set<int>* slice :
+       {&r.pkt_slice, &r.state_slice, &r.union_slice}) {
+    for (const int id : *slice) {
+      for (const int d : pdg.data_deps(id)) {
+        EXPECT_TRUE(slice->count(d))
+            << "data dep " << d << " of " << id << " missing";
+      }
+      for (const int c : pdg.control_deps(id)) {
+        EXPECT_TRUE(slice->count(c))
+            << "control dep " << c << " of " << id << " missing";
+      }
+    }
+  }
+}
+
+TEST_P(SliceClosure, EverySendIsInThePacketSlice) {
+  const auto r = pipeline::run_source(nfs::find(GetParam()).source,
+                                      GetParam());
+  for (const auto& n : r.module->body.nodes) {
+    if (n->kind == ir::InstrKind::kSend) {
+      EXPECT_TRUE(r.pkt_slice.count(n->id));
+    }
+  }
+}
+
+TEST_P(SliceClosure, SliceIsSubsetOfProgram) {
+  const auto r = pipeline::run_source(nfs::find(GetParam()).source,
+                                      GetParam());
+  EXPECT_LE(r.union_slice.size(), r.module->body.size());
+  EXPECT_LE(r.loc_slice, r.loc_orig);
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, SliceClosure,
+                         ::testing::Values("lb", "balance", "snort_lite",
+                                           "nat", "firewall", "monitor",
+                                           "l2_switch", "dpi", "heavy_hitter",
+                                           "synflood"));
+
+// ---------------------------------------------------------------------------
+// Dynamic slicing
+// ---------------------------------------------------------------------------
+
+TEST(DynamicSlice, SubsetOfExecutedNodesAndStaticSlice) {
+  const auto r = pipeline::run_source(nfs::find("lb").source, "lb");
+  runtime::Interpreter interp(*r.module);
+  interp.enable_trace(true);
+  const auto out = interp.process(
+      testutil::tcp_packet("10.0.0.1", 1234, "3.3.3.3", 80));
+  ASSERT_FALSE(out.sent.empty());
+
+  const Trace& trace = interp.trace();
+  int criterion = -1;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    if (r.module->body.node(trace[i].node).kind == ir::InstrKind::kSend) {
+      criterion = static_cast<int>(i);
+    }
+  }
+  ASSERT_GE(criterion, 0);
+
+  const auto dyn = dynamic_slice_nodes(trace, *r.pdg, criterion);
+  std::set<int> executed;
+  for (const auto& ev : trace) executed.insert(ev.node);
+  const auto stat = r.pdg->backward_slice(trace[static_cast<std::size_t>(criterion)].node);
+
+  for (const int n : dyn) {
+    EXPECT_TRUE(executed.count(n));
+    EXPECT_TRUE(stat.count(n)) << "dynamic slice exceeded static slice at " << n;
+  }
+}
+
+TEST(DynamicSlice, ExcludesLogStatements) {
+  const auto r = pipeline::run_source(nfs::find("lb").source, "lb");
+  runtime::Interpreter interp(*r.module);
+  interp.enable_trace(true);
+  interp.process(testutil::tcp_packet("10.0.0.1", 1234, "3.3.3.3", 80));
+  const Trace& trace = interp.trace();
+  int criterion = -1;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    if (r.module->body.node(trace[i].node).kind == ir::InstrKind::kSend) {
+      criterion = static_cast<int>(i);
+    }
+  }
+  const auto dyn = dynamic_slice_nodes(trace, *r.pdg, criterion);
+  for (const int n : dyn) {
+    const auto& node = r.module->body.node(n);
+    if (node.kind == ir::InstrKind::kAssign) {
+      EXPECT_NE(node.var, "pass_stat");
+      EXPECT_NE(node.var, "drop_stat");
+    }
+  }
+}
+
+TEST(DynamicSlice, FirstPacketSliceTakesNewConnectionArm) {
+  const auto r = pipeline::run_source(nfs::find("lb").source, "lb");
+  runtime::Interpreter interp(*r.module);
+  interp.enable_trace(true);
+  interp.process(testutil::tcp_packet("10.0.0.1", 1234, "3.3.3.3", 80));
+  const Trace& trace = interp.trace();
+  int criterion = static_cast<int>(trace.size()) - 1;
+  const auto dyn = dynamic_slice_nodes(trace, *r.pdg, criterion);
+  // The round-robin selection (reads rr_idx) must be in the slice of a
+  // first packet; the map-hit lookup must not be.
+  bool saw_rr = false, saw_map_hit = false;
+  for (const int n : dyn) {
+    const auto& node = r.module->body.node(n);
+    const std::string text = node.to_string();
+    if (text.find("servers[rr_idx]") != std::string::npos) saw_rr = true;
+    if (text.find("= f2b_nat[") != std::string::npos) saw_map_hit = true;
+  }
+  EXPECT_TRUE(saw_rr);
+  EXPECT_FALSE(saw_map_hit);
+}
+
+TEST(DynamicSlice, SecondPacketUsesMapHitArm) {
+  const auto r = pipeline::run_source(nfs::find("lb").source, "lb");
+  runtime::Interpreter interp(*r.module);
+  const auto p = testutil::tcp_packet("10.0.0.1", 1234, "3.3.3.3", 80);
+  interp.process(p);  // installs the mapping, untraced
+  interp.enable_trace(true);
+  interp.process(p);  // traced second packet
+  const Trace& trace = interp.trace();
+  int criterion = static_cast<int>(trace.size()) - 1;
+  const auto dyn = dynamic_slice_nodes(trace, *r.pdg, criterion);
+  bool saw_map_hit = false;
+  for (const int n : dyn) {
+    if (r.module->body.node(n).to_string().find("= f2b_nat[") !=
+        std::string::npos) {
+      saw_map_hit = true;
+    }
+  }
+  EXPECT_TRUE(saw_map_hit);
+}
+
+}  // namespace
+}  // namespace nfactor::analysis

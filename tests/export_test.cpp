@@ -1,0 +1,176 @@
+// FSM extraction, SEFL export, and Graphviz exports.
+#include <gtest/gtest.h>
+
+#include "analysis/dot.h"
+#include "ir/dot.h"
+#include "model/fsm.h"
+#include "model/sefl_export.h"
+#include "nfactor/pipeline.h"
+#include "nfs/corpus.h"
+
+namespace nfactor {
+namespace {
+
+pipeline::PipelineResult run_nf(const char* name) {
+  return pipeline::run_source(nfs::find(name).source, name);
+}
+
+// ---------------------------------------------------------------------------
+// FSM extraction (§2.4)
+// ---------------------------------------------------------------------------
+
+TEST(Fsm, BalanceTcpStateMachineHasHandshakeChain) {
+  const auto r = run_nf("balance");
+  const auto fsm = model::extract_fsm(r.model, "tcp_st");
+  ASSERT_GE(fsm.states.size(), 3u);
+
+  auto has_transition = [&](const std::string& from, const std::string& to) {
+    const int f = fsm.state_index(from);
+    const int t = fsm.state_index(to);
+    if (f < 0 || t < 0) return false;
+    for (const auto& tr : fsm.transitions) {
+      if (tr.from == f && tr.to == t) return true;
+    }
+    return false;
+  };
+
+  // SYN: no prior connection -> state 1. SYN-ACK: 1 -> 2. ACK: 2 -> 3.
+  // RST: present -> 0.
+  EXPECT_TRUE(has_transition("*", "== 1") ||
+              has_transition("absent", "== 1"));
+  EXPECT_TRUE(has_transition("== 1", "== 2"));
+  EXPECT_TRUE(has_transition("== 2", "== 3"));
+  EXPECT_TRUE(has_transition("present", "== 0"));
+}
+
+TEST(Fsm, EstablishedDataIsForwardingSelfLoop) {
+  const auto r = run_nf("balance");
+  const auto fsm = model::extract_fsm(r.model, "tcp_st");
+  const int established = fsm.state_index("== 3");
+  ASSERT_GE(established, 0);
+  bool self_forward = false;
+  for (const auto& t : fsm.transitions) {
+    if (t.from == established && t.to == established && t.forwards) {
+      self_forward = true;
+    }
+  }
+  EXPECT_TRUE(self_forward);
+}
+
+TEST(Fsm, FirewallConnectionLifecycle) {
+  const auto r = run_nf("firewall");
+  const auto fsm = model::extract_fsm(r.model, "conns");
+  // LAN->WAN installs ==1; RST tears down to ==0.
+  EXPECT_GE(fsm.state_index("== 1"), 0);
+  bool install = false, teardown = false;
+  for (const auto& t : fsm.transitions) {
+    if (fsm.states[static_cast<std::size_t>(t.to)] == "== 1") install = true;
+    if (fsm.states[static_cast<std::size_t>(t.to)] == "== 0") teardown = true;
+  }
+  EXPECT_TRUE(install);
+  EXPECT_TRUE(teardown);
+}
+
+TEST(Fsm, ScalarStateVariableSupported) {
+  const auto r = run_nf("lb");
+  const auto fsm = model::extract_fsm(r.model, "rr_idx");
+  // The RR entry updates rr_idx as a function of its previous value.
+  bool fprev = false;
+  for (const auto& t : fsm.transitions) {
+    if (fsm.states[static_cast<std::size_t>(t.to)] == "f(prev)") fprev = true;
+  }
+  EXPECT_TRUE(fprev);
+}
+
+TEST(Fsm, UnknownVariableYieldsEmptyFsm) {
+  const auto r = run_nf("lb");
+  const auto fsm = model::extract_fsm(r.model, "no_such_state");
+  EXPECT_TRUE(fsm.transitions.empty());
+}
+
+TEST(Fsm, DotOutputWellFormed) {
+  const auto r = run_nf("balance");
+  const auto fsm = model::extract_fsm(r.model, "tcp_st");
+  const std::string dot = fsm.to_dot();
+  EXPECT_EQ(dot.find("digraph"), 0u);
+  EXPECT_NE(dot.find("rankdir=LR"), std::string::npos);
+  EXPECT_EQ(std::count(dot.begin(), dot.end(), '{'),
+            std::count(dot.begin(), dot.end(), '}'));
+  for (std::size_t i = 0; i < fsm.states.size(); ++i) {
+    EXPECT_NE(dot.find("s" + std::to_string(i) + " ["), std::string::npos);
+  }
+}
+
+TEST(Fsm, TextOutputListsTransitions) {
+  const auto r = run_nf("firewall");
+  const auto fsm = model::extract_fsm(r.model, "conns");
+  const std::string text = fsm.to_text();
+  EXPECT_NE(text.find("FSM over 'conns'"), std::string::npos);
+  EXPECT_NE(text.find("-->"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// SEFL export (§6 future work)
+// ---------------------------------------------------------------------------
+
+TEST(Sefl, ExportsEveryEntry) {
+  const auto r = run_nf("lb");
+  const std::string sefl = model::to_sefl(r.model);
+  for (std::size_t i = 0; i < r.model.entries.size(); ++i) {
+    EXPECT_NE(sefl.find("// entry " + std::to_string(i)), std::string::npos);
+  }
+  EXPECT_NE(sefl.find("InstructionBlock("), std::string::npos);
+  EXPECT_NE(sefl.find("Otherwise ( Fail(\"default drop\") )"),
+            std::string::npos);
+}
+
+TEST(Sefl, UsesConstrainAssignForwardFail) {
+  const auto r = run_nf("firewall");
+  const std::string sefl = model::to_sefl(r.model);
+  EXPECT_NE(sefl.find("Constrain("), std::string::npos);
+  EXPECT_NE(sefl.find("Assign("), std::string::npos);
+  EXPECT_NE(sefl.find("Forward("), std::string::npos);
+  EXPECT_NE(sefl.find("Fail("), std::string::npos);
+}
+
+TEST(Sefl, DeclaresStateAndConfigVariables) {
+  const auto r = run_nf("nat");
+  const std::string sefl = model::to_sefl(r.model);
+  EXPECT_NE(sefl.find("state variables:"), std::string::npos);
+  EXPECT_NE(sefl.find("nat_out"), std::string::npos);
+  EXPECT_NE(sefl.find("EXT_IP"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Graphviz exports
+// ---------------------------------------------------------------------------
+
+TEST(Dot, CfgExportCoversAllNodesAndEdges) {
+  const auto r = run_nf("nat");
+  const std::string dot = ir::to_dot(r.module->body, "nat");
+  for (const auto& n : r.module->body.nodes) {
+    EXPECT_NE(dot.find("n" + std::to_string(n->id) + " ["), std::string::npos);
+  }
+  EXPECT_NE(dot.find("[label=\"T\"]"), std::string::npos);
+  EXPECT_NE(dot.find("[label=\"F\"]"), std::string::npos);
+  EXPECT_EQ(std::count(dot.begin(), dot.end(), '{'),
+            std::count(dot.begin(), dot.end(), '}'));
+}
+
+TEST(Dot, CfgHighlightMarksSlice) {
+  const auto r = run_nf("nat");
+  const std::string dot = ir::to_dot(r.module->body, "nat", r.union_slice);
+  EXPECT_NE(dot.find("fillcolor=lightyellow"), std::string::npos);
+}
+
+TEST(Dot, PdgExportHasDataAndControlEdges) {
+  const auto r = run_nf("nat");
+  const std::string dot = analysis::to_dot(*r.pdg, "nat-pdg");
+  EXPECT_NE(dot.find("color=blue"), std::string::npos);   // data edges
+  EXPECT_NE(dot.find("color=red"), std::string::npos);    // control edges
+  EXPECT_EQ(std::count(dot.begin(), dot.end(), '{'),
+            std::count(dot.begin(), dot.end(), '}'));
+}
+
+}  // namespace
+}  // namespace nfactor

@@ -1,0 +1,306 @@
+#include "ir/lower.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace nfactor::ir {
+namespace {
+
+using testutil::lowered;
+using testutil::nf_body;
+
+int count_kind(const Cfg& cfg, InstrKind k) {
+  int n = 0;
+  for (const auto& i : cfg.nodes) n += i->kind == k ? 1 : 0;
+  return n;
+}
+
+const Instr* first_of(const Cfg& cfg, InstrKind k) {
+  for (const auto& i : cfg.nodes) {
+    if (i->kind == k) return i.get();
+  }
+  return nullptr;
+}
+
+TEST(Lower, CanonicalLoopProducesRecvAnchoredBody) {
+  const Module m = lowered(nf_body("send(pkt, 1);"));
+  EXPECT_EQ(m.pkt_var, "pkt");
+  EXPECT_GE(m.recv_port_node, 0);
+  EXPECT_EQ(m.body.node(m.recv_port_node).kind, InstrKind::kRecv);
+  EXPECT_EQ(count_kind(m.body, InstrKind::kSend), 1);
+  EXPECT_EQ(count_kind(m.body, InstrKind::kEntry), 1);
+  EXPECT_EQ(count_kind(m.body, InstrKind::kExit), 1);
+}
+
+TEST(Lower, RequiresMain) {
+  EXPECT_THROW(ir::lower(lang::parse("def f() { }")), LowerError);
+}
+
+TEST(Lower, RequiresPacketLoop) {
+  EXPECT_THROW(ir::lower(lang::parse("def main() { x = 1; }")), LowerError);
+}
+
+TEST(Lower, RequiresRecvAtLoopHead) {
+  EXPECT_THROW(ir::lower(lang::parse(
+                   "def main() { while (true) { x = 1; } }")),
+               LowerError);
+}
+
+TEST(Lower, RejectsStatementsAfterLoop) {
+  EXPECT_THROW(
+      ir::lower(lang::parse(
+          "def main() { while (true) { pkt = recv(0); } x = 1; }")),
+      LowerError);
+}
+
+TEST(Lower, RejectsMultipleLoops) {
+  EXPECT_THROW(ir::lower(lang::parse(
+                   "def main() { while (true) { pkt = recv(0); } "
+                   "while (true) { p2 = recv(1); } }")),
+               LowerError);
+}
+
+TEST(Lower, RejectsSocketBuiltins) {
+  EXPECT_THROW(
+      ir::lower(lang::parse(
+          "def main() { while (true) { pkt = recv(0); x = fork(); } }")),
+      LowerError);
+}
+
+TEST(Lower, RejectsUnnormalizedSniff) {
+  EXPECT_THROW(ir::lower(lang::parse(
+                   "def cb(p) { }\ndef main() { sniff(0, cb); }")),
+               LowerError);
+}
+
+TEST(Lower, IfElseJoins) {
+  const Module m = lowered(nf_body(
+      "if (pkt.dport == 80) {\n  x = 1;\n} else {\n  x = 2;\n}\n"
+      "send(pkt, x);"));
+  const Instr* br = first_of(m.body, InstrKind::kBranch);
+  ASSERT_NE(br, nullptr);
+  ASSERT_EQ(br->succs.size(), 2u);
+  // Both assignment arms flow into the send.
+  const Instr* snd = first_of(m.body, InstrKind::kSend);
+  ASSERT_NE(snd, nullptr);
+  EXPECT_EQ(snd->preds.size(), 2u);
+}
+
+TEST(Lower, WhileLoopHasBackEdge) {
+  const Module m = lowered(nf_body(
+      "i = 0;\nwhile (i < 3) {\n  i = i + 1;\n}\nsend(pkt, i);",
+      "var LIMIT = 3;"));
+  const Instr* br = first_of(m.body, InstrKind::kBranch);
+  ASSERT_NE(br, nullptr);
+  // The increment's successor must lead back to the branch.
+  bool back_edge = false;
+  for (const auto& n : m.body.nodes) {
+    for (const int s : n->succs) {
+      if (s == br->id && n->id > br->id) back_edge = true;
+    }
+  }
+  EXPECT_TRUE(back_edge);
+}
+
+TEST(Lower, ForDesugarsToWhile) {
+  const Module m = lowered(nf_body(
+      "acc = 0;\nfor i in 0..4 {\n  acc = acc + i;\n}\nsend(pkt, acc);"));
+  EXPECT_EQ(count_kind(m.body, InstrKind::kBranch), 1);  // the i < 4 test
+  // init + cond-branch + body + increment present
+  bool saw_incr = false;
+  for (const auto& n : m.body.nodes) {
+    if (n->kind == InstrKind::kAssign && n->var == "i" &&
+        lang::to_source(*n->value).find("i + 1") != std::string::npos) {
+      saw_incr = true;
+    }
+  }
+  EXPECT_TRUE(saw_incr);
+}
+
+TEST(Lower, BreakLeavesLoop) {
+  const Module m = lowered(nf_body(
+      "i = 0;\nwhile (i < 10) {\n  if (i == 3) {\n    break;\n  }\n"
+      "  i = i + 1;\n}\nsend(pkt, i);"));
+  // The send node must be reachable from the break edge: it has >= 2 preds
+  // (loop-exit and break).
+  const Instr* snd = first_of(m.body, InstrKind::kSend);
+  ASSERT_NE(snd, nullptr);
+  EXPECT_GE(snd->preds.size(), 2u);
+}
+
+TEST(Lower, ContinueInForJumpsToIncrement) {
+  const Module m = lowered(nf_body(
+      "acc = 0;\nfor i in 0..4 {\n  if (i == 2) {\n    continue;\n  }\n"
+      "  acc = acc + 1;\n}\nsend(pkt, acc);"));
+  // The increment node must have two predecessors: fall-through and the
+  // continue edge.
+  for (const auto& n : m.body.nodes) {
+    if (n->kind == InstrKind::kAssign && n->var == "i" &&
+        lang::to_source(*n->value).find("i + 1") != std::string::npos) {
+      EXPECT_GE(n->preds.size(), 2u);
+    }
+  }
+}
+
+TEST(Lower, ReturnGoesToExit) {
+  const Module m = lowered(nf_body(
+      "if (pkt.dport != 80) {\n  return;\n}\nsend(pkt, 1);"));
+  const Instr* br = first_of(m.body, InstrKind::kBranch);
+  ASSERT_NE(br, nullptr);
+  // The true side reaches exit without passing through the send.
+  int cur = br->succs[0];
+  while (m.body.node(cur).kind != InstrKind::kExit) {
+    EXPECT_NE(m.body.node(cur).kind, InstrKind::kSend);
+    ASSERT_FALSE(m.body.node(cur).succs.empty());
+    cur = m.body.node(cur).succs[0];
+  }
+}
+
+TEST(Lower, InliningBindsParamsAndReturnValue) {
+  const Module m = lowered(
+      "def double(x) { return x * 2; }\n"
+      "def main() { while (true) { pkt = recv(0); y = double(pkt.dport); "
+      "send(pkt, y); } }");
+  // A renamed parameter assignment and a $ret assignment must exist.
+  bool saw_param = false, saw_ret_use = false;
+  for (const auto& n : m.body.nodes) {
+    if (n->kind == InstrKind::kAssign && n->var.find("double$") == 0 &&
+        n->var.find("$x") != std::string::npos) {
+      saw_param = true;
+    }
+    if (n->kind == InstrKind::kAssign && n->var == "y" &&
+        lang::to_source(*n->value).find("$ret") != std::string::npos) {
+      saw_ret_use = true;
+    }
+  }
+  EXPECT_TRUE(saw_param);
+  EXPECT_TRUE(saw_ret_use);
+}
+
+TEST(Lower, RepeatedCallsGetDistinctInstances) {
+  const Module m = lowered(
+      "def inc(x) { return x + 1; }\n"
+      "def main() { while (true) { pkt = recv(0); a = inc(1); b = inc(2); "
+      "send(pkt, a + b); } }");
+  std::set<std::string> param_instances;
+  for (const auto& n : m.body.nodes) {
+    if (n->kind == InstrKind::kAssign && n->var.find("inc$") == 0 &&
+        n->var.find("$x") != std::string::npos) {
+      param_instances.insert(n->var);
+    }
+  }
+  EXPECT_EQ(param_instances.size(), 2u);
+}
+
+TEST(Lower, EarlyReturnInCalleeJoins) {
+  const Module m = lowered(
+      "def pick(x) { if (x > 5) { return 100; } return 200; }\n"
+      "def main() { while (true) { pkt = recv(0); y = pick(pkt.dport); "
+      "send(pkt, y); } }");
+  // Both returns assign the same $ret variable.
+  int ret_defs = 0;
+  for (const auto& n : m.body.nodes) {
+    if (n->kind == InstrKind::kAssign &&
+        n->var.find("$ret") != std::string::npos) {
+      ++ret_defs;
+    }
+  }
+  EXPECT_EQ(ret_defs, 2);
+}
+
+TEST(Lower, InitSectionVariablesArePersistent) {
+  const Module m = ir::lower(lang::parse(
+      "def main() { cache = {}; seq = 100; while (true) { pkt = recv(0); "
+      "cache[(pkt.ip_src, seq)] = 1; send(pkt, 0); } }"));
+  EXPECT_TRUE(m.persistent.count("cache"));
+  EXPECT_TRUE(m.persistent.count("seq"));
+  EXPECT_GE(m.init.real_nodes().size(), 2u);
+}
+
+TEST(Lower, GlobalsArePersistent) {
+  const Module m = lowered(nf_body("send(pkt, P);", "var P = 1;"));
+  EXPECT_TRUE(m.persistent.count("P"));
+  ASSERT_EQ(m.globals.size(), 1u);
+  EXPECT_EQ(m.globals[0].type, lang::Type::kInt);
+}
+
+// ---------------------------------------------------------------------------
+// Instruction uses/defs
+// ---------------------------------------------------------------------------
+
+TEST(InstrUsesDefs, AssignUsesRhsDefinesLhs) {
+  const Module m = lowered(nf_body("x = pkt.dport + 1;\nsend(pkt, x);"));
+  for (const auto& n : m.body.nodes) {
+    if (n->kind == InstrKind::kAssign && n->var == "x") {
+      EXPECT_TRUE(n->uses().count("pkt.dport"));
+      EXPECT_TRUE(n->defs().count("x"));
+      EXPECT_TRUE(n->is_strong_def("x"));
+    }
+  }
+}
+
+TEST(InstrUsesDefs, FieldStoreIsStrongOnFieldOnly) {
+  const Module m = lowered(nf_body("pkt.ip_ttl = 9;\nsend(pkt, 0);"));
+  for (const auto& n : m.body.nodes) {
+    if (n->kind == InstrKind::kFieldStore) {
+      EXPECT_TRUE(n->defs().count("pkt.ip_ttl"));
+      EXPECT_TRUE(n->is_strong_def("pkt.ip_ttl"));
+      EXPECT_FALSE(n->is_strong_def("pkt"));
+    }
+  }
+}
+
+TEST(InstrUsesDefs, IndexStoreIsWeakAndUsesContainer) {
+  const Module m = lowered(
+      nf_body("m[(pkt.ip_src, pkt.sport)] = 1;\nsend(pkt, 0);", "var m = {};"));
+  for (const auto& n : m.body.nodes) {
+    if (n->kind == InstrKind::kIndexStore) {
+      EXPECT_TRUE(n->defs().count("m"));
+      EXPECT_FALSE(n->is_strong_def("m"));
+      EXPECT_TRUE(n->uses().count("m"));  // weak update reads old value
+      EXPECT_TRUE(n->uses().count("pkt.ip_src"));
+    }
+  }
+}
+
+TEST(InstrUsesDefs, SendUsesPacketAndPort) {
+  const Module m = lowered(nf_body("send(pkt, P);", "var P = 2;"));
+  const Instr* snd = first_of(m.body, InstrKind::kSend);
+  ASSERT_NE(snd, nullptr);
+  EXPECT_TRUE(snd->uses().count("pkt"));
+  EXPECT_TRUE(snd->uses().count("P"));
+  EXPECT_TRUE(snd->defs().empty());
+}
+
+TEST(InstrUsesDefs, RecvDefinesPacketVar) {
+  const Module m = lowered(nf_body("send(pkt, 0);"));
+  const Instr* rcv = first_of(m.body, InstrKind::kRecv);
+  ASSERT_NE(rcv, nullptr);
+  EXPECT_TRUE(rcv->defs().count("pkt"));
+  EXPECT_TRUE(rcv->is_strong_def("pkt"));
+}
+
+TEST(LocationHelpers, SplitFieldLoc) {
+  std::string base, field;
+  EXPECT_TRUE(split_field_loc("pkt.ip_src", &base, &field));
+  EXPECT_EQ(base, "pkt");
+  EXPECT_EQ(field, "ip_src");
+  EXPECT_FALSE(split_field_loc("plain", &base, &field));
+}
+
+TEST(SourceLines, CountsDistinctLines) {
+  const Module m = lowered(nf_body("x = 1;\ny = 2;\nsend(pkt, x + y);"));
+  EXPECT_EQ(m.body.source_lines(), 4);  // recv + 3 statements
+}
+
+TEST(CfgDump, MentionsEveryNode) {
+  const Module m = lowered(nf_body("send(pkt, 0);"));
+  const std::string d = m.body.dump();
+  for (const auto& n : m.body.nodes) {
+    EXPECT_NE(d.find("%" + std::to_string(n->id) + " "), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace nfactor::ir

@@ -1,0 +1,284 @@
+// Model interpreter: the synthesized tables executed on concrete packets.
+#include "model/interp.h"
+
+#include <gtest/gtest.h>
+
+#include "nfactor/pipeline.h"
+#include "nfs/corpus.h"
+#include "runtime/interp.h"
+#include "tests/test_util.h"
+
+namespace nfactor::model {
+namespace {
+
+using testutil::tcp_packet;
+
+struct Rig {
+  pipeline::PipelineResult r;
+  std::unique_ptr<ModelInterpreter> mi;
+
+  explicit Rig(const char* nf)
+      : r(pipeline::run_source(nfs::find(nf).source, nf)) {
+    mi = std::make_unique<ModelInterpreter>(r.model, initial_store(*r.module));
+  }
+};
+
+TEST(ModelInterp, LbFirstPacketInstallsNatAndRewrites) {
+  Rig rig("lb");
+  const auto out = rig.mi->process(tcp_packet("10.0.0.1", 1111, "3.3.3.3", 80));
+  ASSERT_EQ(out.sent.size(), 1u);
+  const auto& p = out.sent[0].first;
+  EXPECT_EQ(p.ip_src, netsim::ipv4("3.3.3.3"));      // LB_IP
+  EXPECT_EQ(p.sport, 10000);                          // first cur_port
+  EXPECT_EQ(p.ip_dst, netsim::ipv4("1.1.1.1"));      // first RR backend
+  EXPECT_EQ(p.dport, 80);
+  // State advanced.
+  EXPECT_EQ(rig.mi->state("rr_idx")->as_int(), 1);
+  EXPECT_EQ(rig.mi->state("cur_port")->as_int(), 10001);
+  EXPECT_EQ(rig.mi->state("f2b_nat")->as_map().items.size(), 1u);
+}
+
+TEST(ModelInterp, LbRoundRobinAlternatesBackends) {
+  Rig rig("lb");
+  const auto o1 = rig.mi->process(tcp_packet("10.0.0.1", 1111, "3.3.3.3", 80));
+  const auto o2 = rig.mi->process(tcp_packet("10.0.0.2", 2222, "3.3.3.3", 80));
+  const auto o3 = rig.mi->process(tcp_packet("10.0.0.3", 3333, "3.3.3.3", 80));
+  EXPECT_EQ(o1.sent[0].first.ip_dst, netsim::ipv4("1.1.1.1"));
+  EXPECT_EQ(o2.sent[0].first.ip_dst, netsim::ipv4("2.2.2.2"));
+  EXPECT_EQ(o3.sent[0].first.ip_dst, netsim::ipv4("1.1.1.1"));
+}
+
+TEST(ModelInterp, LbSecondPacketOfFlowReusesMapping) {
+  Rig rig("lb");
+  const auto p = tcp_packet("10.0.0.1", 1111, "3.3.3.3", 80);
+  const auto o1 = rig.mi->process(p);
+  const auto o2 = rig.mi->process(p);
+  EXPECT_EQ(o1.sent[0].first, o2.sent[0].first);  // same translation
+  EXPECT_EQ(rig.mi->state("rr_idx")->as_int(), 1);  // no second advance
+  EXPECT_NE(o1.matched_entry, o2.matched_entry);    // hit a different entry
+}
+
+TEST(ModelInterp, LbReverseDirectionTranslatesBack) {
+  Rig rig("lb");
+  rig.mi->process(tcp_packet("10.0.0.1", 1111, "3.3.3.3", 80));
+  // Backend -> LB: src is backend, dst is the allocated (LB_IP, 10000).
+  const auto back = rig.mi->process(tcp_packet("1.1.1.1", 80, "3.3.3.3", 10000));
+  ASSERT_EQ(back.sent.size(), 1u);
+  EXPECT_EQ(back.sent[0].first.ip_dst, netsim::ipv4("10.0.0.1"));
+  EXPECT_EQ(back.sent[0].first.dport, 1111);
+  EXPECT_EQ(back.sent[0].first.ip_src, netsim::ipv4("3.3.3.3"));
+  EXPECT_EQ(back.sent[0].first.sport, 80);
+}
+
+TEST(ModelInterp, LbUnknownReverseFlowDropped) {
+  Rig rig("lb");
+  const auto out = rig.mi->process(tcp_packet("1.1.1.1", 80, "3.3.3.3", 9999));
+  EXPECT_TRUE(out.dropped());
+  EXPECT_EQ(out.matched_entry, rig.r.model.entries.empty() ? -1
+                                                           : out.matched_entry);
+}
+
+TEST(ModelInterp, LbHashModeViaStateOverride) {
+  Rig rig("lb");
+  rig.mi->set_state("mode", runtime::Value(runtime::Int{2}));  // HASH
+  const auto o = rig.mi->process(tcp_packet("10.0.0.1", 1111, "3.3.3.3", 80));
+  ASSERT_EQ(o.sent.size(), 1u);
+  // rr_idx must NOT advance in hash mode.
+  EXPECT_EQ(rig.mi->state("rr_idx")->as_int(), 0);
+  // The backend matches what the original program picks in hash mode.
+  runtime::Interpreter orig(*rig.r.module);
+  orig.set_global("mode", runtime::Value(runtime::Int{2}));
+  const auto oo = orig.process(tcp_packet("10.0.0.1", 1111, "3.3.3.3", 80));
+  ASSERT_EQ(oo.sent.size(), 1u);
+  EXPECT_EQ(o.sent[0].first, oo.sent[0].first);
+}
+
+TEST(ModelInterp, NatAllocatesSequentialPorts) {
+  Rig rig("nat");
+  auto p1 = tcp_packet("192.168.0.2", 1000, "8.8.8.8", 443);
+  auto p2 = tcp_packet("192.168.0.3", 1000, "8.8.8.8", 443);
+  p1.in_port = 0;
+  p2.in_port = 0;
+  const auto o1 = rig.mi->process(p1);
+  const auto o2 = rig.mi->process(p2);
+  EXPECT_EQ(o1.sent[0].first.sport, 40000);
+  EXPECT_EQ(o2.sent[0].first.sport, 40001);
+  EXPECT_EQ(o1.sent[0].first.ip_src, netsim::ipv4("5.5.5.5"));
+}
+
+TEST(ModelInterp, NatReversePathRestoresAddress) {
+  Rig rig("nat");
+  auto out_pkt = tcp_packet("192.168.0.2", 1000, "8.8.8.8", 443);
+  out_pkt.in_port = 0;
+  rig.mi->process(out_pkt);
+  auto back = tcp_packet("8.8.8.8", 443, "5.5.5.5", 40000);
+  back.in_port = 1;
+  const auto o = rig.mi->process(back);
+  ASSERT_EQ(o.sent.size(), 1u);
+  EXPECT_EQ(o.sent[0].first.ip_dst, netsim::ipv4("192.168.0.2"));
+  EXPECT_EQ(o.sent[0].first.dport, 1000);
+}
+
+TEST(ModelInterp, FirewallBlocksUnsolicitedInbound) {
+  Rig rig("firewall");
+  auto inbound = tcp_packet("8.8.8.8", 443, "10.0.0.2", 1000);
+  inbound.in_port = 1;
+  EXPECT_TRUE(rig.mi->process(inbound).dropped());
+
+  auto outbound = tcp_packet("10.0.0.2", 1000, "8.8.8.8", 443);
+  outbound.in_port = 0;
+  EXPECT_FALSE(rig.mi->process(outbound).dropped());
+  EXPECT_FALSE(rig.mi->process(inbound).dropped());  // now established
+}
+
+TEST(ModelInterp, FirewallRstTearsDown) {
+  Rig rig("firewall");
+  auto outbound = tcp_packet("10.0.0.2", 1000, "8.8.8.8", 443);
+  outbound.in_port = 0;
+  rig.mi->process(outbound);
+  auto rst = tcp_packet("8.8.8.8", 443, "10.0.0.2", 1000, netsim::kRst);
+  rst.in_port = 1;
+  EXPECT_FALSE(rig.mi->process(rst).dropped());  // RST itself delivered
+  auto more = tcp_packet("8.8.8.8", 443, "10.0.0.2", 1000);
+  more.in_port = 1;
+  EXPECT_TRUE(rig.mi->process(more).dropped());  // entry torn down
+}
+
+TEST(ModelInterp, MonitorRateLimitsPerFlow) {
+  Rig rig("monitor");
+  const auto p = tcp_packet("10.0.0.1", 1, "2.2.2.2", 2);
+  int delivered = 0;
+  for (int i = 0; i < 6; ++i) {
+    delivered += rig.mi->process(p).dropped() ? 0 : 1;
+  }
+  EXPECT_EQ(delivered, 3);  // LIMIT = 3
+  // A different flow gets its own budget.
+  const auto q = tcp_packet("10.0.0.9", 1, "2.2.2.2", 2);
+  EXPECT_FALSE(rig.mi->process(q).dropped());
+}
+
+TEST(ModelInterp, SnortDropsRuleMatchesForwardsRest) {
+  Rig rig("snort_lite");
+  EXPECT_TRUE(rig.mi->process(tcp_packet("10.0.0.1", 1, "2.2.2.2", 23)).dropped());
+  auto tftp = tcp_packet("10.0.0.1", 1, "2.2.2.2", 69);
+  tftp.ip_proto = static_cast<std::uint8_t>(netsim::IpProto::kUdp);
+  tftp.tcp_flags = 0;
+  EXPECT_TRUE(rig.mi->process(tftp).dropped());
+  EXPECT_FALSE(rig.mi->process(tcp_packet("10.0.0.1", 1, "2.2.2.2", 443)).dropped());
+}
+
+TEST(ModelInterp, SnortContentRuleViaPayload) {
+  Rig rig("snort_lite");
+  auto ftp = tcp_packet("10.0.0.1", 1, "2.2.2.2", 21);
+  const std::string evil = "USER root";
+  ftp.payload.assign(evil.begin(), evil.end());
+  EXPECT_TRUE(rig.mi->process(ftp).dropped());
+  const std::string fine = "USER alice";
+  ftp.payload.assign(fine.begin(), fine.end());
+  EXPECT_FALSE(rig.mi->process(ftp).dropped());
+}
+
+TEST(ModelInterp, SynfloodLimitsHalfOpenHandshakes) {
+  Rig rig("synflood");
+  const auto syn = tcp_packet("6.6.6.6", 1000, "10.0.0.5", 80, netsim::kSyn);
+  int forwarded = 0;
+  for (int i = 0; i < 6; ++i) {
+    forwarded += rig.mi->process(syn).dropped() ? 0 : 1;
+  }
+  EXPECT_EQ(forwarded, 3);  // SYN_LIMIT = 3
+
+  // A completed handshake forgives one half-open slot.
+  const auto ack = tcp_packet("6.6.6.6", 1000, "10.0.0.5", 80, netsim::kAck);
+  EXPECT_FALSE(rig.mi->process(ack).dropped());
+  EXPECT_FALSE(rig.mi->process(syn).dropped());  // one more SYN admitted
+  EXPECT_TRUE(rig.mi->process(syn).dropped());   // and blocked again
+}
+
+TEST(ModelInterp, SynfloodPerSourceIsolation) {
+  Rig rig("synflood");
+  const auto evil = tcp_packet("6.6.6.6", 1000, "10.0.0.5", 80, netsim::kSyn);
+  for (int i = 0; i < 5; ++i) rig.mi->process(evil);
+  // An unrelated source still gets through.
+  const auto good = tcp_packet("7.7.7.7", 1000, "10.0.0.5", 80, netsim::kSyn);
+  EXPECT_FALSE(rig.mi->process(good).dropped());
+}
+
+TEST(ModelInterp, L2SwitchLearnsAndForwards) {
+  Rig rig("l2_switch");
+  auto a_to_b = tcp_packet("10.0.0.1", 1, "10.0.0.2", 2);
+  a_to_b.eth_src = {0, 0, 0, 0, 0, 0xA};
+  a_to_b.eth_dst = {0, 0, 0, 0, 0, 0xB};
+  a_to_b.in_port = 1;
+  // Unknown destination: flooded.
+  const auto o1 = rig.mi->process(a_to_b);
+  ASSERT_EQ(o1.sent.size(), 1u);
+  EXPECT_EQ(o1.sent[0].second, 255);  // FLOOD_PORT
+
+  // Reply from B teaches the switch B's port and hits A's learned port.
+  auto b_to_a = a_to_b;
+  std::swap(b_to_a.eth_src, b_to_a.eth_dst);
+  b_to_a.in_port = 2;
+  const auto o2 = rig.mi->process(b_to_a);
+  ASSERT_EQ(o2.sent.size(), 1u);
+  EXPECT_EQ(o2.sent[0].second, 1);  // A's learned port
+
+  // Hairpin (destination on the ingress port) is filtered.
+  auto hairpin = a_to_b;
+  hairpin.eth_dst = hairpin.eth_src;
+  const auto o3 = rig.mi->process(hairpin);
+  EXPECT_TRUE(o3.dropped());
+}
+
+TEST(ModelInterp, DpiMirrorsAndForwardsMatches) {
+  Rig rig("dpi");
+  auto evil = tcp_packet("10.0.0.1", 1111, "2.2.2.2", 80);
+  const std::string sig = "GET /exploit";
+  evil.payload.assign(sig.begin(), sig.end());
+  const auto out = rig.mi->process(evil);
+  ASSERT_EQ(out.sent.size(), 2u);  // mirror + forward
+  EXPECT_EQ(out.sent[0].second, 9);
+  EXPECT_EQ(out.sent[1].second, 1);
+
+  auto benign = evil;
+  benign.payload.clear();
+  const auto o2 = rig.mi->process(benign);
+  ASSERT_EQ(o2.sent.size(), 1u);
+}
+
+TEST(ModelInterp, HeavyHitterBlocksAfterThreshold) {
+  Rig rig("heavy_hitter");
+  auto p = tcp_packet("10.0.0.1", 1, "2.2.2.2", 2);
+  p.payload.assign(200, 0x61);  // 200 bytes per packet, THRESH = 600
+  int delivered = 0;
+  for (int i = 0; i < 6; ++i) delivered += rig.mi->process(p).dropped() ? 0 : 1;
+  EXPECT_EQ(delivered, 3);  // 200, 400, 600 pass (600 !> 600); blocked after
+}
+
+TEST(ModelInterp, MatchedEntryReported) {
+  Rig rig("firewall");
+  auto outbound = tcp_packet("10.0.0.2", 1000, "8.8.8.8", 443);
+  outbound.in_port = 0;
+  const auto o = rig.mi->process(outbound);
+  EXPECT_GE(o.matched_entry, 0);
+  auto unknown = tcp_packet("9.9.9.9", 443, "10.0.0.77", 2000);
+  unknown.in_port = 1;
+  const auto d = rig.mi->process(unknown);
+  // Either a drop entry matched or the default fired.
+  if (d.matched_entry >= 0) {
+    EXPECT_TRUE(rig.r.model.entries[static_cast<std::size_t>(d.matched_entry)]
+                    .is_drop());
+  }
+}
+
+TEST(ModelInterp, InitialStoreMatchesGlobalInitializers) {
+  const auto r = pipeline::run_source(nfs::find("lb").source, "lb");
+  const auto store = initial_store(*r.module);
+  EXPECT_EQ(store.at("rr_idx").as_int(), 0);
+  EXPECT_EQ(store.at("cur_port").as_int(), 10000);
+  EXPECT_EQ(store.at("mode").as_int(), 1);
+  EXPECT_TRUE(store.at("f2b_nat").is_map());
+  EXPECT_TRUE(store.at("servers").is_list());
+}
+
+}  // namespace
+}  // namespace nfactor::model

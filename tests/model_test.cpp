@@ -1,0 +1,190 @@
+// Model construction (Algorithm 1 lines 11-16) and serialization.
+#include "model/model.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/pdg.h"
+#include "nfactor/pipeline.h"
+#include "nfs/corpus.h"
+#include "statealyzer/statealyzer.h"
+#include "symex/executor.h"
+#include "tests/test_util.h"
+
+namespace nfactor::model {
+namespace {
+
+pipeline::PipelineResult run_nf(const char* name) {
+  const auto& e = nfs::find(name);
+  return pipeline::run_source(e.source, name);
+}
+
+pipeline::PipelineResult run_src(const std::string& src) {
+  return pipeline::run_source(src, "<test>");
+}
+
+TEST(ModelBuilder, PartitionsConditionsByVarClass) {
+  const auto r = run_src(testutil::nf_body(
+      "if (MODE == 1) {\n"
+      "  if (pkt.dport == 80) {\n"
+      "    if ((pkt.ip_src, pkt.sport) in conns) {\n"
+      "      send(pkt, 1);\n"
+      "    }\n"
+      "  }\n"
+      "}",
+      "var MODE = 1;\nvar conns = {};"));
+  // Find the full send entry.
+  const ModelEntry* send_entry = nullptr;
+  for (const auto& e : r.model.entries) {
+    if (!e.is_drop()) send_entry = &e;
+  }
+  ASSERT_NE(send_entry, nullptr);
+  ASSERT_EQ(send_entry->config_match.size(), 1u);
+  EXPECT_NE(symex::to_string(*send_entry->config_match[0]).find("MODE"),
+            std::string::npos);
+  ASSERT_EQ(send_entry->flow_match.size(), 1u);
+  EXPECT_NE(symex::to_string(*send_entry->flow_match[0]).find("pkt.dport"),
+            std::string::npos);
+  ASSERT_EQ(send_entry->state_match.size(), 1u);
+  EXPECT_NE(symex::to_string(*send_entry->state_match[0]).find("conns"),
+            std::string::npos);
+}
+
+TEST(ModelBuilder, MixedPacketStatePredicateGoesToStateMatch) {
+  // "tuple-of-packet-fields in state-map" — the paper's canonical joint
+  // predicate P(f, s) — must land in the state match column.
+  const auto r = run_nf("lb");
+  bool found = false;
+  for (const auto& e : r.model.entries) {
+    for (const auto& c : e.state_match) {
+      if (c->kind == symex::SymKind::kContains ||
+          (c->kind == symex::SymKind::kUn &&
+           c->operands[0]->kind == symex::SymKind::kContains)) {
+        found = true;
+      }
+    }
+    for (const auto& c : e.flow_match) {
+      // No membership predicate may leak into the flow match.
+      EXPECT_EQ(c->kind == symex::SymKind::kContains, false);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ModelBuilder, IdentityRewritesSuppressed) {
+  const auto r = run_src(testutil::nf_body(
+      "pkt.ip_ttl = 9;\nsend(pkt, 0);"));
+  ASSERT_EQ(r.model.entries.size(), 1u);
+  const auto& a = r.model.entries[0].flow_action[0];
+  EXPECT_EQ(a.rewrites.size(), 1u);
+  EXPECT_TRUE(a.rewrites.count("ip_ttl"));
+  EXPECT_FALSE(a.rewrites.count("ip_src"));  // untouched field omitted
+}
+
+TEST(ModelBuilder, DropEntriesHaveNoActions) {
+  const auto r = run_src(testutil::nf_body(
+      "if (pkt.dport == 80) {\n  send(pkt, 0);\n}"));
+  int drops = 0;
+  for (const auto& e : r.model.entries) {
+    if (e.is_drop()) {
+      ++drops;
+      EXPECT_TRUE(e.flow_action.empty());
+    }
+  }
+  EXPECT_EQ(drops, 1);
+}
+
+TEST(ModelBuilder, StateIdentityUpdatesSuppressed) {
+  const auto r = run_src(testutil::nf_body(
+      "if (pkt.dport == 80) {\n  n = n + 1;\n}\nif (n > 5) { send(pkt, 0); }",
+      "var n = 0;"));
+  for (const auto& e : r.model.entries) {
+    // Entries on the dport!=80 path must not claim an n update.
+    bool has_dport_ne = false;
+    for (const auto& c : e.flow_match) {
+      if (symex::to_string(*c).find("!=") != std::string::npos) has_dport_ne = true;
+    }
+    if (has_dport_ne) {
+      EXPECT_EQ(e.state_action.count("n"), 0u);
+    }
+  }
+}
+
+TEST(ModelBuilder, ConfigTablesGroupEntries) {
+  const auto r = run_nf("lb");
+  const auto tables = r.model.tables();
+  // At least: RR table, HASH table, and config-independent entries.
+  EXPECT_GE(tables.size(), 3u);
+  std::size_t total = 0;
+  for (const auto& [k, v] : tables) total += v.size();
+  EXPECT_EQ(total, r.model.entries.size());
+}
+
+TEST(ModelBuilder, TruncatedPathsFlagged) {
+  const auto r = run_src(testutil::nf_body(
+      "i = 0;\nwhile (i < pkt.dport) {\n  i = i + 1;\n}\nsend(pkt, i);"));
+  bool any_trunc = false;
+  for (const auto& e : r.model.entries) any_trunc |= e.truncated;
+  EXPECT_TRUE(any_trunc);
+}
+
+TEST(ModelBuilder, PktFieldsReadCollected) {
+  const auto r = run_nf("lb");
+  EXPECT_TRUE(r.model.pkt_fields_read.count("pkt.dport"));
+  EXPECT_TRUE(r.model.cfg_vars.count("mode"));
+  EXPECT_TRUE(r.model.ois_vars.count("f2b_nat"));
+}
+
+// ---------------------------------------------------------------------------
+// Rendering
+// ---------------------------------------------------------------------------
+
+TEST(ModelRendering, TableMentionsDefaultDrop) {
+  const auto r = run_nf("firewall");
+  const std::string t = to_table(r.model);
+  EXPECT_NE(t.find("(default) | * | drop"), std::string::npos);
+  EXPECT_NE(t.find("Match(flow)"), std::string::npos);
+}
+
+TEST(ModelRendering, TextListsEveryEntry) {
+  const auto r = run_nf("nat");
+  const std::string t = to_text(r.model);
+  for (std::size_t i = 0; i < r.model.entries.size(); ++i) {
+    EXPECT_NE(t.find("entry " + std::to_string(i) + ":"), std::string::npos);
+  }
+}
+
+TEST(ModelRendering, JsonIsBalanced) {
+  for (const char* nf : {"lb", "nat", "firewall", "snort_lite"}) {
+    const auto r = run_nf(nf);
+    const std::string j = to_json(r.model);
+    int braces = 0, brackets = 0;
+    bool in_string = false;
+    for (std::size_t i = 0; i < j.size(); ++i) {
+      const char c = j[i];
+      if (c == '"' && (i == 0 || j[i - 1] != '\\')) in_string = !in_string;
+      if (in_string) continue;
+      braces += c == '{' ? 1 : c == '}' ? -1 : 0;
+      brackets += c == '[' ? 1 : c == ']' ? -1 : 0;
+      EXPECT_GE(braces, 0);
+      EXPECT_GE(brackets, 0);
+    }
+    EXPECT_EQ(braces, 0) << nf;
+    EXPECT_EQ(brackets, 0) << nf;
+    EXPECT_FALSE(in_string) << nf;
+    EXPECT_NE(j.find("\"default_action\": \"drop\""), std::string::npos);
+  }
+}
+
+TEST(ModelRendering, Figure6ShapeForBalance) {
+  const auto r = run_nf("balance");
+  const std::string t = to_table(r.model);
+  // RR table: matches idx state, advances it modulo N.
+  EXPECT_NE(t.find("(mode == MODE_RR)"), std::string::npos);
+  EXPECT_NE(t.find("idx := ((idx + 1) % 2)"), std::string::npos);
+  // HASH table: hash-based pick, no idx update.
+  EXPECT_NE(t.find("(mode != MODE_RR)"), std::string::npos);
+  EXPECT_NE(t.find("hash("), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nfactor::model

@@ -1,0 +1,110 @@
+// Model validation (solver-backed consistency) and model diffing.
+#include "model/validate.h"
+
+#include <gtest/gtest.h>
+
+#include "nfactor/pipeline.h"
+#include "nfs/corpus.h"
+
+namespace nfactor::model {
+namespace {
+
+pipeline::PipelineResult run_nf(const char* name) {
+  return pipeline::run_source(nfs::find(name).source, name);
+}
+
+class ValidateCorpus : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ValidateCorpus, SynthesizedModelsAreConsistent) {
+  const auto r = run_nf(GetParam());
+  const auto report = validate(r.model);
+  EXPECT_TRUE(report.ok()) << report.summary();
+  EXPECT_GT(report.pairs_checked + r.model.entries.size(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, ValidateCorpus,
+                         ::testing::Values("lb", "balance", "snort_lite",
+                                           "nat", "firewall", "monitor",
+                                           "l2_switch", "dpi",
+                                           "heavy_hitter", "synflood"));
+
+TEST(Validate, DetectsDeadEntry) {
+  auto r = run_nf("firewall");
+  // Sabotage: give one entry contradictory flow conditions.
+  auto& e = r.model.entries.front();
+  const auto dport =
+      symex::make_var("pkt.dport", symex::VarClass::kPkt);
+  e.flow_match.push_back(
+      symex::make_bin(lang::BinOp::kEq, dport, symex::make_int(1)));
+  e.flow_match.push_back(
+      symex::make_bin(lang::BinOp::kEq, dport, symex::make_int(2)));
+  const auto report = validate(r.model);
+  bool dead = false;
+  for (const auto& i : report.issues) {
+    dead |= i.kind == ValidationIssue::Kind::kUnsatisfiableEntry;
+  }
+  EXPECT_TRUE(dead) << report.summary();
+}
+
+TEST(Validate, DetectsOverlappingEntries) {
+  auto r = run_nf("firewall");
+  // Duplicate an entry: trivially overlapping.
+  r.model.entries.push_back(r.model.entries.front().path_nodes.empty()
+                                ? r.model.entries.front()
+                                : r.model.entries.front());
+  const auto report = validate(r.model);
+  bool overlap = false;
+  for (const auto& i : report.issues) {
+    overlap |= i.kind == ValidationIssue::Kind::kOverlap;
+  }
+  EXPECT_TRUE(overlap) << report.summary();
+}
+
+TEST(Validate, SummaryIsReadable) {
+  const auto r = run_nf("nat");
+  const auto report = validate(r.model);
+  EXPECT_NE(report.summary().find("pairs checked"), std::string::npos);
+}
+
+TEST(Diff, IdenticalModelsAreIdentical) {
+  const auto a = run_nf("lb");
+  const auto b = run_nf("lb");
+  const auto d = diff_models(a.model, b.model);
+  EXPECT_TRUE(d.identical()) << d.summary();
+  EXPECT_EQ(d.unchanged, a.model.entries.size());
+}
+
+TEST(Diff, ConfigChangeShowsUp) {
+  const auto before = run_nf("heavy_hitter");
+  // A revised NF version: threshold semantics changed from > to >=.
+  std::string src(nfs::find("heavy_hitter").source);
+  const auto pos = src.find("nb > THRESH");
+  ASSERT_NE(pos, std::string::npos);
+  src.replace(pos, 11, "nb >= THRESH");
+  const auto after = pipeline::run_source(src, "heavy_hitter_v2");
+
+  const auto d = diff_models(before.model, after.model);
+  EXPECT_FALSE(d.identical());
+  EXPECT_FALSE(d.added.empty());
+  EXPECT_FALSE(d.removed.empty());
+  EXPECT_NE(d.summary().find("added"), std::string::npos);
+}
+
+TEST(Diff, UnrelatedNfsShareNothing) {
+  const auto a = run_nf("nat");
+  const auto b = run_nf("firewall");
+  const auto d = diff_models(a.model, b.model);
+  EXPECT_EQ(d.unchanged, 0u);
+  EXPECT_EQ(d.added.size(), b.model.entries.size());
+  EXPECT_EQ(d.removed.size(), a.model.entries.size());
+}
+
+TEST(Diff, SignatureIgnoresEntryOrder) {
+  auto a = run_nf("nat");
+  auto b = run_nf("nat");
+  std::reverse(b.model.entries.begin(), b.model.entries.end());
+  EXPECT_TRUE(diff_models(a.model, b.model).identical());
+}
+
+}  // namespace
+}  // namespace nfactor::model

@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include "netsim/flow.h"
+#include "netsim/packet_gen.h"
+#include "netsim/tcp_fsm.h"
+#include "tests/test_util.h"
+
+namespace nfactor::netsim {
+namespace {
+
+Packet pkt(const char* src, int sp, const char* dst, int dp,
+           std::uint8_t flags = kAck) {
+  return testutil::tcp_packet(src, sp, dst, dp, flags);
+}
+
+// ---------------------------------------------------------------------------
+// Flow tuples
+// ---------------------------------------------------------------------------
+
+TEST(FlowTuples, ExtractionMatchesHeaders) {
+  const Packet p = pkt("10.0.0.1", 1234, "3.3.3.3", 80);
+  const FourTuple t = four_tuple(p);
+  EXPECT_EQ(t.src_ip, ipv4("10.0.0.1"));
+  EXPECT_EQ(t.src_port, 1234);
+  EXPECT_EQ(t.dst_ip, ipv4("3.3.3.3"));
+  EXPECT_EQ(t.dst_port, 80);
+}
+
+TEST(FlowTuples, ReversedIsInvolution) {
+  const FourTuple t = four_tuple(pkt("10.0.0.1", 1, "10.0.0.2", 2));
+  EXPECT_EQ(t.reversed().reversed(), t);
+  EXPECT_NE(t.reversed(), t);
+}
+
+TEST(FlowTuples, ConnectionKeyIsDirectionInsensitive) {
+  const Packet fwd = pkt("10.0.0.1", 1234, "3.3.3.3", 80);
+  Packet rev = pkt("3.3.3.3", 80, "10.0.0.1", 1234);
+  EXPECT_EQ(connection_key(fwd), connection_key(rev));
+}
+
+TEST(FlowTuples, HashIsDeterministicAndSpreads) {
+  const auto h1 = hash_value(four_tuple(pkt("10.0.0.1", 1, "10.0.0.2", 2)));
+  const auto h2 = hash_value(four_tuple(pkt("10.0.0.1", 1, "10.0.0.2", 2)));
+  EXPECT_EQ(h1, h2);
+  // Nearby tuples should not collide (sanity, not a cryptographic claim).
+  std::set<std::size_t> hashes;
+  for (int i = 0; i < 100; ++i) {
+    hashes.insert(hash_value(four_tuple(pkt("10.0.0.1", 1000 + i, "10.0.0.2", 80))));
+  }
+  EXPECT_EQ(hashes.size(), 100u);
+}
+
+TEST(FlowTuples, FiveTupleDistinguishesProtocol) {
+  Packet t = pkt("10.0.0.1", 1, "10.0.0.2", 2);
+  Packet u = t;
+  u.ip_proto = static_cast<std::uint8_t>(IpProto::kUdp);
+  EXPECT_NE(five_tuple(t), five_tuple(u));
+  EXPECT_EQ(five_tuple(t).addr, five_tuple(u).addr);
+}
+
+// ---------------------------------------------------------------------------
+// TCP state machine
+// ---------------------------------------------------------------------------
+
+TEST(TcpConnection, ThreeWayHandshakeReachesEstablished) {
+  TcpConnection c;
+  EXPECT_EQ(c.state(), TcpState::kListen);
+  EXPECT_EQ(c.on_segment(Dir::kClientToServer, kSyn), TcpState::kSynReceived);
+  EXPECT_EQ(c.on_segment(Dir::kServerToClient, kSyn | kAck),
+            TcpState::kSynReceived);
+  EXPECT_EQ(c.on_segment(Dir::kClientToServer, kAck), TcpState::kEstablished);
+  EXPECT_TRUE(c.can_pass_data());
+}
+
+TEST(TcpConnection, RstAbortsFromAnyState) {
+  for (const auto setup : {0, 1, 2, 3}) {
+    TcpConnection c;
+    if (setup >= 1) c.on_segment(Dir::kClientToServer, kSyn);
+    if (setup >= 2) c.on_segment(Dir::kServerToClient, kSyn | kAck);
+    if (setup >= 3) c.on_segment(Dir::kClientToServer, kAck);
+    EXPECT_EQ(c.on_segment(Dir::kClientToServer, kRst), TcpState::kClosed);
+    EXPECT_FALSE(c.can_pass_data());
+  }
+}
+
+TEST(TcpConnection, ActiveCloseWalksFinStates) {
+  TcpConnection c;
+  c.on_segment(Dir::kClientToServer, kSyn);
+  c.on_segment(Dir::kClientToServer, kAck);
+  ASSERT_EQ(c.state(), TcpState::kEstablished);
+
+  EXPECT_EQ(c.on_segment(Dir::kClientToServer, kFin | kAck),
+            TcpState::kFinWait1);
+  EXPECT_EQ(c.on_segment(Dir::kServerToClient, kAck), TcpState::kFinWait2);
+  EXPECT_EQ(c.on_segment(Dir::kServerToClient, kFin | kAck),
+            TcpState::kTimeWait);
+  EXPECT_FALSE(c.can_pass_data());
+}
+
+TEST(TcpConnection, PassiveCloseWalksCloseWait) {
+  TcpConnection c;
+  c.on_segment(Dir::kClientToServer, kSyn);
+  c.on_segment(Dir::kClientToServer, kAck);
+  EXPECT_EQ(c.on_segment(Dir::kServerToClient, kFin | kAck),
+            TcpState::kCloseWait);
+  EXPECT_TRUE(c.can_pass_data());  // half-closed still delivers
+  EXPECT_EQ(c.on_segment(Dir::kClientToServer, kFin | kAck),
+            TcpState::kLastAck);
+  EXPECT_EQ(c.on_segment(Dir::kServerToClient, kAck), TcpState::kClosed);
+}
+
+TEST(TcpConnection, DataBeforeHandshakeDoesNotEstablish) {
+  TcpConnection c;
+  c.on_segment(Dir::kClientToServer, kAck | kPsh);  // mid-stream data
+  EXPECT_NE(c.state(), TcpState::kEstablished);
+  EXPECT_FALSE(c.can_pass_data());
+}
+
+TEST(TcpTracker, TracksBothDirectionsOfOneConnection) {
+  TcpTracker tracker;
+  const Packet syn = pkt("10.0.0.1", 5555, "3.3.3.3", 80, kSyn);
+  Packet synack = pkt("3.3.3.3", 80, "10.0.0.1", 5555, kSyn | kAck);
+  Packet ack = syn;
+  ack.tcp_flags = kAck;
+
+  EXPECT_EQ(tracker.on_packet(syn), TcpState::kSynReceived);
+  EXPECT_EQ(tracker.on_packet(synack), TcpState::kSynReceived);
+  EXPECT_EQ(tracker.on_packet(ack), TcpState::kEstablished);
+  EXPECT_TRUE(tracker.established(syn));
+  EXPECT_TRUE(tracker.established(synack));
+  EXPECT_EQ(tracker.size(), 1u);
+}
+
+TEST(TcpTracker, SeparateFlowsSeparateStates) {
+  TcpTracker tracker;
+  tracker.on_packet(pkt("10.0.0.1", 1000, "3.3.3.3", 80, kSyn));
+  tracker.on_packet(pkt("10.0.0.2", 1000, "3.3.3.3", 80, kSyn));
+  EXPECT_EQ(tracker.size(), 2u);
+  EXPECT_EQ(tracker.state_of(pkt("10.0.0.9", 9, "3.3.3.3", 80)),
+            TcpState::kClosed);
+}
+
+TEST(TcpTracker, IgnoresNonTcp) {
+  TcpTracker tracker;
+  Packet udp = pkt("10.0.0.1", 53, "8.8.8.8", 53);
+  udp.ip_proto = static_cast<std::uint8_t>(IpProto::kUdp);
+  EXPECT_EQ(tracker.on_packet(udp), TcpState::kClosed);
+  EXPECT_EQ(tracker.size(), 0u);
+}
+
+TEST(TcpStateNames, AllDistinct) {
+  std::set<std::string> names;
+  for (int s = 0; s <= static_cast<int>(TcpState::kTimeWait); ++s) {
+    names.insert(to_string(static_cast<TcpState>(s)));
+  }
+  EXPECT_EQ(names.size(), 11u);
+}
+
+// ---------------------------------------------------------------------------
+// Packet generator
+// ---------------------------------------------------------------------------
+
+TEST(PacketGen, DeterministicForSeed) {
+  PacketGen a(99), b(99);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(PacketGen, DifferentSeedsDiffer) {
+  PacketGen a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 50; ++i) same += a.next() == b.next() ? 1 : 0;
+  EXPECT_LT(same, 5);
+}
+
+TEST(PacketGen, HandshakeFlowShape) {
+  PacketGen gen(7);
+  const auto flow = gen.handshake_flow(4);
+  ASSERT_EQ(flow.size(), 7u);
+  EXPECT_EQ(flow[0].tcp_flags, kSyn);
+  EXPECT_EQ(flow[1].tcp_flags, kSyn | kAck);
+  EXPECT_EQ(flow[2].tcp_flags, kAck);
+  EXPECT_EQ(flow[1].ip_src, flow[0].ip_dst);
+  EXPECT_EQ(flow[1].dport, flow[0].sport);
+  for (std::size_t i = 3; i < flow.size(); ++i) {
+    EXPECT_TRUE(flow[i].has_flag(kPsh));
+    EXPECT_FALSE(flow[i].payload.empty());
+  }
+}
+
+TEST(PacketGen, BackgroundFractionRespected) {
+  GenConfig cfg;
+  cfg.background_fraction = 1.0;
+  cfg.reverse_fraction = 0.0;
+  PacketGen gen(3, cfg);
+  for (int i = 0; i < 30; ++i) {
+    EXPECT_NE(gen.next().ip_dst, cfg.service_ip);
+  }
+}
+
+TEST(PacketGen, ServiceTrafficByDefaultTargetsService) {
+  GenConfig cfg;
+  cfg.background_fraction = 0.0;
+  cfg.reverse_fraction = 0.0;
+  PacketGen gen(3, cfg);
+  for (int i = 0; i < 30; ++i) {
+    const Packet p = gen.next();
+    EXPECT_EQ(p.ip_dst, cfg.service_ip);
+    EXPECT_EQ(p.dport, cfg.service_port);
+  }
+}
+
+}  // namespace
+}  // namespace nfactor::netsim

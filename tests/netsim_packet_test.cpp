@@ -1,0 +1,224 @@
+#include "netsim/packet.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "netsim/checksum.h"
+
+namespace nfactor::netsim {
+namespace {
+
+TEST(Ipv4Literal, ParsesDottedQuad) {
+  EXPECT_EQ(ipv4("0.0.0.0"), 0u);
+  EXPECT_EQ(ipv4("1.2.3.4"), 0x01020304u);
+  EXPECT_EQ(ipv4("255.255.255.255"), 0xFFFFFFFFu);
+  EXPECT_EQ(ipv4("10.0.0.1"), 0x0A000001u);
+}
+
+TEST(Ipv4Literal, RejectsMalformed) {
+  EXPECT_THROW(ipv4("1.2.3"), std::invalid_argument);
+  EXPECT_THROW(ipv4("1.2.3.4.5"), std::invalid_argument);
+  EXPECT_THROW(ipv4("256.0.0.1"), std::invalid_argument);
+  EXPECT_THROW(ipv4("a.b.c.d"), std::invalid_argument);
+  EXPECT_THROW(ipv4(""), std::invalid_argument);
+}
+
+TEST(Ipv4Literal, RoundTripsThroughString) {
+  for (const std::uint32_t a :
+       {0u, 1u, 0x01020304u, 0x0A000001u, 0xFFFFFFFFu, 0xC0A80101u}) {
+    EXPECT_EQ(ipv4(ipv4_to_string(a)), a);
+  }
+}
+
+TEST(Checksum, Rfc1071Vector) {
+  // Classic example from RFC 1071 §3: words 0x0001, 0xf203, 0xf4f5, 0xf6f7.
+  const std::uint8_t data[] = {0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7};
+  // One's-complement sum is 0xddf2 -> checksum is its complement 0x220d.
+  EXPECT_EQ(internet_checksum(data), 0x220D);
+}
+
+TEST(Checksum, OddLengthPadsWithZero) {
+  const std::uint8_t even[] = {0xAB, 0xCD, 0x12, 0x00};
+  const std::uint8_t odd[] = {0xAB, 0xCD, 0x12};
+  EXPECT_EQ(internet_checksum(even), internet_checksum(odd));
+}
+
+TEST(Checksum, VerifiesToZeroWhenEmbedded) {
+  std::vector<std::uint8_t> data = {0x45, 0x00, 0x00, 0x1c, 0x12, 0x34,
+                                    0x00, 0x00, 0x40, 0x06, 0x00, 0x00,
+                                    0x0a, 0x00, 0x00, 0x01, 0x0a, 0x00,
+                                    0x00, 0x02};
+  const std::uint16_t sum = internet_checksum(data);
+  data[10] = static_cast<std::uint8_t>(sum >> 8);
+  data[11] = static_cast<std::uint8_t>(sum);
+  EXPECT_EQ(internet_checksum(data), 0);
+}
+
+Packet sample_tcp() {
+  Packet p;
+  p.eth_src = {0x02, 0x00, 0x00, 0x00, 0x00, 0x01};
+  p.eth_dst = {0x02, 0x00, 0x00, 0x00, 0x00, 0x02};
+  p.ip_src = ipv4("10.0.0.1");
+  p.ip_dst = ipv4("3.3.3.3");
+  p.ip_ttl = 63;
+  p.ip_id = 0x1234;
+  p.sport = 49152;
+  p.dport = 80;
+  p.tcp_seq = 1000;
+  p.tcp_ack = 2000;
+  p.tcp_flags = kSyn | kAck;
+  p.tcp_win = 8192;
+  p.payload = {'h', 'e', 'l', 'l', 'o'};
+  return p;
+}
+
+TEST(Codec, TcpRoundTrip) {
+  const Packet p = sample_tcp();
+  const auto wire = encode(p);
+  const auto back = decode(wire);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, p);
+}
+
+TEST(Codec, UdpRoundTrip) {
+  Packet p = sample_tcp();
+  p.ip_proto = static_cast<std::uint8_t>(IpProto::kUdp);
+  p.tcp_flags = 0;
+  p.tcp_seq = p.tcp_ack = 0;
+  p.tcp_win = 65535;
+  const auto wire = encode(p);
+  const auto back = decode(wire);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->ip_proto, p.ip_proto);
+  EXPECT_EQ(back->sport, p.sport);
+  EXPECT_EQ(back->dport, p.dport);
+  EXPECT_EQ(back->payload, p.payload);
+}
+
+TEST(Codec, DetectsCorruptedIpChecksum) {
+  auto wire = encode(sample_tcp());
+  wire[14 + 8] ^= 0xFF;  // flip TTL without fixing the checksum
+  EXPECT_FALSE(decode(wire).has_value());
+  EXPECT_TRUE(decode(wire, /*verify_checksums=*/false).has_value());
+}
+
+TEST(Codec, DetectsCorruptedTcpChecksum) {
+  auto wire = encode(sample_tcp());
+  wire.back() ^= 0xFF;  // flip last payload byte
+  EXPECT_FALSE(decode(wire).has_value());
+}
+
+TEST(Codec, RejectsTruncated) {
+  const auto wire = encode(sample_tcp());
+  for (const std::size_t keep : {std::size_t{0}, std::size_t{10}, std::size_t{14}, std::size_t{20}, std::size_t{33}}) {
+    EXPECT_FALSE(decode({wire.data(), keep}).has_value()) << keep;
+  }
+}
+
+TEST(Codec, RejectsNonIpv4EtherType) {
+  auto wire = encode(sample_tcp());
+  wire[12] = 0x86;  // 0x86DD = IPv6
+  wire[13] = 0xDD;
+  EXPECT_FALSE(decode(wire).has_value());
+}
+
+TEST(Codec, RejectsNonTcpUdpProtocol) {
+  Packet p = sample_tcp();
+  p.ip_proto = static_cast<std::uint8_t>(IpProto::kIcmp);
+  // encode writes it faithfully; decode refuses to parse the transport.
+  const auto wire = encode(p);
+  EXPECT_FALSE(decode(wire).has_value());
+}
+
+class CodecRandomRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(CodecRandomRoundTrip, EncodeDecodeIsIdentity) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()));
+  for (int i = 0; i < 50; ++i) {
+    Packet p;
+    p.ip_src = static_cast<std::uint32_t>(rng());
+    p.ip_dst = static_cast<std::uint32_t>(rng());
+    p.ip_ttl = static_cast<std::uint8_t>(rng() % 255 + 1);
+    p.ip_id = static_cast<std::uint16_t>(rng());
+    p.ip_tos = static_cast<std::uint8_t>(rng());
+    p.sport = static_cast<std::uint16_t>(rng());
+    p.dport = static_cast<std::uint16_t>(rng());
+    const bool tcp = rng() & 1;
+    p.ip_proto = static_cast<std::uint8_t>(tcp ? IpProto::kTcp : IpProto::kUdp);
+    if (tcp) {
+      p.tcp_seq = static_cast<std::uint32_t>(rng());
+      p.tcp_ack = static_cast<std::uint32_t>(rng());
+      p.tcp_flags = static_cast<std::uint8_t>(rng() & 0x3F);
+      p.tcp_win = static_cast<std::uint16_t>(rng());
+    } else {
+      p.tcp_seq = p.tcp_ack = 0;
+      p.tcp_flags = 0;
+      p.tcp_win = 65535;
+    }
+    p.payload.resize(rng() % 256);
+    for (auto& b : p.payload) b = static_cast<std::uint8_t>(rng());
+    const auto back = decode(encode(p));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, p);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodecRandomRoundTrip,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(Codec, AcceptsTcpOptionsViaDataOffset) {
+  // Hand-build a frame whose TCP header carries 4 bytes of options
+  // (doff = 6): the decoder must skip them and find the payload.
+  Packet p = sample_tcp();
+  p.payload = {'X', 'Y'};
+  auto wire = encode(p);
+  // Splice 4 NOP option bytes after the 20-byte TCP header.
+  const std::size_t tcp_off = 14 + 20;
+  wire.insert(wire.begin() + static_cast<long>(tcp_off + 20),
+              {0x01, 0x01, 0x01, 0x01});
+  // Fix data offset (6 words), IP total length, and checksums.
+  wire[tcp_off + 12] = 0x60;
+  const std::uint16_t total = static_cast<std::uint16_t>(20 + 24 + 2);
+  wire[14 + 2] = static_cast<std::uint8_t>(total >> 8);
+  wire[14 + 3] = static_cast<std::uint8_t>(total);
+  wire[14 + 10] = wire[14 + 11] = 0;
+  const std::uint16_t ip_sum = internet_checksum({wire.data() + 14, 20});
+  wire[14 + 10] = static_cast<std::uint8_t>(ip_sum >> 8);
+  wire[14 + 11] = static_cast<std::uint8_t>(ip_sum);
+  wire[tcp_off + 16] = wire[tcp_off + 17] = 0;
+  const std::uint16_t tcp_sum = transport_checksum(
+      p.ip_src, p.ip_dst, p.ip_proto, {wire.data() + tcp_off, 24 + 2});
+  wire[tcp_off + 16] = static_cast<std::uint8_t>(tcp_sum >> 8);
+  wire[tcp_off + 17] = static_cast<std::uint8_t>(tcp_sum);
+
+  const auto back = decode(wire);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->payload, (std::vector<std::uint8_t>{'X', 'Y'}));
+  EXPECT_EQ(back->sport, p.sport);
+}
+
+TEST(Codec, RejectsBogusDataOffset) {
+  auto wire = encode(sample_tcp());
+  wire[14 + 20 + 12] = 0x20;  // doff = 2 words < minimum 5
+  EXPECT_FALSE(decode(wire, /*verify_checksums=*/false).has_value());
+}
+
+TEST(PacketPrinting, ShowsFlagsAndAddresses) {
+  const std::string s = to_string(sample_tcp());
+  EXPECT_NE(s.find("10.0.0.1:49152"), std::string::npos);
+  EXPECT_NE(s.find("3.3.3.3:80"), std::string::npos);
+  EXPECT_NE(s.find('S'), std::string::npos);
+  EXPECT_NE(s.find('A'), std::string::npos);
+  EXPECT_NE(s.find("len=5"), std::string::npos);
+}
+
+TEST(PacketFields, TotalLengthCoversTransport) {
+  Packet p = sample_tcp();
+  EXPECT_EQ(p.ip_total_length(), 20u + 20u + 5u);
+  p.ip_proto = static_cast<std::uint8_t>(IpProto::kUdp);
+  EXPECT_EQ(p.ip_total_length(), 20u + 8u + 5u);
+}
+
+}  // namespace
+}  // namespace nfactor::netsim

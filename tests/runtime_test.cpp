@@ -1,0 +1,248 @@
+// Concrete DSL runtime: the reference semantics.
+#include "runtime/interp.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace nfactor::runtime {
+namespace {
+
+using testutil::nf_body;
+using testutil::tcp_packet;
+
+struct Rig {
+  ir::Module module;
+  std::unique_ptr<Interpreter> interp;
+
+  explicit Rig(const std::string& src) : module(testutil::lowered(src)) {
+    interp = std::make_unique<Interpreter>(module);
+  }
+};
+
+TEST(Runtime, ForwardsWithRewrittenFields) {
+  Rig rig(nf_body("pkt.ip_dst = 1.1.1.1;\npkt.dport = 8080;\nsend(pkt, 3);"));
+  const auto out = rig.interp->process(tcp_packet("10.0.0.1", 5, "3.3.3.3", 80));
+  ASSERT_EQ(out.sent.size(), 1u);
+  EXPECT_EQ(out.sent[0].first.ip_dst, netsim::ipv4("1.1.1.1"));
+  EXPECT_EQ(out.sent[0].first.dport, 8080);
+  EXPECT_EQ(out.sent[0].second, 3);
+  EXPECT_FALSE(out.dropped());
+}
+
+TEST(Runtime, ImplicitDropOnReturn) {
+  Rig rig(nf_body("if (pkt.dport != 80) {\n  return;\n}\nsend(pkt, 0);"));
+  EXPECT_TRUE(rig.interp->process(tcp_packet("1.1.1.1", 1, "2.2.2.2", 99)).dropped());
+  EXPECT_FALSE(rig.interp->process(tcp_packet("1.1.1.1", 1, "2.2.2.2", 80)).dropped());
+}
+
+TEST(Runtime, PersistentStateSurvivesPackets) {
+  Rig rig(nf_body("n = n + 1;\nsend(pkt, n);", "var n = 0;"));
+  const auto p = tcp_packet("1.1.1.1", 1, "2.2.2.2", 2);
+  EXPECT_EQ(rig.interp->process(p).sent[0].second, 1);
+  EXPECT_EQ(rig.interp->process(p).sent[0].second, 2);
+  EXPECT_EQ(rig.interp->process(p).sent[0].second, 3);
+  rig.interp->reset();
+  EXPECT_EQ(rig.interp->process(p).sent[0].second, 1);
+}
+
+TEST(Runtime, LocalsDoNotSurvivePackets) {
+  Rig rig(nf_body(
+      "if (pkt.dport == 80) {\n  x = 7;\n}\nif (pkt.dport != 80) {\n"
+      "  y = x;\n  send(pkt, y);\n}\nsend(pkt, 1);"));
+  rig.interp->process(tcp_packet("1.1.1.1", 1, "2.2.2.2", 80));
+  // Next packet takes the x-read path: x must be unset -> RuntimeError.
+  EXPECT_THROW(rig.interp->process(tcp_packet("1.1.1.1", 1, "2.2.2.2", 81)),
+               RuntimeError);
+}
+
+TEST(Runtime, MapInsertLookupMembership) {
+  Rig rig(nf_body(
+      "k = (pkt.ip_src, pkt.sport);\n"
+      "if (k in m) {\n  send(pkt, m[k]);\n  return;\n}\n"
+      "m[k] = pkt.dport;\nsend(pkt, 0);",
+      "var m = {};"));
+  const auto p = tcp_packet("9.9.9.9", 1000, "2.2.2.2", 443);
+  EXPECT_EQ(rig.interp->process(p).sent[0].second, 0);    // miss -> insert
+  EXPECT_EQ(rig.interp->process(p).sent[0].second, 443);  // hit
+}
+
+TEST(Runtime, TupleIndexingAndLen) {
+  Rig rig(nf_body(
+      "t = (10, 20, 30);\nsend(pkt, t[1] + len(t));"));
+  EXPECT_EQ(rig.interp->process(tcp_packet("1.1.1.1", 1, "2.2.2.2", 2))
+                .sent[0].second,
+            23);
+}
+
+TEST(Runtime, ListIndexingAndStores) {
+  Rig rig(nf_body(
+      "x = l[0];\nl[0] = x + 5;\nsend(pkt, l[0]);", "var l = [100, 200];"));
+  const auto p = tcp_packet("1.1.1.1", 1, "2.2.2.2", 2);
+  EXPECT_EQ(rig.interp->process(p).sent[0].second, 105);
+  // Reference semantics: the global list was mutated in place.
+  EXPECT_EQ(rig.interp->process(p).sent[0].second, 110);
+}
+
+TEST(Runtime, PushPopQueueSemantics) {
+  Rig rig(nf_body(
+      "push(q, pkt.dport);\npush(q, pkt.sport);\nfirst = pop(q);\n"
+      "send(pkt, first);",
+      "var q = [];"));
+  EXPECT_EQ(rig.interp->process(tcp_packet("1.1.1.1", 55, "2.2.2.2", 44))
+                .sent[0].second,
+            44);  // FIFO: dport pushed first
+}
+
+TEST(Runtime, HashIsDeterministic) {
+  Rig rig(nf_body("send(pkt, hash((pkt.ip_src, pkt.sport)) % 100);"));
+  const auto p = tcp_packet("9.9.9.9", 7, "1.1.1.1", 2);
+  const int a = rig.interp->process(p).sent[0].second;
+  const int b = rig.interp->process(p).sent[0].second;
+  EXPECT_EQ(a, b);
+  EXPECT_GE(a, 0);
+  EXPECT_LT(a, 100);
+}
+
+TEST(Runtime, PayloadContains) {
+  Rig rig(nf_body(
+      "if (payload_contains(pkt, \"attack\")) {\n  return;\n}\nsend(pkt, 0);"));
+  auto evil = tcp_packet("1.1.1.1", 1, "2.2.2.2", 80);
+  const std::string data = "GET /attack HTTP/1.0";
+  evil.payload.assign(data.begin(), data.end());
+  EXPECT_TRUE(rig.interp->process(evil).dropped());
+  auto benign = evil;
+  const std::string ok = "GET /index.html";
+  benign.payload.assign(ok.begin(), ok.end());
+  EXPECT_FALSE(rig.interp->process(benign).dropped());
+}
+
+TEST(Runtime, LogLinesCaptured) {
+  Rig rig(nf_body("log(\"saw\", pkt.dport);\nsend(pkt, 0);"));
+  rig.interp->process(tcp_packet("1.1.1.1", 1, "2.2.2.2", 8080));
+  ASSERT_EQ(rig.interp->log_lines().size(), 1u);
+  EXPECT_NE(rig.interp->log_lines()[0].find("8080"), std::string::npos);
+}
+
+TEST(Runtime, DivisionAndModuloByZeroThrow) {
+  Rig rig(nf_body("send(pkt, 1 / (pkt.dport - pkt.dport));"));
+  EXPECT_THROW(rig.interp->process(tcp_packet("1.1.1.1", 1, "2.2.2.2", 2)),
+               RuntimeError);
+}
+
+TEST(Runtime, MapMissingKeyThrows) {
+  Rig rig(nf_body("send(pkt, m[(1, 2)]);", "var m = {};"));
+  EXPECT_THROW(rig.interp->process(tcp_packet("1.1.1.1", 1, "2.2.2.2", 2)),
+               RuntimeError);
+}
+
+TEST(Runtime, ListOutOfRangeThrows) {
+  Rig rig(nf_body("send(pkt, l[5]);", "var l = [1];"));
+  EXPECT_THROW(rig.interp->process(tcp_packet("1.1.1.1", 1, "2.2.2.2", 2)),
+               RuntimeError);
+}
+
+TEST(Runtime, StepLimitStopsRunawayLoop) {
+  Rig rig(nf_body("i = 0;\nwhile (i >= 0) {\n  i = i + 1;\n}\nsend(pkt, i);"));
+  rig.interp->set_step_limit(1000);
+  EXPECT_THROW(rig.interp->process(tcp_packet("1.1.1.1", 1, "2.2.2.2", 2)),
+               RuntimeError);
+}
+
+TEST(Runtime, InitSectionRunsOnce) {
+  ir::Module m = testutil::lowered(
+      "def main() { base = 100; while (true) { pkt = recv(0); "
+      "base = base + 1; send(pkt, base); } }");
+  Interpreter interp(m);
+  const auto p = tcp_packet("1.1.1.1", 1, "2.2.2.2", 2);
+  EXPECT_EQ(interp.process(p).sent[0].second, 101);
+  EXPECT_EQ(interp.process(p).sent[0].second, 102);
+}
+
+TEST(Runtime, MultipleSendsPerPacket) {
+  Rig rig(nf_body("send(pkt, 1);\npkt.ip_ttl = 9;\nsend(pkt, 2);"));
+  const auto out = rig.interp->process(tcp_packet("1.1.1.1", 1, "2.2.2.2", 2));
+  ASSERT_EQ(out.sent.size(), 2u);
+  EXPECT_EQ(out.sent[0].first.ip_ttl, 64);
+  EXPECT_EQ(out.sent[1].first.ip_ttl, 9);  // rewrite between sends visible
+}
+
+TEST(Runtime, GlobalAccessors) {
+  Rig rig(nf_body("n = n + pkt.dport;\nsend(pkt, 0);", "var n = 0;"));
+  rig.interp->process(tcp_packet("1.1.1.1", 1, "2.2.2.2", 25));
+  ASSERT_NE(rig.interp->global("n"), nullptr);
+  EXPECT_EQ(rig.interp->global("n")->as_int(), 25);
+  rig.interp->set_global("n", Value(Int{1000}));
+  rig.interp->process(tcp_packet("1.1.1.1", 1, "2.2.2.2", 25));
+  EXPECT_EQ(rig.interp->global("n")->as_int(), 1025);
+  EXPECT_EQ(rig.interp->global("missing"), nullptr);
+}
+
+TEST(Runtime, TraceRecordsDynamicDefUse) {
+  Rig rig(nf_body("x = pkt.dport;\ny = x + 1;\nsend(pkt, y);"));
+  rig.interp->enable_trace(true);
+  rig.interp->process(tcp_packet("1.1.1.1", 1, "2.2.2.2", 2));
+  const auto& trace = rig.interp->trace();
+  ASSERT_GE(trace.size(), 4u);  // recv, x=, y=, send
+  // The y-assignment's use of x links back to the x-assignment event.
+  bool linked = false;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    for (const auto& [loc, def] : trace[i].use_defs) {
+      if (loc == "x") {
+        linked = true;
+        EXPECT_LT(def, static_cast<int>(i));
+        EXPECT_EQ(rig.module.body.node(trace[static_cast<std::size_t>(def)].node).var, "x");
+      }
+    }
+  }
+  EXPECT_TRUE(linked);
+}
+
+// ---------------------------------------------------------------------------
+// Values
+// ---------------------------------------------------------------------------
+
+TEST(Values, StructuralEquality) {
+  EXPECT_TRUE(value_eq(Value(Int{5}), Value(Int{5})));
+  EXPECT_FALSE(value_eq(Value(Int{5}), Value(Int{6})));
+  EXPECT_FALSE(value_eq(Value(Int{1}), Value(true)));
+  EXPECT_TRUE(value_eq(Value(Tuple{1, 2}), Value(Tuple{1, 2})));
+  auto l1 = std::make_shared<ListV>();
+  auto l2 = std::make_shared<ListV>();
+  l1->items.push_back(Value(Int{1}));
+  l2->items.push_back(Value(Int{1}));
+  EXPECT_TRUE(value_eq(Value(l1), Value(l2)));  // contents, not identity
+  l2->items.push_back(Value(Int{2}));
+  EXPECT_FALSE(value_eq(Value(l1), Value(l2)));
+}
+
+TEST(Values, ToKeyNormalizesScalars) {
+  EXPECT_EQ(to_key(Value(Int{7})), (Tuple{7}));
+  EXPECT_EQ(to_key(Value(true)), (Tuple{1}));
+  EXPECT_EQ(to_key(Value(Tuple{1, 2})), (Tuple{1, 2}));
+  EXPECT_THROW(to_key(Value(std::string("x"))), std::invalid_argument);
+}
+
+TEST(Values, PacketFieldRoundTrip) {
+  netsim::Packet p;
+  for (const char* f : {"ip_src", "ip_dst", "sport", "dport", "tcp_flags",
+                        "ip_ttl", "tcp_seq", "tcp_win", "ip_id", "ip_tos",
+                        "eth_type", "ip_proto", "tcp_ack"}) {
+    set_packet_field(p, f, 1);
+    EXPECT_EQ(get_packet_field(p, f), 1) << f;
+  }
+  EXPECT_THROW(set_packet_field(p, "len", 5), std::invalid_argument);
+  EXPECT_THROW(get_packet_field(p, "bogus"), std::invalid_argument);
+}
+
+TEST(Values, Printing) {
+  EXPECT_EQ(to_string(Value(Int{5})), "5");
+  EXPECT_EQ(to_string(Value(true)), "true");
+  EXPECT_EQ(to_string(Value(Tuple{1, 2})), "(1, 2)");
+  auto m = std::make_shared<MapV>();
+  m->items[{1}] = Value(Int{9});
+  EXPECT_EQ(to_string(Value(m)), "{(1): 9}");
+}
+
+}  // namespace
+}  // namespace nfactor::runtime

@@ -1,0 +1,181 @@
+// StateAlyzer variable categorization — the paper's Table 1, exactly.
+#include "statealyzer/statealyzer.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/pdg.h"
+#include "nfactor/pipeline.h"
+#include "nfs/corpus.h"
+#include "tests/test_util.h"
+
+namespace nfactor::statealyzer {
+namespace {
+
+Result analyze_src(const std::string& src) {
+  static std::vector<std::unique_ptr<ir::Module>> keep_alive;
+  static std::vector<std::unique_ptr<analysis::Pdg>> keep_pdg;
+  keep_alive.push_back(
+      std::make_unique<ir::Module>(testutil::lowered(src)));
+  keep_pdg.push_back(std::make_unique<analysis::Pdg>(keep_alive.back()->body));
+  return analyze(*keep_alive.back(), *keep_pdg.back());
+}
+
+TEST(StateAlyzer, PaperTable1OnLoadBalancer) {
+  const auto r = pipeline::run_source(nfs::find("lb").source, "lb");
+  const auto& c = r.cats;
+
+  // pktVar: packet I/O function parameter / return value.
+  EXPECT_TRUE(c.pkt_vars.count("__pkt"));  // recv target post-normalize
+
+  // cfgVar: persistent, top-level, not updateable — mode, LB_IP (Table 1).
+  EXPECT_TRUE(c.is_cfg("mode"));
+  EXPECT_TRUE(c.is_cfg("LB_IP"));
+  EXPECT_TRUE(c.is_cfg("LB_PORT"));
+  EXPECT_TRUE(c.is_cfg("servers"));
+  EXPECT_TRUE(c.is_cfg("ROUND_ROBIN"));
+
+  // oisVar: persistent, top-level, updateable, output-impacting —
+  // f2b_nat, rr_idx (Table 1).
+  EXPECT_TRUE(c.is_ois("f2b_nat"));
+  EXPECT_TRUE(c.is_ois("b2f_nat"));
+  EXPECT_TRUE(c.is_ois("rr_idx"));
+  EXPECT_TRUE(c.is_ois("cur_port"));
+
+  // logVar: persistent, top-level, updateable, NOT output-impacting —
+  // pass_stat, drop_stat (Table 1).
+  EXPECT_TRUE(c.log_vars.count("pass_stat"));
+  EXPECT_TRUE(c.log_vars.count("drop_stat"));
+  EXPECT_FALSE(c.is_ois("pass_stat"));
+}
+
+TEST(StateAlyzer, FeaturesAreConsistentWithCategories) {
+  const auto r = pipeline::run_source(nfs::find("lb").source, "lb");
+  for (const auto& v : r.cats.cfg_vars) {
+    const auto& f = r.cats.features.at(v);
+    EXPECT_TRUE(f.persistent && f.top_level && !f.updateable) << v;
+  }
+  for (const auto& v : r.cats.ois_vars) {
+    const auto& f = r.cats.features.at(v);
+    EXPECT_TRUE(f.persistent && f.top_level && f.updateable &&
+                f.output_impacting)
+        << v;
+  }
+  for (const auto& v : r.cats.log_vars) {
+    const auto& f = r.cats.features.at(v);
+    EXPECT_TRUE(f.persistent && f.updateable && !f.output_impacting) << v;
+  }
+}
+
+TEST(StateAlyzer, UnusedGlobalIsNotTopLevel) {
+  const auto c = analyze_src(testutil::nf_body(
+      "send(pkt, 0);", "var unused = 42;"));
+  EXPECT_FALSE(c.features.at("unused").top_level);
+  EXPECT_FALSE(c.is_cfg("unused"));
+}
+
+TEST(StateAlyzer, PacketAliasIsPktVar) {
+  const auto c = analyze_src(testutil::nf_body(
+      "p2 = pkt;\nsend(p2, 0);"));
+  EXPECT_TRUE(c.is_pkt("pkt"));
+  EXPECT_TRUE(c.is_pkt("p2"));
+}
+
+TEST(StateAlyzer, LocalTemporariesAreLocal) {
+  const auto c = analyze_src(testutil::nf_body(
+      "tmp = pkt.dport + 1;\nsend(pkt, tmp);"));
+  EXPECT_EQ(c.category.at("tmp"), VarCategory::kLocal);
+}
+
+TEST(StateAlyzer, StateReadInConditionIsOutputImpacting) {
+  // A persistent counter that gates forwarding is oisVar even though its
+  // update looks like a logging counter.
+  const auto c = analyze_src(testutil::nf_body(
+      "n = n + 1;\nif (n < 3) {\n  send(pkt, 0);\n}", "var n = 0;"));
+  EXPECT_TRUE(c.is_ois("n"));
+}
+
+TEST(StateAlyzer, PureCounterIsLogVar) {
+  const auto c = analyze_src(testutil::nf_body(
+      "n = n + 1;\nsend(pkt, 0);", "var n = 0;"));
+  EXPECT_TRUE(c.log_vars.count("n"));
+}
+
+TEST(StateAlyzer, ConfigReadOnlyInActionIsCfg) {
+  const auto c = analyze_src(testutil::nf_body(
+      "send(pkt, OUT);", "var OUT = 3;"));
+  EXPECT_TRUE(c.is_cfg("OUT"));
+}
+
+TEST(StateAlyzer, InitSectionStateIsPersistent) {
+  const auto c = analyze_src(
+      "def main() { cache = {}; while (true) { pkt = recv(0); "
+      "cache[(pkt.ip_src, pkt.sport)] = 1; "
+      "if ((pkt.ip_dst, pkt.dport) in cache) { send(pkt, 0); } } }");
+  EXPECT_TRUE(c.is_ois("cache"));
+}
+
+class CorpusCategories : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(CorpusCategories, EveryNfHasOisStateAndPktVar) {
+  const auto r = pipeline::run_source(nfs::find(GetParam()).source,
+                                      GetParam());
+  EXPECT_FALSE(r.cats.pkt_vars.empty());
+  // snort_lite forwards based on configuration only — all of its mutable
+  // state is logging; every other corpus NF keeps forwarding state.
+  if (std::string(GetParam()) != "snort_lite" && std::string(GetParam()) != "dpi") {
+    EXPECT_FALSE(r.cats.ois_vars.empty());
+  }
+  // Categories are disjoint.
+  for (const auto& v : r.cats.ois_vars) {
+    EXPECT_FALSE(r.cats.cfg_vars.count(v));
+    EXPECT_FALSE(r.cats.log_vars.count(v));
+    EXPECT_FALSE(r.cats.pkt_vars.count(v));
+  }
+  for (const auto& v : r.cats.cfg_vars) {
+    EXPECT_FALSE(r.cats.log_vars.count(v));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, CorpusCategories,
+                         ::testing::Values("lb", "balance", "snort_lite",
+                                           "nat", "firewall", "monitor",
+                                           "l2_switch", "dpi", "heavy_hitter",
+                                           "synflood"));
+
+TEST(StateAlyzer, SpecificCategoriesAcrossCorpus) {
+  const auto nat = pipeline::run_source(nfs::find("nat").source, "nat");
+  EXPECT_TRUE(nat.cats.is_ois("nat_out"));
+  EXPECT_TRUE(nat.cats.is_ois("nat_in"));
+  EXPECT_TRUE(nat.cats.is_ois("next_p"));
+  EXPECT_TRUE(nat.cats.is_cfg("EXT_IP"));
+  EXPECT_TRUE(nat.cats.log_vars.count("xlated"));
+
+  const auto fw = pipeline::run_source(nfs::find("firewall").source, "fw");
+  EXPECT_TRUE(fw.cats.is_ois("conns"));
+  EXPECT_TRUE(fw.cats.log_vars.count("allowed"));
+  EXPECT_TRUE(fw.cats.log_vars.count("blocked"));
+
+  const auto mon = pipeline::run_source(nfs::find("monitor").source, "mon");
+  EXPECT_TRUE(mon.cats.is_ois("flow_count"));
+  EXPECT_TRUE(mon.cats.is_cfg("LIMIT"));
+  EXPECT_TRUE(mon.cats.log_vars.count("total"));
+
+  const auto ids = pipeline::run_source(nfs::find("snort_lite").source, "ids");
+  EXPECT_TRUE(ids.cats.is_cfg("rules"));
+  EXPECT_TRUE(ids.cats.is_cfg("INLINE_DROP"));
+  EXPECT_TRUE(ids.cats.log_vars.count("pkt_count"));
+  EXPECT_TRUE(ids.cats.log_vars.count("alert_count"));
+}
+
+TEST(StateAlyzer, TableRenderingMentionsAllCategories) {
+  const auto r = pipeline::run_source(nfs::find("lb").source, "lb");
+  const std::string t = r.cats.to_table();
+  EXPECT_NE(t.find("pktVar"), std::string::npos);
+  EXPECT_NE(t.find("cfgVar"), std::string::npos);
+  EXPECT_NE(t.find("oisVar"), std::string::npos);
+  EXPECT_NE(t.find("logVar"), std::string::npos);
+  EXPECT_NE(t.find("f2b_nat"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nfactor::statealyzer

@@ -1,0 +1,233 @@
+// Symbolic executor: path enumeration, feasibility pruning, loop
+// bounding, slice-filtered execution, send/state capture.
+#include "symex/executor.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/pdg.h"
+#include "statealyzer/statealyzer.h"
+#include "tests/test_util.h"
+
+namespace nfactor::symex {
+namespace {
+
+struct Setup {
+  std::unique_ptr<ir::Module> module;
+  std::unique_ptr<analysis::Pdg> pdg;
+  statealyzer::Result cats;
+};
+
+Setup prepare(const std::string& src) {
+  Setup s;
+  s.module = std::make_unique<ir::Module>(testutil::lowered(src));
+  s.pdg = std::make_unique<analysis::Pdg>(s.module->body);
+  s.cats = statealyzer::analyze(*s.module, *s.pdg);
+  return s;
+}
+
+std::vector<ExecPath> run(const Setup& s, ExecOptions opts = {},
+                          ExecStats* stats = nullptr) {
+  SymbolicExecutor se(*s.module, s.cats);
+  return se.run(opts, stats);
+}
+
+TEST(Executor, StraightLineHasOnePath) {
+  const auto s = prepare(testutil::nf_body("send(pkt, 1);"));
+  const auto paths = run(s);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_TRUE(paths[0].constraints.empty());
+  ASSERT_EQ(paths[0].sends.size(), 1u);
+  EXPECT_FALSE(paths[0].truncated);
+}
+
+TEST(Executor, SymbolicBranchForksTwoPaths) {
+  const auto s = prepare(testutil::nf_body(
+      "if (pkt.dport == 80) {\n  send(pkt, 1);\n}"));
+  const auto paths = run(s);
+  EXPECT_EQ(paths.size(), 2u);
+  int sends = 0;
+  for (const auto& p : paths) sends += static_cast<int>(p.sends.size());
+  EXPECT_EQ(sends, 1);
+}
+
+TEST(Executor, ConcreteBranchDoesNotFork) {
+  const auto s = prepare(testutil::nf_body(
+      "if (CFG > 2) {\n  send(pkt, 1);\n}", "var CFG = 5;"));
+  // CFG is a config scalar -> symbolic -> forks. Use a literal instead:
+  const auto s2 = prepare(testutil::nf_body(
+      "x = 5;\nif (x > 2) {\n  send(pkt, 1);\n}"));
+  EXPECT_EQ(run(s2).size(), 1u);
+  EXPECT_EQ(run(s).size(), 2u);  // config stays symbolic by design
+}
+
+TEST(Executor, InfeasibleNestedBranchPruned) {
+  // The same condition twice: inner branch cannot go the other way.
+  const auto s = prepare(testutil::nf_body(
+      "if (pkt.dport == 80) {\n  if (pkt.dport == 80) {\n    send(pkt, 1);\n"
+      "  } else {\n    send(pkt, 2);\n  }\n}"));
+  ExecStats stats;
+  const auto paths = run(s, {}, &stats);
+  EXPECT_EQ(paths.size(), 2u);  // outer-true(inner-true), outer-false
+  EXPECT_GE(stats.paths_pruned, 1u);
+}
+
+TEST(Executor, ContradictoryRangeBranchesPruned) {
+  const auto s = prepare(testutil::nf_body(
+      "if (pkt.len > 100) {\n  if (pkt.len < 50) {\n    send(pkt, 9);\n  }\n}"));
+  const auto paths = run(s);
+  for (const auto& p : paths) EXPECT_TRUE(p.sends.empty());
+}
+
+TEST(Executor, ConcreteLoopUnrollsExactly) {
+  const auto s = prepare(testutil::nf_body(
+      "acc = 0;\nfor i in 0..4 {\n  acc = acc + 1;\n}\nsend(pkt, acc);"));
+  const auto paths = run(s);
+  ASSERT_EQ(paths.size(), 1u);
+  ASSERT_EQ(paths[0].sends.size(), 1u);
+  EXPECT_EQ(to_string(*paths[0].sends[0].port), "4");
+}
+
+TEST(Executor, SymbolicLoopBoundTruncates) {
+  const auto s = prepare(testutil::nf_body(
+      "i = 0;\nwhile (i < pkt.dport) {\n  i = i + 1;\n}\nsend(pkt, i);"));
+  ExecOptions opts;
+  opts.max_loop_iters = 4;
+  ExecStats stats;
+  const auto paths = run(s, opts, &stats);
+  EXPECT_GE(stats.paths_truncated, 1u);
+  // Some paths complete (dport small), one gets truncated at the bound.
+  EXPECT_GE(stats.paths_completed, 1u);
+}
+
+TEST(Executor, PathCapStopsExploration) {
+  const auto s = prepare(testutil::nf_body(
+      "a = 0;\n"
+      "if (pkt.len > 1) { a = 1; }\n"
+      "if (pkt.ip_ttl > 1) { a = a + 1; }\n"
+      "if (pkt.ip_tos > 1) { a = a + 1; }\n"
+      "if (pkt.dport > 1) { a = a + 1; }\n"
+      "send(pkt, a);"));
+  ExecOptions opts;
+  opts.max_paths = 3;
+  ExecStats stats;
+  const auto paths = run(s, opts, &stats);
+  EXPECT_TRUE(stats.hit_path_cap);
+  EXPECT_LE(paths.size(), 3u);
+}
+
+TEST(Executor, SendCapturesRewrittenFields) {
+  const auto s = prepare(testutil::nf_body(
+      "pkt.ip_src = 42;\nsend(pkt, 7);"));
+  const auto paths = run(s);
+  ASSERT_EQ(paths.size(), 1u);
+  const auto& send = paths[0].sends[0];
+  EXPECT_EQ(to_string(*send.fields.at("ip_src")), "42");
+  EXPECT_EQ(to_string(*send.fields.at("ip_dst")), "pkt.ip_dst");  // untouched
+  EXPECT_EQ(to_string(*send.port), "7");
+}
+
+TEST(Executor, StateUpdatesAppearInFinalState) {
+  const auto s = prepare(testutil::nf_body(
+      "n = n + 1;\nm[(pkt.ip_src, pkt.sport)] = n;\nsend(pkt, 0);",
+      "var n = 0;\nvar m = {};"));
+  const auto paths = run(s);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(to_string(*paths[0].final_state.at("n")), "(n + 1)");
+  EXPECT_EQ(paths[0].final_state.at("m")->kind, SymKind::kMapStore);
+}
+
+TEST(Executor, MapMembershipBecomesStateConstraint) {
+  const auto s = prepare(testutil::nf_body(
+      "k = (pkt.ip_src, pkt.sport);\nif (k in m) {\n  send(pkt, 1);\n}",
+      "var m = {};"));
+  const auto paths = run(s);
+  ASSERT_EQ(paths.size(), 2u);
+  bool saw_contains = false;
+  for (const auto& p : paths) {
+    for (const auto& c : p.constraints) {
+      if (c->kind == SymKind::kContains ||
+          (c->kind == SymKind::kUn && c->operands[0]->kind == SymKind::kContains)) {
+        saw_contains = true;
+      }
+    }
+  }
+  EXPECT_TRUE(saw_contains);
+}
+
+TEST(Executor, FilterSkipsExcludedNodes) {
+  const auto s = prepare(testutil::nf_body(
+      "stat = stat + 1;\nif (pkt.len > 100) {\n  stat = stat + 10;\n}\n"
+      "send(pkt, 1);",
+      "var stat = 0;"));
+  // Build the slice: everything except the stat updates and their branch.
+  std::set<int> filter;
+  for (const auto& n : s.module->body.nodes) {
+    const bool stat_node =
+        (n->kind == ir::InstrKind::kAssign && n->var == "stat") ||
+        n->kind == ir::InstrKind::kBranch;
+    if (!stat_node) filter.insert(n->id);
+  }
+  ExecOptions opts;
+  opts.filter = &filter;
+  const auto paths = run(s, opts);
+  ASSERT_EQ(paths.size(), 1u);  // the stat branch no longer forks
+  EXPECT_EQ(paths[0].final_state.count("stat"), 1u);
+  EXPECT_EQ(to_string(*paths[0].final_state.at("stat")), "stat");  // identity
+}
+
+TEST(Executor, ConfigListsConcretizeFromInitializers) {
+  const auto s = prepare(testutil::nf_body(
+      "send(pkt, servers[0][1]);",
+      "var servers = [(11, 80), (22, 443)];"));
+  const auto paths = run(s);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(to_string(*paths[0].sends[0].port), "80");
+}
+
+TEST(Executor, HashOfConcreteFoldsSymbolicStays) {
+  const auto s = prepare(testutil::nf_body(
+      "a = hash((1, 2));\nb = hash((pkt.ip_src, 2));\nsend(pkt, a + b);"));
+  const auto paths = run(s);
+  ASSERT_EQ(paths.size(), 1u);
+  const std::string port = to_string(*paths[0].sends[0].port);
+  EXPECT_NE(port.find("hash((pkt.ip_src, 2))"), std::string::npos);
+}
+
+TEST(Executor, SignatureStableAcrossRuns) {
+  const auto s = prepare(testutil::nf_body(
+      "if (pkt.dport == 80) {\n  send(pkt, 1);\n}"));
+  const auto p1 = run(s);
+  const auto p2 = run(s);
+  ASSERT_EQ(p1.size(), p2.size());
+  std::multiset<std::string> s1, s2;
+  for (const auto& p : p1) s1.insert(p.signature());
+  for (const auto& p : p2) s2.insert(p.signature());
+  EXPECT_EQ(s1, s2);
+}
+
+TEST(Executor, BranchRecordsCarryPolarity) {
+  const auto s = prepare(testutil::nf_body(
+      "if (pkt.dport == 80) {\n  send(pkt, 1);\n}"));
+  for (const auto& p : run(s)) {
+    ASSERT_EQ(p.branches.size(), 1u);
+    const auto eff = p.branches[0].effective();
+    if (p.sends.empty()) {
+      EXPECT_EQ(eff->bin_op, lang::BinOp::kNe);
+    } else {
+      EXPECT_EQ(eff->bin_op, lang::BinOp::kEq);
+    }
+  }
+}
+
+TEST(Executor, TimeoutReported) {
+  const auto s = prepare(testutil::nf_body(
+      "i = 0;\nwhile (i < pkt.dport) {\n  i = i + 1;\n}\nsend(pkt, i);"));
+  ExecOptions opts;
+  opts.timeout_ms = 0.0;  // everything times out immediately
+  ExecStats stats;
+  run(s, opts, &stats);
+  EXPECT_TRUE(stats.timed_out);
+}
+
+}  // namespace
+}  // namespace nfactor::symex

@@ -1,0 +1,209 @@
+// Symbolic expression construction: folding, negation, store-chain
+// resolution, substitution, canonical keys.
+#include "symex/expr.h"
+
+#include <gtest/gtest.h>
+
+#include "runtime/value.h"
+
+namespace nfactor::symex {
+namespace {
+
+using lang::BinOp;
+using lang::UnOp;
+
+SymRef v(const char* name, VarClass c = VarClass::kPkt) {
+  return make_var(name, c);
+}
+
+TEST(Folding, IntArithmetic) {
+  EXPECT_EQ(make_bin(BinOp::kAdd, make_int(2), make_int(3))->int_val, 5);
+  EXPECT_EQ(make_bin(BinOp::kMul, make_int(4), make_int(5))->int_val, 20);
+  EXPECT_EQ(make_bin(BinOp::kMod, make_int(-1), make_int(3))->int_val, 2);
+  EXPECT_EQ(make_bin(BinOp::kShl, make_int(1), make_int(4))->int_val, 16);
+  EXPECT_EQ(make_bin(BinOp::kBitAnd, make_int(0xF0), make_int(0x3C))->int_val,
+            0x30);
+}
+
+TEST(Folding, DivisionByZeroStaysSymbolic) {
+  const SymRef e = make_bin(BinOp::kDiv, make_int(1), make_int(0));
+  EXPECT_EQ(e->kind, SymKind::kBin);
+}
+
+TEST(Folding, Comparisons) {
+  EXPECT_TRUE(make_bin(BinOp::kLt, make_int(1), make_int(2))->bool_val);
+  EXPECT_FALSE(make_bin(BinOp::kEq, make_int(1), make_int(2))->bool_val);
+  EXPECT_TRUE(make_bin(BinOp::kNe, make_int(1), make_int(2))->bool_val);
+}
+
+TEST(Folding, BoolShortCircuit) {
+  const SymRef x = v("pkt.dport");
+  const SymRef cond = make_bin(BinOp::kEq, x, make_int(80));
+  EXPECT_EQ(make_bin(BinOp::kAnd, make_bool(true), cond), cond);
+  EXPECT_TRUE(is_const_bool(make_bin(BinOp::kAnd, make_bool(false), cond)));
+  EXPECT_EQ(make_bin(BinOp::kOr, make_bool(false), cond), cond);
+  EXPECT_TRUE(make_bin(BinOp::kOr, make_bool(true), cond)->bool_val);
+}
+
+TEST(Folding, IdentityElements) {
+  const SymRef x = v("pkt.dport");
+  EXPECT_EQ(make_bin(BinOp::kAdd, x, make_int(0)), x);
+  EXPECT_EQ(make_bin(BinOp::kAdd, make_int(0), x), x);
+  EXPECT_EQ(make_bin(BinOp::kSub, x, make_int(0)), x);
+  EXPECT_EQ(make_bin(BinOp::kMul, x, make_int(1)), x);
+}
+
+TEST(Folding, SyntacticIdentityComparisons) {
+  const SymRef x = v("rr_idx", VarClass::kState);
+  EXPECT_TRUE(make_bin(BinOp::kEq, x, x)->bool_val);
+  EXPECT_FALSE(make_bin(BinOp::kNe, x, x)->bool_val);
+  EXPECT_TRUE(make_bin(BinOp::kLe, x, x)->bool_val);
+  EXPECT_FALSE(make_bin(BinOp::kLt, x, x)->bool_val);
+}
+
+TEST(Folding, TupleEquality) {
+  const SymRef a = make_tuple_const({1, 2, 3});
+  const SymRef b = make_tuple_const({1, 2, 3});
+  const SymRef c = make_tuple_const({1, 2, 4});
+  EXPECT_TRUE(make_bin(BinOp::kEq, a, b)->bool_val);
+  EXPECT_FALSE(make_bin(BinOp::kEq, a, c)->bool_val);
+  EXPECT_TRUE(make_bin(BinOp::kNe, a, c)->bool_val);
+}
+
+TEST(Folding, TupleOfConstsCollapsesToConstTuple) {
+  const SymRef t = make_tuple({make_int(1), make_int(2)});
+  EXPECT_EQ(t->kind, SymKind::kConstTuple);
+  EXPECT_EQ(t->tuple_val, (std::vector<Int>{1, 2}));
+}
+
+TEST(Negation, FlipsComparisons) {
+  const SymRef x = v("pkt.dport");
+  const SymRef eq = make_bin(BinOp::kEq, x, make_int(80));
+  const SymRef ne = negate(eq);
+  EXPECT_EQ(ne->bin_op, BinOp::kNe);
+  EXPECT_EQ(negate(ne)->bin_op, BinOp::kEq);
+
+  EXPECT_EQ(negate(make_bin(BinOp::kLt, x, make_int(5)))->bin_op, BinOp::kGe);
+  EXPECT_EQ(negate(make_bin(BinOp::kGe, x, make_int(5)))->bin_op, BinOp::kLt);
+  EXPECT_EQ(negate(make_bin(BinOp::kGt, x, make_int(5)))->bin_op, BinOp::kLe);
+  EXPECT_EQ(negate(make_bin(BinOp::kLe, x, make_int(5)))->bin_op, BinOp::kGt);
+}
+
+TEST(Negation, DoubleNegationCancels) {
+  const SymRef c = make_contains(make_map_base("m"), v("pkt.ip_src"));
+  EXPECT_EQ(negate(negate(c)), c);
+  EXPECT_FALSE(negate(make_bool(true))->bool_val);
+}
+
+TEST(ListGet, ResolvesConstIndex) {
+  const SymRef list =
+      make_list_const({make_tuple_const({1, 80}), make_tuple_const({2, 80})});
+  const SymRef hit = make_list_get(list, make_int(1));
+  EXPECT_EQ(hit->kind, SymKind::kConstTuple);
+  EXPECT_EQ(hit->tuple_val, (std::vector<Int>{2, 80}));
+  // Symbolic index stays residual.
+  const SymRef residual = make_list_get(list, v("rr_idx", VarClass::kState));
+  EXPECT_EQ(residual->kind, SymKind::kListGet);
+  // Out-of-range const index stays residual rather than crashing.
+  EXPECT_EQ(make_list_get(list, make_int(9))->kind, SymKind::kListGet);
+}
+
+TEST(MapChain, GetResolvesThroughStores) {
+  const SymRef base = make_map_base("nat");
+  const SymRef k1 = make_tuple_const({1, 2});
+  const SymRef k2 = make_tuple_const({3, 4});
+  const SymRef m1 = make_map_store(base, k1, make_int(100));
+  const SymRef m2 = make_map_store(m1, k2, make_int(200));
+
+  EXPECT_EQ(make_map_get(m2, k2)->int_val, 200);
+  EXPECT_EQ(make_map_get(m2, k1)->int_val, 100);  // skips distinct k2
+  // Unknown key: residual get over the chain.
+  EXPECT_EQ(make_map_get(m2, make_tuple_const({9, 9}))->kind, SymKind::kMapGet);
+}
+
+TEST(MapChain, GetBlocksOnUndecidableKey) {
+  const SymRef base = make_map_base("nat");
+  const SymRef symk = make_tuple({v("pkt.ip_src"), v("pkt.sport")});
+  const SymRef m1 = make_map_store(base, symk, make_int(1));
+  // Lookup of a different concrete key cannot skip the symbolic store.
+  const SymRef g = make_map_get(m1, make_tuple_const({5, 6}));
+  EXPECT_EQ(g->kind, SymKind::kMapGet);
+}
+
+TEST(Contains, ResolvesThroughStores) {
+  const SymRef base = make_map_base("nat");
+  const SymRef k = make_tuple_const({1, 2});
+  const SymRef m1 = make_map_store(base, k, make_int(1));
+  EXPECT_TRUE(make_contains(m1, k)->bool_val);
+  // Distinct concrete key falls through to the symbolic base: residual.
+  EXPECT_EQ(make_contains(m1, make_tuple_const({7, 7}))->kind,
+            SymKind::kContains);
+}
+
+TEST(Contains, ConstListMembershipFolds) {
+  const SymRef list = make_list_const({make_int(2), make_int(4)});
+  EXPECT_TRUE(make_contains(list, make_int(4))->bool_val);
+  EXPECT_FALSE(make_contains(list, make_int(5))->bool_val);
+  EXPECT_EQ(make_contains(list, v("pkt.dport"))->kind, SymKind::kContains);
+}
+
+TEST(Keys, StructurallyEqualExpressionsShareKeys) {
+  const SymRef a =
+      make_bin(BinOp::kEq, v("pkt.dport"), make_int(80));
+  const SymRef b =
+      make_bin(BinOp::kEq, v("pkt.dport"), make_int(80));
+  EXPECT_EQ(a->key(), b->key());
+  const SymRef c = make_bin(BinOp::kEq, v("pkt.dport"), make_int(81));
+  EXPECT_NE(a->key(), c->key());
+}
+
+TEST(Substitute, ReplacesVarsAndRefolds) {
+  const SymRef e = make_bin(BinOp::kAdd, v("pkt.dport"), make_int(1));
+  const SymRef out = substitute(e, {{"pkt.dport", make_int(79)}});
+  ASSERT_TRUE(is_const_int(out));
+  EXPECT_EQ(out->int_val, 80);
+}
+
+TEST(Substitute, ReplacesMapBases) {
+  const SymRef c = make_contains(make_map_base("conns"), v("pkt.ip_src"));
+  const SymRef out =
+      substitute(c, {{"conns", make_map_base("fw$0$conns")}});
+  EXPECT_NE(out->key().find("fw$0$conns"), std::string::npos);
+}
+
+TEST(Substitute, UntouchedExpressionIsShared) {
+  const SymRef e = make_bin(BinOp::kAdd, v("a", VarClass::kState), make_int(1));
+  const SymRef out = substitute(e, {{"zzz", make_int(1)}});
+  EXPECT_EQ(out, e);  // pointer-equal: no rebuild
+}
+
+TEST(CollectVars, GroupsByClass) {
+  const SymRef e = make_bin(
+      BinOp::kAnd, make_bin(BinOp::kEq, v("pkt.dport"), v("LB_PORT", VarClass::kCfg)),
+      make_bin(BinOp::kEq, v("rr_idx", VarClass::kState), make_int(0)));
+  std::map<std::string, VarClass> vars;
+  collect_vars(e, vars);
+  EXPECT_EQ(vars.at("pkt.dport"), VarClass::kPkt);
+  EXPECT_EQ(vars.at("LB_PORT"), VarClass::kCfg);
+  EXPECT_EQ(vars.at("rr_idx"), VarClass::kState);
+}
+
+TEST(Printing, RendersInfix) {
+  const SymRef e = make_bin(BinOp::kEq, v("pkt.dport"), make_int(80));
+  EXPECT_EQ(to_string(*e), "(pkt.dport == 80)");
+  const SymRef c = make_contains(make_map_base("m"), make_tuple_const({1, 2}));
+  EXPECT_EQ(to_string(*c), "(1, 2) in m");
+}
+
+TEST(HashFolding, ConstantTupleHashMatchesRuntime) {
+  // The executor folds hash() of concrete tuples using the same dsl_hash
+  // as the runtime — keep them in lockstep.
+  const SymRef h = make_call("hash", {make_tuple_const({1, 2, 3})});
+  (void)h;  // make_call itself does not fold; the executor does.
+  EXPECT_EQ(runtime::dsl_hash({1, 2, 3}), runtime::dsl_hash({1, 2, 3}));
+  EXPECT_NE(runtime::dsl_hash({1, 2, 3}), runtime::dsl_hash({3, 2, 1}));
+  EXPECT_GE(runtime::dsl_hash({-1}), 0);
+}
+
+}  // namespace
+}  // namespace nfactor::symex

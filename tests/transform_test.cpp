@@ -1,0 +1,220 @@
+// §3.2 code-structure normalization: callback, consumer-producer, and
+// socket-unfolding transforms.
+#include "transform/normalize.h"
+
+#include <gtest/gtest.h>
+
+#include "ir/lower.h"
+#include "lang/parser.h"
+#include "nfs/corpus.h"
+#include "runtime/interp.h"
+#include "tests/test_util.h"
+#include "transform/rewrite.h"
+#include "transform/unfold_sockets.h"
+
+namespace nfactor::transform {
+namespace {
+
+using testutil::tcp_packet;
+
+TEST(DetectStructure, ClassifiesCorpus) {
+  EXPECT_EQ(detect_structure(lang::parse(nfs::find("lb").source)),
+            Structure::kCallback);
+  EXPECT_EQ(detect_structure(lang::parse(nfs::find("balance").source)),
+            Structure::kNestedLoop);
+  EXPECT_EQ(detect_structure(lang::parse(nfs::find("snort_lite").source)),
+            Structure::kCanonicalLoop);
+  EXPECT_EQ(detect_structure(lang::parse(nfs::find("monitor").source)),
+            Structure::kConsumerProducer);
+}
+
+TEST(DetectStructure, RequiresMain) {
+  EXPECT_THROW(detect_structure(lang::parse("def f() { }")), TransformError);
+}
+
+TEST(NormalizeCallback, ProducesCanonicalLoop) {
+  auto prog = lang::parse(nfs::find("lb").source, "lb");
+  auto out = normalize_callback(prog);
+  EXPECT_EQ(detect_structure(out), Structure::kCanonicalLoop);
+  // The callback function survives (it gets inlined at lowering).
+  EXPECT_NE(out.find_func("pkt_callback"), nullptr);
+  // And the result lowers cleanly.
+  EXPECT_NO_THROW(ir::lower(std::move(out)));
+}
+
+TEST(NormalizeCallback, PreservesBehaviour) {
+  auto prog = lang::parse(nfs::find("lb").source, "lb");
+  auto mod = ir::lower(normalize(prog));
+  runtime::Interpreter interp(mod);
+  const auto out = interp.process(tcp_packet("10.0.0.1", 1234, "3.3.3.3", 80));
+  ASSERT_EQ(out.sent.size(), 1u);
+  EXPECT_EQ(out.sent[0].first.ip_dst, netsim::ipv4("1.1.1.1"));
+}
+
+TEST(NormalizeCallback, ErrorsWithoutSniff) {
+  EXPECT_THROW(normalize_callback(lang::parse(
+                   "def main() { while (true) { pkt = recv(0); } }")),
+               TransformError);
+}
+
+TEST(NormalizeCallback, ErrorsOnUnknownCallback) {
+  EXPECT_THROW(normalize_callback(lang::parse(
+                   "def main() { sniff(0, nosuch); }")),
+               TransformError);
+}
+
+TEST(NormalizeConsumerProducer, MergesLoops) {
+  auto prog = lang::parse(nfs::find("monitor").source, "monitor");
+  auto out = normalize_consumer_producer(prog);
+  EXPECT_EQ(detect_structure(out), Structure::kCanonicalLoop);
+  // The producer/consumer functions are gone.
+  EXPECT_EQ(out.find_func("read_loop"), nullptr);
+  EXPECT_EQ(out.find_func("proc_loop"), nullptr);
+  EXPECT_NO_THROW(ir::lower(out.clone()));
+}
+
+TEST(NormalizeConsumerProducer, PreservesRateLimiting) {
+  auto mod = ir::lower(normalize(lang::parse(nfs::find("monitor").source)));
+  runtime::Interpreter interp(mod);
+  const auto p = tcp_packet("10.0.0.1", 1, "2.2.2.2", 2);
+  int delivered = 0;
+  for (int i = 0; i < 6; ++i) delivered += interp.process(p).dropped() ? 0 : 1;
+  EXPECT_EQ(delivered, 3);  // LIMIT = 3
+}
+
+TEST(NormalizeConsumerProducer, ErrorsWithoutTwoSpawns) {
+  EXPECT_THROW(normalize_consumer_producer(lang::parse(
+                   "def a() { while (true) { p = recv(0); } }\n"
+                   "def main() { spawn(a); }")),
+               TransformError);
+}
+
+TEST(UnfoldSockets, RecognizesBalanceShape) {
+  auto prog = lang::parse(nfs::find("balance").source, "balance");
+  auto out = unfold_sockets(prog);
+  EXPECT_EQ(detect_structure(out), Structure::kCanonicalLoop);
+  // The generated program carries the TCP state machinery.
+  const std::string src = lang::to_source(out);
+  EXPECT_NE(src.find("tcp_st"), std::string::npos);
+  EXPECT_NE(src.find("fwd_nat"), std::string::npos);
+  EXPECT_NE(src.find("rev_nat"), std::string::npos);
+  // Original globals survive.
+  EXPECT_NE(src.find("var idx = 0;"), std::string::npos);
+}
+
+TEST(UnfoldSockets, SynEstablishDataRelay) {
+  auto mod = ir::lower(normalize(lang::parse(nfs::find("balance").source)));
+  runtime::Interpreter interp(mod);
+
+  // SYN from client: forwarded to backend 1 with NAT.
+  const auto syn_out = interp.process(
+      tcp_packet("10.0.0.1", 1234, "3.3.3.3", 80, netsim::kSyn));
+  ASSERT_EQ(syn_out.sent.size(), 1u);
+  EXPECT_EQ(syn_out.sent[0].first.ip_dst, netsim::ipv4("1.1.1.1"));
+  EXPECT_EQ(syn_out.sent[0].first.ip_src, netsim::ipv4("3.3.3.3"));
+  const auto lb_port = syn_out.sent[0].first.sport;
+
+  // SYN-ACK from backend: relayed back to the client.
+  const auto synack_out = interp.process(tcp_packet(
+      "1.1.1.1", 80, "3.3.3.3", lb_port, netsim::kSyn | netsim::kAck));
+  ASSERT_EQ(synack_out.sent.size(), 1u);
+  EXPECT_EQ(synack_out.sent[0].first.ip_dst, netsim::ipv4("10.0.0.1"));
+  EXPECT_EQ(synack_out.sent[0].first.dport, 1234);
+
+  // Client ACK completes the handshake and is relayed.
+  const auto ack_out = interp.process(
+      tcp_packet("10.0.0.1", 1234, "3.3.3.3", 80, netsim::kAck));
+  ASSERT_EQ(ack_out.sent.size(), 1u);
+
+  // Data now flows.
+  const auto data_out = interp.process(tcp_packet(
+      "10.0.0.1", 1234, "3.3.3.3", 80, netsim::kAck | netsim::kPsh));
+  EXPECT_EQ(data_out.sent.size(), 1u);
+}
+
+TEST(UnfoldSockets, DataWithoutHandshakeDropped) {
+  auto mod = ir::lower(normalize(lang::parse(nfs::find("balance").source)));
+  runtime::Interpreter interp(mod);
+  // Pure data packet for an unknown connection: the hidden-state rule —
+  // "data packets without 3-way handshake established would be dropped".
+  const auto out = interp.process(
+      tcp_packet("10.0.0.1", 999, "3.3.3.3", 80, netsim::kAck | netsim::kPsh));
+  EXPECT_TRUE(out.dropped());
+}
+
+TEST(UnfoldSockets, RstTearsConnectionDown) {
+  auto mod = ir::lower(normalize(lang::parse(nfs::find("balance").source)));
+  runtime::Interpreter interp(mod);
+  interp.process(tcp_packet("10.0.0.1", 1234, "3.3.3.3", 80, netsim::kSyn));
+  interp.process(tcp_packet("1.1.1.1", 80, "3.3.3.3", 10000,
+                            netsim::kSyn | netsim::kAck));
+  interp.process(tcp_packet("10.0.0.1", 1234, "3.3.3.3", 80, netsim::kAck));
+  // RST from the client side.
+  interp.process(tcp_packet("10.0.0.1", 1234, "3.3.3.3", 80, netsim::kRst));
+  const auto after = interp.process(tcp_packet(
+      "10.0.0.1", 1234, "3.3.3.3", 80, netsim::kAck | netsim::kPsh));
+  EXPECT_TRUE(after.dropped());
+}
+
+TEST(UnfoldSockets, RoundRobinAcrossConnections) {
+  auto mod = ir::lower(normalize(lang::parse(nfs::find("balance").source)));
+  runtime::Interpreter interp(mod);
+  const auto o1 = interp.process(
+      tcp_packet("10.0.0.1", 1000, "3.3.3.3", 80, netsim::kSyn));
+  const auto o2 = interp.process(
+      tcp_packet("10.0.0.2", 1000, "3.3.3.3", 80, netsim::kSyn));
+  ASSERT_EQ(o1.sent.size(), 1u);
+  ASSERT_EQ(o2.sent.size(), 1u);
+  EXPECT_EQ(o1.sent[0].first.ip_dst, netsim::ipv4("1.1.1.1"));
+  EXPECT_EQ(o2.sent[0].first.ip_dst, netsim::ipv4("2.2.2.2"));
+}
+
+TEST(UnfoldSockets, ErrorsOnNonconformingShape) {
+  EXPECT_THROW(unfold_sockets(lang::parse(
+                   "def main() { while (true) { pkt = recv(0); } }")),
+               TransformError);
+  EXPECT_THROW(unfold_sockets(lang::parse(
+                   "def main() { lfd = sock_listen(80); }")),
+               TransformError);
+}
+
+TEST(UnfoldSockets, CustomLbIpOption) {
+  UnfoldOptions opts;
+  opts.lb_ip = netsim::ipv4("9.9.9.9");
+  auto out = unfold_sockets(lang::parse(nfs::find("balance").source), opts);
+  EXPECT_NE(lang::to_source(out).find("var lb_ip = " +
+                                      std::to_string(netsim::ipv4("9.9.9.9"))),
+            std::string::npos);
+}
+
+TEST(NormalizeDispatch, IdentityOnCanonical) {
+  auto prog = lang::parse(nfs::find("nat").source, "nat");
+  auto out = normalize(prog);
+  EXPECT_EQ(lang::to_source(out), lang::to_source(prog));
+}
+
+// ---------------------------------------------------------------------------
+// rename_vars
+// ---------------------------------------------------------------------------
+
+TEST(RenameVars, RenamesReadsWritesAndTargets) {
+  auto prog = lang::parse(
+      "def f(a) { a = a + 1; b = a; m[a] = b; a.ip_src = 1; }");
+  const auto& body = *prog.funcs[0].body;
+  const std::map<std::string, std::string> ren = {{"a", "z"}};
+  const auto out = rename_vars(body, ren);
+  const std::string s = lang::to_source(*out);
+  EXPECT_EQ(s.find(" a "), std::string::npos);
+  EXPECT_NE(s.find("z = (z + 1);"), std::string::npos);
+  EXPECT_NE(s.find("m[z] = b;"), std::string::npos);
+  EXPECT_NE(s.find("z.ip_src = 1;"), std::string::npos);
+}
+
+TEST(RenameVars, LeavesOtherNamesAlone) {
+  auto prog = lang::parse("def f() { x = y + 1; }");
+  const auto out = rename_vars(*prog.funcs[0].body, {{"q", "r"}});
+  EXPECT_EQ(lang::to_source(*out), lang::to_source(*prog.funcs[0].body));
+}
+
+}  // namespace
+}  // namespace nfactor::transform

@@ -1,0 +1,298 @@
+// Verification applications: equivalence checking, stateful header-space
+// reachability, PGA-style composition, BUZZ-style compliance testing.
+#include <gtest/gtest.h>
+
+#include "netsim/packet_gen.h"
+#include "nfactor/pipeline.h"
+#include "nfs/corpus.h"
+#include "tests/test_util.h"
+#include "verify/chain.h"
+#include "verify/compliance.h"
+#include "verify/equivalence.h"
+#include "verify/hsa.h"
+
+namespace nfactor::verify {
+namespace {
+
+pipeline::PipelineResult run_nf(const char* name) {
+  return pipeline::run_source(nfs::find(name).source, name);
+}
+
+// ---------------------------------------------------------------------------
+// Differential equivalence
+// ---------------------------------------------------------------------------
+
+TEST(Equivalence, DetectsSabotagedModel) {
+  auto r = run_nf("firewall");
+  // Sabotage: delete the LAN->WAN forwarding entry's action.
+  for (auto& e : r.model.entries) {
+    if (!e.is_drop()) {
+      e.flow_action.clear();
+      break;
+    }
+  }
+  netsim::PacketGen gen(5);
+  const auto diff =
+      differential_test(*r.module, r.cats, r.model, gen.batch(200));
+  EXPECT_GT(diff.mismatches, 0);
+  EXPECT_FALSE(diff.details.empty());
+}
+
+TEST(Equivalence, DetectsSabotagedStateUpdate) {
+  auto r = run_nf("lb");
+  for (auto& e : r.model.entries) e.state_action.clear();
+  netsim::PacketGen gen(6);
+  const auto diff =
+      differential_test(*r.module, r.cats, r.model, gen.batch(200));
+  EXPECT_GT(diff.mismatches, 0);
+}
+
+TEST(Equivalence, ActionSignatureIgnoresLogState) {
+  const auto r = run_nf("lb");
+  for (const auto& p : r.slice_paths) {
+    const std::string sig = action_signature(p, r.cats);
+    EXPECT_EQ(sig.find("pass_stat"), std::string::npos);
+    EXPECT_EQ(sig.find("drop_stat"), std::string::npos);
+  }
+}
+
+TEST(Equivalence, CompareActionSetsSymmetric) {
+  const auto r = run_nf("nat");
+  const auto cmp = compare_action_sets(r.slice_paths, r.slice_paths, r.cats);
+  EXPECT_TRUE(cmp.equal());
+  EXPECT_GT(cmp.common, 0u);
+
+  const auto empty = compare_action_sets(r.slice_paths, {}, r.cats);
+  EXPECT_FALSE(empty.equal());
+  EXPECT_EQ(empty.only_in_b.size(), 0u);
+  EXPECT_GT(empty.only_in_a.size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Stateful header-space reachability
+// ---------------------------------------------------------------------------
+
+symex::SymRef pkt_eq(const char* field, symex::Int v) {
+  return symex::make_bin(
+      lang::BinOp::kEq,
+      symex::make_var(std::string("pkt.") + field, symex::VarClass::kPkt),
+      symex::make_int(v));
+}
+
+TEST(Hsa, SingleHopFirewallForwardsLanTraffic) {
+  const auto fw = run_nf("firewall");
+  const std::vector<ChainHop> chain = {{"fw", &fw.model, {}}};
+  EXPECT_TRUE(can_reach_egress(chain, {pkt_eq("in_port", 0)}));
+}
+
+TEST(Hsa, IngressConstraintCanBlockEverything) {
+  const auto ids = run_nf("snort_lite");
+  const auto pin = symex::make_bin(
+      lang::BinOp::kEq, symex::make_var("INLINE_DROP", symex::VarClass::kCfg),
+      symex::make_int(1));
+  const std::vector<ChainHop> chain = {{"ids", &ids.model, {pin}}};
+  // TCP telnet is rule-dropped.
+  EXPECT_FALSE(can_reach_egress(
+      chain, {pkt_eq("ip_proto", 6), pkt_eq("dport", 23)}));
+  // TCP 443 passes.
+  EXPECT_TRUE(can_reach_egress(
+      chain, {pkt_eq("ip_proto", 6), pkt_eq("dport", 443),
+              pkt_eq("eth_type", 0x0800)}));
+}
+
+TEST(Hsa, ConfigPinSelectsTable) {
+  const auto ids = run_nf("snort_lite");
+  const auto alert_only = symex::make_bin(
+      lang::BinOp::kEq, symex::make_var("INLINE_DROP", symex::VarClass::kCfg),
+      symex::make_int(0));
+  const std::vector<ChainHop> chain = {{"ids", &ids.model, {alert_only}}};
+  // In alert-only mode even telnet passes through.
+  EXPECT_TRUE(can_reach_egress(
+      chain, {pkt_eq("ip_proto", 6), pkt_eq("dport", 23),
+              pkt_eq("eth_type", 0x0800)}));
+}
+
+TEST(Hsa, RewritesPropagateToNextHop) {
+  // NAT rewrites ip_src to EXT_IP=5.5.5.5; a downstream firewall-style
+  // model matching the original source address must become unreachable.
+  const auto nat = run_nf("nat");
+  const std::vector<ChainHop> chain = {{"nat", &nat.model, {}}};
+  const auto res = reachable(chain, {pkt_eq("in_port", 0)}, 8);
+  ASSERT_TRUE(res.any());
+  bool rewrote = false;
+  for (const auto& p : res.delivered) {
+    const auto it = p.egress_fields.find("pkt.ip_src");
+    ASSERT_NE(it, p.egress_fields.end());
+    // The egress source address is the NAT's (prefixed) EXT_IP config
+    // symbol — no longer the ingress pkt.ip_src.
+    if (symex::to_string(*it->second).find("EXT_IP") != std::string::npos) {
+      rewrote = true;
+    }
+  }
+  EXPECT_TRUE(rewrote);
+}
+
+TEST(Hsa, TwoInstancesOfSameNfKeepDisjointState) {
+  const auto fw = run_nf("firewall");
+  const std::vector<ChainHop> chain = {{"fw_a", &fw.model, {}},
+                                       {"fw_b", &fw.model, {}}};
+  const auto res = reachable(chain, {pkt_eq("in_port", 0)}, 16);
+  ASSERT_TRUE(res.any());
+  // State symbols must carry distinct prefixes.
+  for (const auto& p : res.delivered) {
+    for (const auto& c : p.constraints) {
+      const std::string s = c->key();
+      EXPECT_EQ(s.find("fw_a$0$fw_b"), std::string::npos);
+    }
+  }
+}
+
+TEST(Hsa, HopIngressPortPinning) {
+  const auto fw = run_nf("firewall");
+  // Pin the hop's ingress to the LAN port: the LAN->WAN entry matches
+  // with the in_port test fully resolved (no in_port symbol survives).
+  std::vector<ChainHop> lan = {{"fw", &fw.model, {}, /*in_port=*/0}};
+  const auto res = reachable(lan, {}, 8);
+  ASSERT_TRUE(res.any());
+  for (const auto& p : res.delivered) {
+    for (const auto& c : p.constraints) {
+      EXPECT_EQ(c->key().find("pkt.in_port"), std::string::npos)
+          << symex::to_string(*c);
+    }
+  }
+
+  // Pinned to a non-LAN port (with the LAN_PORT config also pinned so
+  // the deployment is fixed), only the established-connection entry can
+  // deliver — every surviving path must constrain the connection table.
+  const auto lan_is_0 = symex::make_bin(
+      lang::BinOp::kEq, symex::make_var("LAN_PORT", symex::VarClass::kCfg),
+      symex::make_int(0));
+  std::vector<ChainHop> wan = {{"fw", &fw.model, {lan_is_0}, /*in_port=*/7}};
+  for (const auto& p : reachable(wan, {}, 8).delivered) {
+    bool mentions_conns = false;
+    for (const auto& c : p.constraints) {
+      if (c->key().find("conns") != std::string::npos) mentions_conns = true;
+    }
+    EXPECT_TRUE(mentions_conns);
+  }
+}
+
+TEST(Hsa, InfeasibleCountsReported) {
+  const auto ids = run_nf("snort_lite");
+  const auto pin = symex::make_bin(
+      lang::BinOp::kEq, symex::make_var("INLINE_DROP", symex::VarClass::kCfg),
+      symex::make_int(1));
+  const std::vector<ChainHop> chain = {{"ids", &ids.model, {pin}}};
+  // A rule-dropped flow: every forwarding entry is infeasible under the
+  // inline-drop configuration.
+  const auto res =
+      reachable(chain, {pkt_eq("ip_proto", 6), pkt_eq("dport", 23)}, 8);
+  EXPECT_FALSE(res.any());
+  EXPECT_GT(res.infeasible, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// PGA-style composition
+// ---------------------------------------------------------------------------
+
+TEST(Compose, IoSpacesReflectModels) {
+  const auto lb = run_nf("lb");
+  const auto io = io_space(lb.model);
+  EXPECT_TRUE(io.fields_matched.count("pkt.dport"));
+  EXPECT_TRUE(io.fields_rewritten.count("pkt.ip_dst"));
+  EXPECT_TRUE(io.fields_rewritten.count("pkt.sport"));
+
+  const auto fw = run_nf("firewall");
+  const auto fio = io_space(fw.model);
+  EXPECT_TRUE(fio.fields_matched.count("pkt.in_port"));
+  EXPECT_TRUE(fio.fields_rewritten.empty());
+}
+
+TEST(Compose, MatcherPrecedesRewriter) {
+  const auto fw = run_nf("firewall");
+  const auto ids = run_nf("snort_lite");
+  const auto lb = run_nf("lb");
+  const auto advice = advise_order(
+      {{"lb", &lb.model}, {"fw", &fw.model}, {"ids", &ids.model}});
+  ASSERT_EQ(advice.order.size(), 3u);
+  EXPECT_FALSE(advice.has_cycle);
+  // lb (the rewriter) must come last.
+  EXPECT_EQ(advice.order.back(), "lb");
+  // Constraints actually mention the port conflict.
+  bool ids_before_lb = false;
+  for (const auto& c : advice.constraints) {
+    if (c.before == "ids" && c.after == "lb") ids_before_lb = true;
+  }
+  EXPECT_TRUE(ids_before_lb);
+}
+
+TEST(Compose, CycleDetected) {
+  // Two NATs that each match on and rewrite the same field force a cycle.
+  const auto nat = run_nf("nat");
+  const auto advice = advise_order(
+      {{"nat_a", &nat.model}, {"nat_b", &nat.model}});
+  EXPECT_TRUE(advice.has_cycle);
+  EXPECT_EQ(advice.order.size(), 2u);  // still emits a best-effort order
+}
+
+TEST(Compose, SingleNfTrivial) {
+  const auto fw = run_nf("firewall");
+  const auto advice = advise_order({{"fw", &fw.model}});
+  EXPECT_EQ(advice.order, (std::vector<std::string>{"fw"}));
+  EXPECT_TRUE(advice.constraints.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Compliance testing
+// ---------------------------------------------------------------------------
+
+class ComplianceOnCorpus : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ComplianceOnCorpus, NoGeneratedTestFails) {
+  const auto r = run_nf(GetParam());
+  const auto rep = run_compliance(*r.module, r.model);
+  EXPECT_EQ(rep.failed, 0) << rep.summary();
+  EXPECT_GT(rep.passed, 0) << rep.summary();
+  EXPECT_EQ(rep.cases.size(), r.model.entries.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, ComplianceOnCorpus,
+                         ::testing::Values("lb", "nat", "firewall", "dpi",
+                                           "monitor", "snort_lite", "heavy_hitter",
+                                           "synflood"));
+
+TEST(Compliance, NatCoversAllEntriesWithPriming) {
+  const auto r = run_nf("nat");
+  const auto rep = run_compliance(*r.module, r.model);
+  EXPECT_EQ(rep.passed, static_cast<int>(r.model.entries.size()));
+  // The reverse-path entry needs a priming packet.
+  bool multi_step = false;
+  for (const auto& tc : rep.cases) {
+    if (tc.sequence.size() > 1) multi_step = true;
+  }
+  EXPECT_TRUE(multi_step);
+}
+
+TEST(Compliance, LbHashEntrySkippedUnderRrConfig) {
+  const auto r = run_nf("lb");
+  const auto rep = run_compliance(*r.module, r.model);
+  EXPECT_GT(rep.config_skipped, 0);  // the mode != ROUND_ROBIN table
+}
+
+TEST(Compliance, StatusNamesReadable) {
+  EXPECT_EQ(to_string(CaseStatus::kPassed), "passed");
+  EXPECT_EQ(to_string(CaseStatus::kFailed), "failed");
+  EXPECT_EQ(to_string(CaseStatus::kUncovered), "uncovered");
+  EXPECT_EQ(to_string(CaseStatus::kConfigSkip), "config-skip");
+}
+
+TEST(Compliance, SummaryCountsAddUp) {
+  const auto r = run_nf("firewall");
+  const auto rep = run_compliance(*r.module, r.model);
+  EXPECT_EQ(rep.passed + rep.failed + rep.uncovered + rep.config_skipped,
+            static_cast<int>(rep.cases.size()));
+  EXPECT_NE(rep.summary().find("passed"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nfactor::verify
