@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation.cpp" "bench/CMakeFiles/bench_ablation.dir/bench_ablation.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation.dir/bench_ablation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nfactor/CMakeFiles/nfactor_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/verify/CMakeFiles/nfactor_verify.dir/DependInfo.cmake"
+  "/root/repo/build/src/nfs/CMakeFiles/nfactor_nfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/transform/CMakeFiles/nfactor_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/nfactor_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/symex/CMakeFiles/nfactor_symex.dir/DependInfo.cmake"
+  "/root/repo/build/src/statealyzer/CMakeFiles/nfactor_statealyzer.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/nfactor_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/nfactor_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/nfactor_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/nfactor_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/nfactor_lang.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

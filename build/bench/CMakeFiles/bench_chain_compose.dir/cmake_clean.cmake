@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_chain_compose.dir/bench_chain_compose.cpp.o"
+  "CMakeFiles/bench_chain_compose.dir/bench_chain_compose.cpp.o.d"
+  "bench_chain_compose"
+  "bench_chain_compose.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_chain_compose.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

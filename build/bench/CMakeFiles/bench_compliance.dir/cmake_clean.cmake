@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_compliance.dir/bench_compliance.cpp.o"
+  "CMakeFiles/bench_compliance.dir/bench_compliance.cpp.o.d"
+  "bench_compliance"
+  "bench_compliance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_compliance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_slice.dir/bench_fig1_slice.cpp.o"
+  "CMakeFiles/bench_fig1_slice.dir/bench_fig1_slice.cpp.o.d"
+  "bench_fig1_slice"
+  "bench_fig1_slice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_slice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig45_transform.dir/bench_fig45_transform.cpp.o"
+  "CMakeFiles/bench_fig45_transform.dir/bench_fig45_transform.cpp.o.d"
+  "bench_fig45_transform"
+  "bench_fig45_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig45_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multi_packet.dir/bench_multi_packet.cpp.o"
+  "CMakeFiles/bench_multi_packet.dir/bench_multi_packet.cpp.o.d"
+  "bench_multi_packet"
+  "bench_multi_packet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multi_packet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pipeline_stages.dir/bench_pipeline_stages.cpp.o"
+  "CMakeFiles/bench_pipeline_stages.dir/bench_pipeline_stages.cpp.o.d"
+  "bench_pipeline_stages"
+  "bench_pipeline_stages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pipeline_stages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

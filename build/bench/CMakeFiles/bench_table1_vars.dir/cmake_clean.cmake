@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_vars.dir/bench_table1_vars.cpp.o"
+  "CMakeFiles/bench_table1_vars.dir/bench_table1_vars.cpp.o.d"
+  "bench_table1_vars"
+  "bench_table1_vars.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_vars.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_verification.dir/bench_verification.cpp.o"
+  "CMakeFiles/bench_verification.dir/bench_verification.cpp.o.d"
+  "bench_verification"
+  "bench_verification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_verification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compliance_testing.dir/compliance_testing.cpp.o"
+  "CMakeFiles/compliance_testing.dir/compliance_testing.cpp.o.d"
+  "compliance_testing"
+  "compliance_testing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compliance_testing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for compliance_testing.
+# This may be replaced when dependencies are built.

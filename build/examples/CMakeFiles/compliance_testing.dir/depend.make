@@ -1,0 +1,2 @@
+# Empty dependencies file for compliance_testing.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nfactor_cli.dir/nfactor_cli.cpp.o"
+  "CMakeFiles/nfactor_cli.dir/nfactor_cli.cpp.o.d"
+  "nfactor_cli"
+  "nfactor_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nfactor_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/service_chain.dir/service_chain.cpp.o"
+  "CMakeFiles/service_chain.dir/service_chain.cpp.o.d"
+  "service_chain"
+  "service_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/service_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

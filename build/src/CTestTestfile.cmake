@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("netsim")
+subdirs("lang")
+subdirs("ir")
+subdirs("analysis")
+subdirs("statealyzer")
+subdirs("runtime")
+subdirs("symex")
+subdirs("model")
+subdirs("transform")
+subdirs("nfactor")
+subdirs("verify")
+subdirs("nfs")

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/control_dep.cpp" "src/analysis/CMakeFiles/nfactor_analysis.dir/control_dep.cpp.o" "gcc" "src/analysis/CMakeFiles/nfactor_analysis.dir/control_dep.cpp.o.d"
+  "/root/repo/src/analysis/dominators.cpp" "src/analysis/CMakeFiles/nfactor_analysis.dir/dominators.cpp.o" "gcc" "src/analysis/CMakeFiles/nfactor_analysis.dir/dominators.cpp.o.d"
+  "/root/repo/src/analysis/dot.cpp" "src/analysis/CMakeFiles/nfactor_analysis.dir/dot.cpp.o" "gcc" "src/analysis/CMakeFiles/nfactor_analysis.dir/dot.cpp.o.d"
+  "/root/repo/src/analysis/dynamic_slice.cpp" "src/analysis/CMakeFiles/nfactor_analysis.dir/dynamic_slice.cpp.o" "gcc" "src/analysis/CMakeFiles/nfactor_analysis.dir/dynamic_slice.cpp.o.d"
+  "/root/repo/src/analysis/live_vars.cpp" "src/analysis/CMakeFiles/nfactor_analysis.dir/live_vars.cpp.o" "gcc" "src/analysis/CMakeFiles/nfactor_analysis.dir/live_vars.cpp.o.d"
+  "/root/repo/src/analysis/pdg.cpp" "src/analysis/CMakeFiles/nfactor_analysis.dir/pdg.cpp.o" "gcc" "src/analysis/CMakeFiles/nfactor_analysis.dir/pdg.cpp.o.d"
+  "/root/repo/src/analysis/reaching_defs.cpp" "src/analysis/CMakeFiles/nfactor_analysis.dir/reaching_defs.cpp.o" "gcc" "src/analysis/CMakeFiles/nfactor_analysis.dir/reaching_defs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/nfactor_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/nfactor_lang.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nfactor_analysis.dir/control_dep.cpp.o"
+  "CMakeFiles/nfactor_analysis.dir/control_dep.cpp.o.d"
+  "CMakeFiles/nfactor_analysis.dir/dominators.cpp.o"
+  "CMakeFiles/nfactor_analysis.dir/dominators.cpp.o.d"
+  "CMakeFiles/nfactor_analysis.dir/dot.cpp.o"
+  "CMakeFiles/nfactor_analysis.dir/dot.cpp.o.d"
+  "CMakeFiles/nfactor_analysis.dir/dynamic_slice.cpp.o"
+  "CMakeFiles/nfactor_analysis.dir/dynamic_slice.cpp.o.d"
+  "CMakeFiles/nfactor_analysis.dir/live_vars.cpp.o"
+  "CMakeFiles/nfactor_analysis.dir/live_vars.cpp.o.d"
+  "CMakeFiles/nfactor_analysis.dir/pdg.cpp.o"
+  "CMakeFiles/nfactor_analysis.dir/pdg.cpp.o.d"
+  "CMakeFiles/nfactor_analysis.dir/reaching_defs.cpp.o"
+  "CMakeFiles/nfactor_analysis.dir/reaching_defs.cpp.o.d"
+  "libnfactor_analysis.a"
+  "libnfactor_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nfactor_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

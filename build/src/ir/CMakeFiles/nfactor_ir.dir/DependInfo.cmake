@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/dot.cpp" "src/ir/CMakeFiles/nfactor_ir.dir/dot.cpp.o" "gcc" "src/ir/CMakeFiles/nfactor_ir.dir/dot.cpp.o.d"
+  "/root/repo/src/ir/ir.cpp" "src/ir/CMakeFiles/nfactor_ir.dir/ir.cpp.o" "gcc" "src/ir/CMakeFiles/nfactor_ir.dir/ir.cpp.o.d"
+  "/root/repo/src/ir/lower.cpp" "src/ir/CMakeFiles/nfactor_ir.dir/lower.cpp.o" "gcc" "src/ir/CMakeFiles/nfactor_ir.dir/lower.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lang/CMakeFiles/nfactor_lang.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

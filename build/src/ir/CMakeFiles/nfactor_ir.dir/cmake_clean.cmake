@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nfactor_ir.dir/dot.cpp.o"
+  "CMakeFiles/nfactor_ir.dir/dot.cpp.o.d"
+  "CMakeFiles/nfactor_ir.dir/ir.cpp.o"
+  "CMakeFiles/nfactor_ir.dir/ir.cpp.o.d"
+  "CMakeFiles/nfactor_ir.dir/lower.cpp.o"
+  "CMakeFiles/nfactor_ir.dir/lower.cpp.o.d"
+  "libnfactor_ir.a"
+  "libnfactor_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nfactor_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

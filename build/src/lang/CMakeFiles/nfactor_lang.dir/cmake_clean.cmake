@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nfactor_lang.dir/ast.cpp.o"
+  "CMakeFiles/nfactor_lang.dir/ast.cpp.o.d"
+  "CMakeFiles/nfactor_lang.dir/builtins.cpp.o"
+  "CMakeFiles/nfactor_lang.dir/builtins.cpp.o.d"
+  "CMakeFiles/nfactor_lang.dir/lexer.cpp.o"
+  "CMakeFiles/nfactor_lang.dir/lexer.cpp.o.d"
+  "CMakeFiles/nfactor_lang.dir/parser.cpp.o"
+  "CMakeFiles/nfactor_lang.dir/parser.cpp.o.d"
+  "CMakeFiles/nfactor_lang.dir/sema.cpp.o"
+  "CMakeFiles/nfactor_lang.dir/sema.cpp.o.d"
+  "libnfactor_lang.a"
+  "libnfactor_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nfactor_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

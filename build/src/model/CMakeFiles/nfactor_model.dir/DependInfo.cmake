@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/fsm.cpp" "src/model/CMakeFiles/nfactor_model.dir/fsm.cpp.o" "gcc" "src/model/CMakeFiles/nfactor_model.dir/fsm.cpp.o.d"
+  "/root/repo/src/model/interp.cpp" "src/model/CMakeFiles/nfactor_model.dir/interp.cpp.o" "gcc" "src/model/CMakeFiles/nfactor_model.dir/interp.cpp.o.d"
+  "/root/repo/src/model/model.cpp" "src/model/CMakeFiles/nfactor_model.dir/model.cpp.o" "gcc" "src/model/CMakeFiles/nfactor_model.dir/model.cpp.o.d"
+  "/root/repo/src/model/sefl_export.cpp" "src/model/CMakeFiles/nfactor_model.dir/sefl_export.cpp.o" "gcc" "src/model/CMakeFiles/nfactor_model.dir/sefl_export.cpp.o.d"
+  "/root/repo/src/model/validate.cpp" "src/model/CMakeFiles/nfactor_model.dir/validate.cpp.o" "gcc" "src/model/CMakeFiles/nfactor_model.dir/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/symex/CMakeFiles/nfactor_symex.dir/DependInfo.cmake"
+  "/root/repo/build/src/statealyzer/CMakeFiles/nfactor_statealyzer.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/nfactor_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/nfactor_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/nfactor_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/nfactor_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/nfactor_netsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nfactor_model.dir/fsm.cpp.o"
+  "CMakeFiles/nfactor_model.dir/fsm.cpp.o.d"
+  "CMakeFiles/nfactor_model.dir/interp.cpp.o"
+  "CMakeFiles/nfactor_model.dir/interp.cpp.o.d"
+  "CMakeFiles/nfactor_model.dir/model.cpp.o"
+  "CMakeFiles/nfactor_model.dir/model.cpp.o.d"
+  "CMakeFiles/nfactor_model.dir/sefl_export.cpp.o"
+  "CMakeFiles/nfactor_model.dir/sefl_export.cpp.o.d"
+  "CMakeFiles/nfactor_model.dir/validate.cpp.o"
+  "CMakeFiles/nfactor_model.dir/validate.cpp.o.d"
+  "libnfactor_model.a"
+  "libnfactor_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nfactor_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

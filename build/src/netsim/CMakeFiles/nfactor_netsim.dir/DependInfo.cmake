@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netsim/checksum.cpp" "src/netsim/CMakeFiles/nfactor_netsim.dir/checksum.cpp.o" "gcc" "src/netsim/CMakeFiles/nfactor_netsim.dir/checksum.cpp.o.d"
+  "/root/repo/src/netsim/flow.cpp" "src/netsim/CMakeFiles/nfactor_netsim.dir/flow.cpp.o" "gcc" "src/netsim/CMakeFiles/nfactor_netsim.dir/flow.cpp.o.d"
+  "/root/repo/src/netsim/packet.cpp" "src/netsim/CMakeFiles/nfactor_netsim.dir/packet.cpp.o" "gcc" "src/netsim/CMakeFiles/nfactor_netsim.dir/packet.cpp.o.d"
+  "/root/repo/src/netsim/packet_gen.cpp" "src/netsim/CMakeFiles/nfactor_netsim.dir/packet_gen.cpp.o" "gcc" "src/netsim/CMakeFiles/nfactor_netsim.dir/packet_gen.cpp.o.d"
+  "/root/repo/src/netsim/tcp_fsm.cpp" "src/netsim/CMakeFiles/nfactor_netsim.dir/tcp_fsm.cpp.o" "gcc" "src/netsim/CMakeFiles/nfactor_netsim.dir/tcp_fsm.cpp.o.d"
+  "/root/repo/src/netsim/trace.cpp" "src/netsim/CMakeFiles/nfactor_netsim.dir/trace.cpp.o" "gcc" "src/netsim/CMakeFiles/nfactor_netsim.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

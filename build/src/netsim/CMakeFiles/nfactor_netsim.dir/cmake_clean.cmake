@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nfactor_netsim.dir/checksum.cpp.o"
+  "CMakeFiles/nfactor_netsim.dir/checksum.cpp.o.d"
+  "CMakeFiles/nfactor_netsim.dir/flow.cpp.o"
+  "CMakeFiles/nfactor_netsim.dir/flow.cpp.o.d"
+  "CMakeFiles/nfactor_netsim.dir/packet.cpp.o"
+  "CMakeFiles/nfactor_netsim.dir/packet.cpp.o.d"
+  "CMakeFiles/nfactor_netsim.dir/packet_gen.cpp.o"
+  "CMakeFiles/nfactor_netsim.dir/packet_gen.cpp.o.d"
+  "CMakeFiles/nfactor_netsim.dir/tcp_fsm.cpp.o"
+  "CMakeFiles/nfactor_netsim.dir/tcp_fsm.cpp.o.d"
+  "CMakeFiles/nfactor_netsim.dir/trace.cpp.o"
+  "CMakeFiles/nfactor_netsim.dir/trace.cpp.o.d"
+  "libnfactor_netsim.a"
+  "libnfactor_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nfactor_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

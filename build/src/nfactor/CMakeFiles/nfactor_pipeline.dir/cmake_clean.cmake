@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nfactor_pipeline.dir/pipeline.cpp.o"
+  "CMakeFiles/nfactor_pipeline.dir/pipeline.cpp.o.d"
+  "libnfactor_pipeline.a"
+  "libnfactor_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nfactor_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nfactor_nfs.dir/corpus.cpp.o"
+  "CMakeFiles/nfactor_nfs.dir/corpus.cpp.o.d"
+  "libnfactor_nfs.a"
+  "libnfactor_nfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nfactor_nfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

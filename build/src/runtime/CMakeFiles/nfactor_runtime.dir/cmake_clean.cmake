@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nfactor_runtime.dir/interp.cpp.o"
+  "CMakeFiles/nfactor_runtime.dir/interp.cpp.o.d"
+  "CMakeFiles/nfactor_runtime.dir/value.cpp.o"
+  "CMakeFiles/nfactor_runtime.dir/value.cpp.o.d"
+  "libnfactor_runtime.a"
+  "libnfactor_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nfactor_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/statealyzer/statealyzer.cpp" "src/statealyzer/CMakeFiles/nfactor_statealyzer.dir/statealyzer.cpp.o" "gcc" "src/statealyzer/CMakeFiles/nfactor_statealyzer.dir/statealyzer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/nfactor_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/nfactor_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/nfactor_lang.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

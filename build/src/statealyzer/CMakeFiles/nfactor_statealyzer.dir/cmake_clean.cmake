@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nfactor_statealyzer.dir/statealyzer.cpp.o"
+  "CMakeFiles/nfactor_statealyzer.dir/statealyzer.cpp.o.d"
+  "libnfactor_statealyzer.a"
+  "libnfactor_statealyzer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nfactor_statealyzer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for nfactor_statealyzer.
+# This may be replaced when dependencies are built.

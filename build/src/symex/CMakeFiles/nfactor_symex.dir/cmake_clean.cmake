@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nfactor_symex.dir/concrete_eval.cpp.o"
+  "CMakeFiles/nfactor_symex.dir/concrete_eval.cpp.o.d"
+  "CMakeFiles/nfactor_symex.dir/executor.cpp.o"
+  "CMakeFiles/nfactor_symex.dir/executor.cpp.o.d"
+  "CMakeFiles/nfactor_symex.dir/expr.cpp.o"
+  "CMakeFiles/nfactor_symex.dir/expr.cpp.o.d"
+  "CMakeFiles/nfactor_symex.dir/solver.cpp.o"
+  "CMakeFiles/nfactor_symex.dir/solver.cpp.o.d"
+  "libnfactor_symex.a"
+  "libnfactor_symex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nfactor_symex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

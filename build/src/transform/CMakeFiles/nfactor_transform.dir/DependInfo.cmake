@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transform/normalize.cpp" "src/transform/CMakeFiles/nfactor_transform.dir/normalize.cpp.o" "gcc" "src/transform/CMakeFiles/nfactor_transform.dir/normalize.cpp.o.d"
+  "/root/repo/src/transform/rewrite.cpp" "src/transform/CMakeFiles/nfactor_transform.dir/rewrite.cpp.o" "gcc" "src/transform/CMakeFiles/nfactor_transform.dir/rewrite.cpp.o.d"
+  "/root/repo/src/transform/unfold_sockets.cpp" "src/transform/CMakeFiles/nfactor_transform.dir/unfold_sockets.cpp.o" "gcc" "src/transform/CMakeFiles/nfactor_transform.dir/unfold_sockets.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lang/CMakeFiles/nfactor_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/nfactor_netsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

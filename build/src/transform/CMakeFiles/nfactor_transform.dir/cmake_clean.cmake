@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nfactor_transform.dir/normalize.cpp.o"
+  "CMakeFiles/nfactor_transform.dir/normalize.cpp.o.d"
+  "CMakeFiles/nfactor_transform.dir/rewrite.cpp.o"
+  "CMakeFiles/nfactor_transform.dir/rewrite.cpp.o.d"
+  "CMakeFiles/nfactor_transform.dir/unfold_sockets.cpp.o"
+  "CMakeFiles/nfactor_transform.dir/unfold_sockets.cpp.o.d"
+  "libnfactor_transform.a"
+  "libnfactor_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nfactor_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/verify/chain.cpp" "src/verify/CMakeFiles/nfactor_verify.dir/chain.cpp.o" "gcc" "src/verify/CMakeFiles/nfactor_verify.dir/chain.cpp.o.d"
+  "/root/repo/src/verify/compliance.cpp" "src/verify/CMakeFiles/nfactor_verify.dir/compliance.cpp.o" "gcc" "src/verify/CMakeFiles/nfactor_verify.dir/compliance.cpp.o.d"
+  "/root/repo/src/verify/equivalence.cpp" "src/verify/CMakeFiles/nfactor_verify.dir/equivalence.cpp.o" "gcc" "src/verify/CMakeFiles/nfactor_verify.dir/equivalence.cpp.o.d"
+  "/root/repo/src/verify/hsa.cpp" "src/verify/CMakeFiles/nfactor_verify.dir/hsa.cpp.o" "gcc" "src/verify/CMakeFiles/nfactor_verify.dir/hsa.cpp.o.d"
+  "/root/repo/src/verify/multi_packet.cpp" "src/verify/CMakeFiles/nfactor_verify.dir/multi_packet.cpp.o" "gcc" "src/verify/CMakeFiles/nfactor_verify.dir/multi_packet.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/nfactor_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/nfactor_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/symex/CMakeFiles/nfactor_symex.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/nfactor_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/statealyzer/CMakeFiles/nfactor_statealyzer.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/nfactor_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/nfactor_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/nfactor_lang.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

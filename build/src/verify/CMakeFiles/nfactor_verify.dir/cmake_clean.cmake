@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nfactor_verify.dir/chain.cpp.o"
+  "CMakeFiles/nfactor_verify.dir/chain.cpp.o.d"
+  "CMakeFiles/nfactor_verify.dir/compliance.cpp.o"
+  "CMakeFiles/nfactor_verify.dir/compliance.cpp.o.d"
+  "CMakeFiles/nfactor_verify.dir/equivalence.cpp.o"
+  "CMakeFiles/nfactor_verify.dir/equivalence.cpp.o.d"
+  "CMakeFiles/nfactor_verify.dir/hsa.cpp.o"
+  "CMakeFiles/nfactor_verify.dir/hsa.cpp.o.d"
+  "CMakeFiles/nfactor_verify.dir/multi_packet.cpp.o"
+  "CMakeFiles/nfactor_verify.dir/multi_packet.cpp.o.d"
+  "libnfactor_verify.a"
+  "libnfactor_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nfactor_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_slice_test.dir/analysis_slice_test.cpp.o"
+  "CMakeFiles/analysis_slice_test.dir/analysis_slice_test.cpp.o.d"
+  "analysis_slice_test"
+  "analysis_slice_test.pdb"
+  "analysis_slice_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_slice_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

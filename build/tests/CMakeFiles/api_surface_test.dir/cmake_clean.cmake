@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/api_surface_test.dir/api_surface_test.cpp.o"
+  "CMakeFiles/api_surface_test.dir/api_surface_test.cpp.o.d"
+  "api_surface_test"
+  "api_surface_test.pdb"
+  "api_surface_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/api_surface_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for api_surface_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lang_sema_test.dir/lang_sema_test.cpp.o"
+  "CMakeFiles/lang_sema_test.dir/lang_sema_test.cpp.o.d"
+  "lang_sema_test"
+  "lang_sema_test.pdb"
+  "lang_sema_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lang_sema_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_interp_test.dir/model_interp_test.cpp.o"
+  "CMakeFiles/model_interp_test.dir/model_interp_test.cpp.o.d"
+  "model_interp_test"
+  "model_interp_test.pdb"
+  "model_interp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_interp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_packet_test.dir/multi_packet_test.cpp.o"
+  "CMakeFiles/multi_packet_test.dir/multi_packet_test.cpp.o.d"
+  "multi_packet_test"
+  "multi_packet_test.pdb"
+  "multi_packet_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_packet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netsim_flow_tcp_test.dir/netsim_flow_tcp_test.cpp.o"
+  "CMakeFiles/netsim_flow_tcp_test.dir/netsim_flow_tcp_test.cpp.o.d"
+  "netsim_flow_tcp_test"
+  "netsim_flow_tcp_test.pdb"
+  "netsim_flow_tcp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netsim_flow_tcp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netsim_packet_test.dir/netsim_packet_test.cpp.o"
+  "CMakeFiles/netsim_packet_test.dir/netsim_packet_test.cpp.o.d"
+  "netsim_packet_test"
+  "netsim_packet_test.pdb"
+  "netsim_packet_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netsim_packet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

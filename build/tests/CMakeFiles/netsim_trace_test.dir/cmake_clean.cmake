@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netsim_trace_test.dir/netsim_trace_test.cpp.o"
+  "CMakeFiles/netsim_trace_test.dir/netsim_trace_test.cpp.o.d"
+  "netsim_trace_test"
+  "netsim_trace_test.pdb"
+  "netsim_trace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netsim_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_integration_test.dir/pipeline_integration_test.cpp.o"
+  "CMakeFiles/pipeline_integration_test.dir/pipeline_integration_test.cpp.o.d"
+  "pipeline_integration_test"
+  "pipeline_integration_test.pdb"
+  "pipeline_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

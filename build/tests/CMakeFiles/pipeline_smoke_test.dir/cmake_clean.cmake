@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_smoke_test.dir/pipeline_smoke_test.cpp.o"
+  "CMakeFiles/pipeline_smoke_test.dir/pipeline_smoke_test.cpp.o.d"
+  "pipeline_smoke_test"
+  "pipeline_smoke_test.pdb"
+  "pipeline_smoke_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_smoke_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for pipeline_smoke_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_random_test.dir/property_random_test.cpp.o"
+  "CMakeFiles/property_random_test.dir/property_random_test.cpp.o.d"
+  "property_random_test"
+  "property_random_test.pdb"
+  "property_random_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_random_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/statealyzer_test.dir/statealyzer_test.cpp.o"
+  "CMakeFiles/statealyzer_test.dir/statealyzer_test.cpp.o.d"
+  "statealyzer_test"
+  "statealyzer_test.pdb"
+  "statealyzer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/statealyzer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/symex_executor_test.dir/symex_executor_test.cpp.o"
+  "CMakeFiles/symex_executor_test.dir/symex_executor_test.cpp.o.d"
+  "symex_executor_test"
+  "symex_executor_test.pdb"
+  "symex_executor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/symex_executor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/symex_expr_test.dir/symex_expr_test.cpp.o"
+  "CMakeFiles/symex_expr_test.dir/symex_expr_test.cpp.o.d"
+  "symex_expr_test"
+  "symex_expr_test.pdb"
+  "symex_expr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/symex_expr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

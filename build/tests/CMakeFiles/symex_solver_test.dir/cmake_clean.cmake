@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/symex_solver_test.dir/symex_solver_test.cpp.o"
+  "CMakeFiles/symex_solver_test.dir/symex_solver_test.cpp.o.d"
+  "symex_solver_test"
+  "symex_solver_test.pdb"
+  "symex_solver_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/symex_solver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

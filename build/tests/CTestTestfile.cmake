@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/pipeline_smoke_test[1]_include.cmake")
+include("/root/repo/build/tests/netsim_packet_test[1]_include.cmake")
+include("/root/repo/build/tests/netsim_flow_tcp_test[1]_include.cmake")
+include("/root/repo/build/tests/lang_lexer_test[1]_include.cmake")
+include("/root/repo/build/tests/lang_parser_test[1]_include.cmake")
+include("/root/repo/build/tests/lang_sema_test[1]_include.cmake")
+include("/root/repo/build/tests/ir_lower_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_cfg_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_slice_test[1]_include.cmake")
+include("/root/repo/build/tests/statealyzer_test[1]_include.cmake")
+include("/root/repo/build/tests/symex_expr_test[1]_include.cmake")
+include("/root/repo/build/tests/symex_solver_test[1]_include.cmake")
+include("/root/repo/build/tests/symex_executor_test[1]_include.cmake")
+include("/root/repo/build/tests/runtime_test[1]_include.cmake")
+include("/root/repo/build/tests/model_test[1]_include.cmake")
+include("/root/repo/build/tests/model_interp_test[1]_include.cmake")
+include("/root/repo/build/tests/transform_test[1]_include.cmake")
+include("/root/repo/build/tests/verify_test[1]_include.cmake")
+include("/root/repo/build/tests/pipeline_integration_test[1]_include.cmake")
+include("/root/repo/build/tests/export_test[1]_include.cmake")
+include("/root/repo/build/tests/property_random_test[1]_include.cmake")
+include("/root/repo/build/tests/netsim_trace_test[1]_include.cmake")
+include("/root/repo/build/tests/model_validate_test[1]_include.cmake")
+include("/root/repo/build/tests/multi_packet_test[1]_include.cmake")
+include("/root/repo/build/tests/solver_property_test[1]_include.cmake")
+include("/root/repo/build/tests/api_surface_test[1]_include.cmake")
