@@ -1,16 +1,25 @@
 // Shared helpers for the paper-reproduction benchmarks: each bench
 // binary prints its paper-shaped table first (the reproduction artifact)
 // and then runs google-benchmark timings for the operations behind it.
+// After the timing run the obs metrics registry is emitted alongside —
+// as JSON to $NFACTOR_METRICS_OUT (or --metrics-out FILE) when set, and
+// always as a one-line digest on stderr — so every BENCH_*.json gains
+// the per-stage breakdown (solver query histogram, fork/prune counters,
+// per-stage wall-time gauges) of the work it measured.
 #pragma once
 
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <string>
 
 #include "lang/parser.h"
 #include "nfactor/pipeline.h"
 #include "nfs/corpus.h"
+#include "obs/obs.h"
 
 namespace nfactor::benchutil {
 
@@ -25,13 +34,44 @@ inline void rule(char c = '-') {
   std::putchar('\n');
 }
 
+/// Write the default registry's JSON to `path`; returns success.
+inline bool write_metrics_json(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << obs::default_registry().to_json() << "\n";
+  return static_cast<bool>(out);
+}
+
 /// Print the report section, then hand over to google-benchmark.
 /// Usage: int main(argc, argv) { print_report(); return bench_main(argc, argv); }
 inline int bench_main(int argc, char** argv) {
+  // Our own flag, consumed before google-benchmark sees the args.
+  std::string metrics_out;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+      metrics_out = argv[i + 1];
+      for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
+      argc -= 2;
+      break;
+    }
+  }
+  if (metrics_out.empty()) {
+    if (const char* env = std::getenv("NFACTOR_METRICS_OUT")) {
+      metrics_out = env;
+    }
+  }
+
   ::benchmark::Initialize(&argc, argv);
   if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   ::benchmark::RunSpecifiedBenchmarks();
   ::benchmark::Shutdown();
+
+  if (!metrics_out.empty() && !write_metrics_json(metrics_out)) {
+    std::fprintf(stderr, "bench: cannot write metrics to %s\n",
+                 metrics_out.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "%s\n", obs::default_registry().summary().c_str());
   return 0;
 }
 

@@ -6,11 +6,17 @@
 //   nfactor_cli <file.nf> [--table|--json|--text|--slices|--vars|--stats]
 //   nfactor_cli --corpus <name> [...same flags]
 //   nfactor_cli --write-corpus <dir>
+//
+// Observability (docs/observability.md; may appear anywhere in argv):
+//   --trace-out FILE    write the Chrome trace_event JSON of the run
+//   --metrics-out FILE  write the metrics registry JSON
+//   --obs-summary       print the one-line metrics digest to stderr
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "analysis/dot.h"
 #include "ir/dot.h"
@@ -20,6 +26,7 @@
 #include "model/validate.h"
 #include "nfactor/pipeline.h"
 #include "nfs/corpus.h"
+#include "obs/obs.h"
 
 namespace {
 
@@ -34,28 +41,92 @@ int usage() {
   std::fprintf(stderr,
                ")\n       nfactor_cli --all              (summary over the "
                "bundled corpus)\n"
-               "       nfactor_cli --write-corpus <dir>\n");
+               "       nfactor_cli --write-corpus <dir>\n"
+               "observability flags (any position): --trace-out FILE, "
+               "--metrics-out FILE, --obs-summary\n");
   return 2;
+}
+
+struct ObsFlags {
+  std::string trace_out;
+  std::string metrics_out;
+  bool summary = false;
+
+  /// Write the requested exports. Call once, after all pipeline work.
+  /// Returns false (with a message) when a file cannot be written.
+  bool emit() const {
+    if (!trace_out.empty()) {
+      std::ofstream out(trace_out);
+      if (!out) {
+        std::fprintf(stderr, "error: cannot write %s\n", trace_out.c_str());
+        return false;
+      }
+      out << nfactor::obs::default_tracer().to_chrome_json() << "\n";
+    }
+    if (!metrics_out.empty()) {
+      std::ofstream out(metrics_out);
+      if (!out) {
+        std::fprintf(stderr, "error: cannot write %s\n", metrics_out.c_str());
+        return false;
+      }
+      out << nfactor::obs::default_registry().to_json() << "\n";
+    }
+    if (summary) {
+      std::fprintf(stderr, "%s\n",
+                   nfactor::obs::default_registry().summary().c_str());
+    }
+    return true;
+  }
+};
+
+/// Remove --trace-out/--metrics-out/--obs-summary (anywhere in args);
+/// returns false on a flag missing its value.
+bool extract_obs_flags(std::vector<std::string>& args, ObsFlags& obs) {
+  for (auto it = args.begin(); it != args.end();) {
+    if (*it == "--trace-out" || *it == "--metrics-out") {
+      const bool is_trace = *it == "--trace-out";
+      it = args.erase(it);
+      if (it == args.end()) return false;
+      (is_trace ? obs.trace_out : obs.metrics_out) = *it;
+      it = args.erase(it);
+    } else if (*it == "--obs-summary") {
+      obs.summary = true;
+      it = args.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return true;
+}
+
+void print_se_stats(const char* label, const nfactor::symex::ExecStats& s) {
+  std::printf("%s: %s\n", label, s.to_string().c_str());
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace nfactor;
-  if (argc < 2) return usage();
+
+  std::vector<std::string> args(argv + 1, argv + argc);
+  ObsFlags obs;
+  if (!extract_obs_flags(args, obs)) return usage();
+  if (args.empty()) return usage();
 
   std::string source;
   std::string unit;
-  int flag_start = 2;
+  std::size_t flag_start = 1;
 
-  if (std::strcmp(argv[1], "--write-corpus") == 0) {
-    if (argc < 3) return usage();
-    nfs::write_corpus(argv[2]);
-    std::printf("wrote %zu NF programs to %s\n", nfs::corpus().size(), argv[2]);
+  if (args[0] == "--write-corpus") {
+    if (args.size() < 2) return usage();
+    nfs::write_corpus(args[1]);
+    std::printf("wrote %zu NF programs to %s\n", nfs::corpus().size(),
+                args[1].c_str());
     return 0;
   }
-  if (std::strcmp(argv[1], "--all") == 0) {
-    // Batch mode: one summary row per bundled NF.
+  if (args[0] == "--all") {
+    // Batch mode: one summary row per bundled NF. A trailing "!" marks a
+    // degraded run (path cap / timeout / truncation) — see --stats.
     std::printf("%-12s | %-18s | %5s %5s %5s | %5s | %7s\n", "NF",
                 "structure", "LoC", "slice", "path", "paths", "entries");
     for (int i = 0; i < 65; ++i) std::fputc('-', stdout);
@@ -63,43 +134,45 @@ int main(int argc, char** argv) {
     for (const auto& e : nfactor::nfs::corpus()) {
       try {
         const auto r = pipeline::run_source(e.source, std::string(e.name));
-        std::printf("%-12s | %-18s | %5d %5d %5d | %5zu | %7zu\n",
+        std::printf("%-12s | %-18s | %5d %5d %5d | %5zu | %7zu%s\n",
                     std::string(e.name).c_str(),
                     std::string(e.structure).c_str(), r.loc_orig, r.loc_slice,
-                    r.loc_path, r.slice_paths.size(), r.model.entries.size());
+                    r.loc_path, r.slice_paths.size(), r.model.entries.size(),
+                    r.degraded() ? " !" : "");
       } catch (const std::exception& ex) {
         std::printf("%-12s | error: %s\n", std::string(e.name).c_str(),
                     ex.what());
       }
     }
-    return 0;
+    return obs.emit() ? 0 : 1;
   }
-  if (std::strcmp(argv[1], "--corpus") == 0) {
-    if (argc < 3) return usage();
+  if (args[0] == "--corpus") {
+    if (args.size() < 2) return usage();
     try {
-      const auto& e = nfs::find(argv[2]);
+      const auto& e = nfs::find(args[1]);
       source = std::string(e.source);
       unit = std::string(e.name);
     } catch (const std::exception& ex) {
       std::fprintf(stderr, "error: %s\n", ex.what());
       return 2;
     }
-    flag_start = 3;
+    flag_start = 2;
   } else {
-    std::ifstream in(argv[1]);
+    std::ifstream in(args[0]);
     if (!in) {
-      std::fprintf(stderr, "error: cannot open %s\n", argv[1]);
+      std::fprintf(stderr, "error: cannot open %s\n", args[0].c_str());
       return 2;
     }
     std::ostringstream ss;
     ss << in.rdbuf();
     source = ss.str();
-    unit = argv[1];
+    unit = args[0];
   }
 
   std::string mode = "--table";
-  if (argc > flag_start) mode = argv[flag_start];
+  if (args.size() > flag_start) mode = args[flag_start];
 
+  int rc = 0;
   try {
     pipeline::PipelineOptions opts;
     if (mode == "--stats") opts.run_orig_se = true;
@@ -129,11 +202,11 @@ int main(int argc, char** argv) {
       const auto report = model::validate(r.model);
       std::printf("%s\n%s\n", report.ok() ? "model OK" : "model has issues",
                   report.summary().c_str());
-      return report.ok() ? 0 : 1;
+      rc = report.ok() ? 0 : 1;
     } else if (mode == "--sefl") {
       std::printf("%s", model::to_sefl(r.model).c_str());
     } else if (mode == "--fsm") {
-      if (argc <= flag_start + 1) {
+      if (args.size() <= flag_start + 1) {
         std::fprintf(stderr, "--fsm needs a state variable; oisVars are: ");
         for (const auto& v : r.cats.ois_vars) {
           std::fprintf(stderr, "%s ", v.c_str());
@@ -141,7 +214,7 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "\n");
         return 2;
       }
-      const auto fsm = model::extract_fsm(r.model, argv[flag_start + 1]);
+      const auto fsm = model::extract_fsm(r.model, args[flag_start + 1]);
       std::printf("%s\n%s", fsm.to_text().c_str(), fsm.to_dot().c_str());
     } else if (mode == "--dot-cfg") {
       std::printf("%s", ir::to_dot(r.module->body, unit, r.union_slice).c_str());
@@ -150,18 +223,34 @@ int main(int argc, char** argv) {
     } else if (mode == "--stats") {
       std::printf("LoC: orig=%d slice=%d path=%d\n", r.loc_orig, r.loc_slice,
                   r.loc_path);
-      std::printf("slicing: %.2fms, SE(slice): %.2fms (%zu paths), "
-                  "SE(orig): %.2fms (%zu paths%s)\n",
-                  r.times.slicing_ms, r.times.se_slice_ms,
-                  r.slice_paths.size(), r.times.se_orig_ms,
-                  r.orig_paths.size(),
-                  r.orig_stats.hit_path_cap ? ", capped" : "");
+      std::printf("stages: lower=%.2fms slicing=%.2fms se_slice=%.2fms "
+                  "model=%.2fms se_orig=%.2fms total=%.2fms\n",
+                  r.times.lower_ms, r.times.slicing_ms, r.times.se_slice_ms,
+                  r.times.model_ms, r.times.se_orig_ms, r.times.total_ms);
+      print_se_stats("SE(slice)", r.slice_stats);
+      print_se_stats("SE(orig) ", r.orig_stats);
     } else {
       return usage();
+    }
+
+    // A degraded SE run means the printed model may be incomplete —
+    // always say so, whatever the output mode.
+    if (r.degraded()) {
+      std::fprintf(stderr,
+                   "nfactor: warning: symbolic execution degraded "
+                   "(slice: %s%s%s / orig: %s%s%s) — model may be missing "
+                   "entries\n",
+                   r.slice_stats.hit_path_cap ? "path-cap " : "",
+                   r.slice_stats.timed_out ? "timeout " : "",
+                   r.slice_stats.paths_truncated > 0 ? "truncated" : "-",
+                   r.orig_stats.hit_path_cap ? "path-cap " : "",
+                   r.orig_stats.timed_out ? "timeout " : "",
+                   r.orig_stats.paths_truncated > 0 ? "truncated" : "-");
     }
   } catch (const std::exception& ex) {
     std::fprintf(stderr, "nfactor: %s\n", ex.what());
     return 1;
   }
-  return 0;
+  if (!obs.emit()) return 1;
+  return rc;
 }

@@ -2,9 +2,13 @@
 
 #include <deque>
 
+#include "obs/obs.h"
+
 namespace nfactor::analysis {
 
 Pdg::Pdg(const ir::Cfg& cfg) : cfg_(cfg), rd_(cfg) {
+  OBS_SPAN_VAR(span, "slice.pdg_build");
+  span.attr("cfg_nodes", static_cast<std::int64_t>(cfg.size()));
   data_.assign(cfg.size(), {});
   control_.assign(cfg.size(), {});
 
@@ -36,9 +40,11 @@ std::set<int> Pdg::backward_slice(int criterion,
     if (slice.insert(c).second) work.push_back(c);
   }
 
+  std::uint64_t pops = 0;
   while (!work.empty()) {
     const int u = work.front();
     work.pop_front();
+    ++pops;
     for (const int d : data_deps(u)) {
       if (slice.insert(d).second) work.push_back(d);
     }
@@ -46,6 +52,9 @@ std::set<int> Pdg::backward_slice(int criterion,
       if (slice.insert(c).second) work.push_back(c);
     }
   }
+  OBS_COUNT("slice.backward_slices");
+  OBS_COUNT_N("slice.worklist.pops", pops);
+  OBS_HIST("slice.size_nodes", slice.size());
   return slice;
 }
 

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "obs/obs.h"
+
 namespace nfactor::model {
 
 namespace {
@@ -61,6 +63,7 @@ std::map<std::string, std::vector<const ModelEntry*>> Model::tables() const {
 Model build_model(const std::string& nf_name,
                   const std::vector<symex::ExecPath>& paths,
                   const statealyzer::Result& cats) {
+  OBS_SPAN_VAR(span, "model.build");
   Model m;
   m.nf_name = nf_name;
   m.cfg_vars = cats.cfg_vars;
@@ -117,6 +120,9 @@ Model build_model(const std::string& nf_name,
 
     m.entries.push_back(std::move(e));
   }
+  OBS_COUNT_N("model.paths_refactored", paths.size());
+  OBS_GAUGE("model.entries", m.entries.size());
+  span.attr("entries", static_cast<std::int64_t>(m.entries.size()));
   return m;
 }
 

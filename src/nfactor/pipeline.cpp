@@ -1,20 +1,13 @@
 #include "nfactor/pipeline.h"
 
-#include <chrono>
-
 #include "ir/lower.h"
 #include "lang/parser.h"
+#include "obs/obs.h"
 #include "transform/normalize.h"
 
 namespace nfactor::pipeline {
 
 namespace {
-
-double ms_since(std::chrono::steady_clock::time_point t0) {
-  return std::chrono::duration<double, std::milli>(
-             std::chrono::steady_clock::now() - t0)
-      .count();
-}
 
 std::string base_of(const ir::Location& loc) {
   std::string base;
@@ -24,58 +17,83 @@ std::string base_of(const ir::Location& loc) {
 }  // namespace
 
 PipelineResult run(const lang::Program& prog, const PipelineOptions& opts) {
-  const auto t_total = std::chrono::steady_clock::now();
+  // Stage timing *is* span duration: every StageTimes field below is
+  // filled from Span::close_ms() of the stage's span, so the recorded
+  // trace and the reported times cannot drift apart.
+  obs::Tracer& tracer = obs::default_tracer();
+  obs::Span total(tracer, "pipeline.run");
+  total.attr("nf", prog.unit_name);
   PipelineResult r;
 
   // ---- Stage 0: structure normalization + lowering ----------------------
-  auto t0 = std::chrono::steady_clock::now();
-  lang::Program canon = opts.normalize_structure ? transform::normalize(prog)
-                                                 : prog.clone();
-  r.module = std::make_unique<ir::Module>(ir::lower(std::move(canon)));
-  r.times.lower_ms = ms_since(t0);
+  {
+    obs::Span sp(tracer, "pipeline.lower");
+    lang::Program canon = opts.normalize_structure ? transform::normalize(prog)
+                                                   : prog.clone();
+    r.module = std::make_unique<ir::Module>(ir::lower(std::move(canon)));
+    sp.attr("cfg_nodes", static_cast<std::int64_t>(r.module->body.size()));
+    r.times.lower_ms = sp.close_ms();
+  }
 
   // ---- Stage 1+2: dependence graph, packet slice, categorization,
   //                 state slice (Algorithm 1, lines 1-9) -------------------
-  t0 = std::chrono::steady_clock::now();
-  r.pdg = std::make_unique<analysis::Pdg>(r.module->body);
-  r.cats = statealyzer::analyze(*r.module, *r.pdg);
-  r.pkt_slice = r.cats.pkt_slice;
+  {
+    obs::Span sp(tracer, "pipeline.slice");
+    r.pdg = std::make_unique<analysis::Pdg>(r.module->body);
+    r.cats = statealyzer::analyze(*r.module, *r.pdg);
+    r.pkt_slice = r.cats.pkt_slice;
 
-  std::set<int> ois_updates;
-  for (const auto& n : r.module->body.nodes) {
-    for (const auto& d : n->defs()) {
-      if (r.cats.is_ois(base_of(d))) {
-        ois_updates.insert(n->id);
-        break;
+    std::set<int> ois_updates;
+    for (const auto& n : r.module->body.nodes) {
+      for (const auto& d : n->defs()) {
+        if (r.cats.is_ois(base_of(d))) {
+          ois_updates.insert(n->id);
+          break;
+        }
       }
     }
-  }
-  r.state_slice = r.pdg->backward_slice(ois_updates);
+    r.state_slice = r.pdg->backward_slice(ois_updates);
 
-  r.union_slice = r.pkt_slice;
-  r.union_slice.insert(r.state_slice.begin(), r.state_slice.end());
-  // The loop-head recv anchors every per-packet path.
-  if (r.module->recv_port_node >= 0) {
-    r.union_slice.insert(r.module->recv_port_node);
+    r.union_slice = r.pkt_slice;
+    r.union_slice.insert(r.state_slice.begin(), r.state_slice.end());
+    // The loop-head recv anchors every per-packet path.
+    if (r.module->recv_port_node >= 0) {
+      r.union_slice.insert(r.module->recv_port_node);
+    }
+    OBS_GAUGE("slice.pkt_nodes", r.pkt_slice.size());
+    OBS_GAUGE("slice.state_nodes", r.state_slice.size());
+    OBS_GAUGE("slice.union_nodes", r.union_slice.size());
+    sp.attr("pkt_nodes", static_cast<std::int64_t>(r.pkt_slice.size()));
+    sp.attr("state_nodes", static_cast<std::int64_t>(r.state_slice.size()));
+    sp.attr("union_nodes", static_cast<std::int64_t>(r.union_slice.size()));
+    r.times.slicing_ms = sp.close_ms();
   }
-  r.times.slicing_ms = ms_since(t0);
 
   // ---- Stage 3: symbolic execution of the slice (line 10) ---------------
-  t0 = std::chrono::steady_clock::now();
   symex::SymbolicExecutor se(*r.module, r.cats);
-  symex::ExecOptions slice_opts = opts.se_slice;
-  slice_opts.filter = &r.union_slice;
-  r.slice_paths = se.run(slice_opts, &r.slice_stats);
-  r.times.se_slice_ms = ms_since(t0);
+  {
+    obs::Span sp(tracer, "pipeline.se_slice");
+    symex::ExecOptions slice_opts = opts.se_slice;
+    slice_opts.filter = &r.union_slice;
+    r.slice_paths = se.run(slice_opts, &r.slice_stats);
+    sp.attr("paths", static_cast<std::int64_t>(r.slice_paths.size()));
+    r.times.se_slice_ms = sp.close_ms();
+  }
 
   // ---- Stage 4: refactor paths into the model (lines 11-16) -------------
-  r.model = model::build_model(r.module->name, r.slice_paths, r.cats);
+  {
+    obs::Span sp(tracer, "pipeline.model");
+    r.model = model::build_model(r.module->name, r.slice_paths, r.cats);
+    sp.attr("entries", static_cast<std::int64_t>(r.model.entries.size()));
+    r.times.model_ms = sp.close_ms();
+  }
 
   // ---- Optional: SE on the original program (Table 2 baseline) ----------
   if (opts.run_orig_se) {
-    t0 = std::chrono::steady_clock::now();
+    obs::Span sp(tracer, "pipeline.se_orig");
     r.orig_paths = se.run(opts.se_orig, &r.orig_stats);
-    r.times.se_orig_ms = ms_since(t0);
+    sp.attr("paths", static_cast<std::int64_t>(r.orig_paths.size()));
+    r.times.se_orig_ms = sp.close_ms();
   }
 
   // ---- Metrics -----------------------------------------------------------
@@ -85,8 +103,20 @@ PipelineResult run(const lang::Program& prog, const PipelineOptions& opts) {
     if (p.truncated) continue;
     r.loc_path = std::max(r.loc_path, r.module->body.source_lines(p.nodes));
   }
+  OBS_GAUGE("pipeline.loc_orig", r.loc_orig);
+  OBS_GAUGE("pipeline.loc_slice", r.loc_slice);
+  OBS_GAUGE("pipeline.loc_path", r.loc_path);
 
-  r.times.total_ms = ms_since(t_total);
+  r.times.total_ms = total.close_ms();
+
+  // Mirror the stage times into the registry so --metrics-out / bench
+  // metric dumps carry the per-stage breakdown without the trace.
+  OBS_GAUGE("pipeline.lower_ms", r.times.lower_ms);
+  OBS_GAUGE("pipeline.slicing_ms", r.times.slicing_ms);
+  OBS_GAUGE("pipeline.se_slice_ms", r.times.se_slice_ms);
+  OBS_GAUGE("pipeline.model_ms", r.times.model_ms);
+  OBS_GAUGE("pipeline.se_orig_ms", r.times.se_orig_ms);
+  OBS_GAUGE("pipeline.total_ms", r.times.total_ms);
   return r;
 }
 

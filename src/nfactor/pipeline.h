@@ -31,10 +31,16 @@ struct PipelineOptions {
   bool run_orig_se = false;         // Table 2's "orig" columns
 };
 
+/// Per-stage wall times. A *view* over the pipeline's obs spans: each
+/// field is exactly the duration of the correspondingly named span
+/// (`pipeline.lower`, `pipeline.slice`, `pipeline.se_slice`,
+/// `pipeline.model`, `pipeline.se_orig`, `pipeline.run`) recorded in
+/// `obs::default_tracer()` — no separate chrono bookkeeping.
 struct StageTimes {
   double lower_ms = 0;
   double slicing_ms = 0;      // PDG + packet & state slices (paper: "Slicing Time")
   double se_slice_ms = 0;
+  double model_ms = 0;        // path -> model-entry refactoring
   double se_orig_ms = 0;
   double total_ms = 0;
 };
@@ -60,6 +66,17 @@ struct PipelineResult {
   int loc_orig = 0;
   int loc_slice = 0;
   int loc_path = 0;  // largest single execution path within the slice
+
+  /// True when either symbolic-execution run degraded its result: hit
+  /// the path cap, timed out, or truncated paths (loop bound / step
+  /// budget). A degraded run means the model may be missing entries —
+  /// callers should surface this, not silently present a partial model.
+  bool degraded() const {
+    return se_degraded(slice_stats) || se_degraded(orig_stats);
+  }
+  static bool se_degraded(const symex::ExecStats& s) {
+    return s.hit_path_cap || s.timed_out || s.paths_truncated > 0;
+  }
 };
 
 PipelineResult run(const lang::Program& prog, const PipelineOptions& opts = {});

@@ -1,0 +1,46 @@
+// Tiny JSON string-escaping helper shared by the tracer and metrics
+// exporters. Not a JSON library — the exporters emit their documents
+// directly and only need correct string escaping.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace nfactor::obs {
+
+inline std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace nfactor::obs

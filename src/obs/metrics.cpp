@@ -1,0 +1,172 @@
+#include "obs/metrics.h"
+
+#include <bit>
+#include <limits>
+#include <sstream>
+
+#include "obs/json.h"
+
+namespace nfactor::obs {
+
+std::size_t Histogram::bucket_index(std::uint64_t v) {
+  if (v <= 1) return 0;
+  return static_cast<std::size_t>(std::bit_width(v - 1));
+}
+
+std::uint64_t Histogram::bucket_bound(std::size_t i) {
+  if (i >= 64) return std::numeric_limits<std::uint64_t>::max();
+  return std::uint64_t{1} << i;
+}
+
+void Histogram::observe(std::uint64_t v) {
+  if (count == 0) {
+    min = v;
+    max = v;
+  } else {
+    if (v < min) min = v;
+    if (v > max) max = v;
+  }
+  ++count;
+  sum += v;
+  ++buckets[bucket_index(v)];
+}
+
+std::uint64_t Histogram::approx_quantile(double q) const {
+  if (count == 0) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  const auto rank = static_cast<std::uint64_t>(q * static_cast<double>(count));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += buckets[i];
+    if (seen > rank || (seen == count && seen != 0)) {
+      const std::uint64_t bound = bucket_bound(i);
+      return bound < max ? bound : max;
+    }
+  }
+  return max;
+}
+
+void Registry::count(std::string_view name, std::uint64_t delta) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) {
+    it->second += delta;
+  } else {
+    counters_.emplace(std::string(name), delta);
+  }
+}
+
+void Registry::gauge_set(std::string_view name, double value) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) {
+    it->second = value;
+  } else {
+    gauges_.emplace(std::string(name), value);
+  }
+}
+
+void Registry::observe(std::string_view name, std::uint64_t value) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto it = hists_.find(name);
+  if (it == hists_.end()) {
+    it = hists_.emplace(std::string(name), Histogram{}).first;
+  }
+  it->second.observe(value);
+}
+
+std::uint64_t Registry::counter(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+double Registry::gauge(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+Histogram Registry::histogram(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = hists_.find(name);
+  return it == hists_.end() ? Histogram{} : it->second;
+}
+
+std::map<std::string, std::uint64_t, std::less<>> Registry::counters() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+std::map<std::string, double, std::less<>> Registry::gauges() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return gauges_;
+}
+
+std::string Registry::to_json() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [k, v] : counters_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << json_escape(k) << "\":" << v;
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [k, v] : gauges_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << json_escape(k) << "\":" << v;
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [k, h] : hists_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << json_escape(k) << "\":{\"count\":" << h.count
+       << ",\"sum\":" << h.sum << ",\"min\":" << h.min << ",\"max\":" << h.max
+       << ",\"p50\":" << h.approx_quantile(0.5)
+       << ",\"p99\":" << h.approx_quantile(0.99) << ",\"buckets\":[";
+    bool bfirst = true;
+    for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+      if (h.buckets[i] == 0) continue;
+      if (!bfirst) os << ",";
+      bfirst = false;
+      os << "{\"le\":" << Histogram::bucket_bound(i)
+         << ",\"count\":" << h.buckets[i] << "}";
+    }
+    os << "]}";
+  }
+  os << "}}";
+  return os.str();
+}
+
+std::string Registry::summary() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  os << "obs:";
+  for (const auto& [k, v] : counters_) os << " " << k << "=" << v;
+  for (const auto& [k, v] : gauges_) os << " " << k << "=" << v;
+  for (const auto& [k, h] : hists_) {
+    os << " " << k << "{n=" << h.count << ",p50=" << h.approx_quantile(0.5)
+       << ",max=" << h.max << "}";
+  }
+  return os.str();
+}
+
+void Registry::clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+  gauges_.clear();
+  hists_.clear();
+}
+
+Registry& default_registry() {
+  static Registry r;
+  return r;
+}
+
+}  // namespace nfactor::obs

@@ -1,0 +1,78 @@
+// Metrics registry: named counters (monotonic uint64), gauges (last-set
+// double), and fixed-bucket histograms (power-of-two upper bounds —
+// bucket i holds values v with 2^(i-1) < v <= 2^i, bucket 0 holds 0 and
+// 1). Exportable as JSON and as a one-line summary. Naming convention
+// (docs/observability.md): dotted lowercase paths, unit-suffixed where
+// a unit applies — e.g. `symex.solver.query_ns`, `slice.worklist.pops`,
+// `model.entries`.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace nfactor::obs {
+
+struct Histogram {
+  static constexpr std::size_t kBuckets = 65;
+
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;
+  std::uint64_t max = 0;
+  std::array<std::uint64_t, kBuckets> buckets{};  // buckets[i]: v <= 2^i
+
+  /// Index of the bucket a value lands in.
+  static std::size_t bucket_index(std::uint64_t v);
+  /// Upper bound of bucket i (2^i; saturates at the top bucket).
+  static std::uint64_t bucket_bound(std::size_t i);
+
+  void observe(std::uint64_t v);
+  /// Bucket-resolution quantile estimate (returns an upper bound);
+  /// q in [0,1]. Returns 0 on an empty histogram.
+  std::uint64_t approx_quantile(double q) const;
+};
+
+class Registry {
+ public:
+  // -- recording -----------------------------------------------------------
+  void count(std::string_view name, std::uint64_t delta = 1);
+  void gauge_set(std::string_view name, double value);
+  void observe(std::string_view name, std::uint64_t value);
+
+  // -- reading -------------------------------------------------------------
+  /// Counter value (0 when never incremented).
+  std::uint64_t counter(std::string_view name) const;
+  /// Gauge value (0.0 when never set).
+  double gauge(std::string_view name) const;
+  /// Snapshot of a histogram (empty when never observed).
+  Histogram histogram(std::string_view name) const;
+
+  std::map<std::string, std::uint64_t, std::less<>> counters() const;
+  std::map<std::string, double, std::less<>> gauges() const;
+
+  // -- export --------------------------------------------------------------
+  /// {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,min,
+  /// max,p50,p99,buckets:[{"le":bound,"count":n},...]}}}
+  std::string to_json() const;
+  /// Single-line digest: counters and gauges as k=v, histograms as
+  /// name{n,p50,max}.
+  std::string summary() const;
+
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::uint64_t, std::less<>> counters_;
+  std::map<std::string, double, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> hists_;
+};
+
+/// Process-wide default registry (used by the OBS_COUNT/... macros, the
+/// CLI's --metrics-out, and the bench runner's metrics emission).
+Registry& default_registry();
+
+}  // namespace nfactor::obs

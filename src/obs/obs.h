@@ -1,0 +1,85 @@
+// Umbrella header + instrumentation macros for the obs subsystem.
+//
+// The OBS_* macros record into the process-wide default tracer/registry
+// and compile to nothing when the kill switch is off (CMake
+// -DNFACTOR_OBS=OFF, i.e. -DNFACTOR_OBS_ENABLED=0), so hot paths carry
+// zero overhead in stripped builds. The explicit Tracer/Span/Registry
+// API stays available either way — cold-path callers that *own* their
+// measurements (e.g. the pipeline's StageTimes) use it directly.
+//
+//   OBS_SPAN("symex.run");                 // RAII span, anonymous local
+//   OBS_SPAN_VAR(sp, "symex.path");        // named, for sp.attr(...)
+//   OBS_COUNT("symex.forks");              // counter += 1
+//   OBS_COUNT_N("symex.steps", n);         // counter += n
+//   OBS_GAUGE("slice.union_nodes", n);     // gauge = n
+//   OBS_HIST("symex.solver.query_ns", v);  // histogram observation
+//   OBS_TIMER_NS("symex.solver.query_ns"); // RAII: observes elapsed ns
+#pragma once
+
+#include <chrono>
+
+#include "obs/metrics.h"
+#include "obs/tracer.h"
+
+#ifndef NFACTOR_OBS_ENABLED
+#define NFACTOR_OBS_ENABLED 1
+#endif
+
+#define NFACTOR_OBS_CONCAT_IMPL(a, b) a##b
+#define NFACTOR_OBS_CONCAT(a, b) NFACTOR_OBS_CONCAT_IMPL(a, b)
+
+#if NFACTOR_OBS_ENABLED
+
+namespace nfactor::obs {
+
+/// RAII timer feeding a histogram in the default registry.
+class ScopedTimerNs {
+ public:
+  explicit ScopedTimerNs(const char* name) : name_(name), t0_(now()) {}
+  ScopedTimerNs(const ScopedTimerNs&) = delete;
+  ScopedTimerNs& operator=(const ScopedTimerNs&) = delete;
+  ~ScopedTimerNs() {
+    default_registry().observe(name_, static_cast<std::uint64_t>(now() - t0_));
+  }
+
+ private:
+  static std::int64_t now() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+  const char* name_;
+  std::int64_t t0_;
+};
+
+}  // namespace nfactor::obs
+
+#define OBS_SPAN(name)                                               \
+  ::nfactor::obs::Span NFACTOR_OBS_CONCAT(obs_span_, __LINE__)(      \
+      ::nfactor::obs::default_tracer(), (name))
+#define OBS_SPAN_VAR(var, name) \
+  ::nfactor::obs::Span var(::nfactor::obs::default_tracer(), (name))
+#define OBS_COUNT(name) ::nfactor::obs::default_registry().count((name))
+#define OBS_COUNT_N(name, n) \
+  ::nfactor::obs::default_registry().count((name), (n))
+#define OBS_GAUGE(name, v)                   \
+  ::nfactor::obs::default_registry().gauge_set((name), \
+                                               static_cast<double>(v))
+#define OBS_HIST(name, v)                  \
+  ::nfactor::obs::default_registry().observe((name), \
+                                             static_cast<std::uint64_t>(v))
+#define OBS_TIMER_NS(name)                                             \
+  ::nfactor::obs::ScopedTimerNs NFACTOR_OBS_CONCAT(obs_timer_, __LINE__)( \
+      (name))
+
+#else  // NFACTOR_OBS_ENABLED == 0: every call site is a no-op.
+
+#define OBS_SPAN(name) static_cast<void>(0)
+#define OBS_SPAN_VAR(var, name) ::nfactor::obs::NoopSpan var
+#define OBS_COUNT(name) static_cast<void>(0)
+#define OBS_COUNT_N(name, n) static_cast<void>(0)
+#define OBS_GAUGE(name, v) static_cast<void>(0)
+#define OBS_HIST(name, v) static_cast<void>(0)
+#define OBS_TIMER_NS(name) static_cast<void>(0)
+
+#endif  // NFACTOR_OBS_ENABLED

@@ -1,0 +1,159 @@
+#include "obs/tracer.h"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+
+#include "obs/json.h"
+
+namespace nfactor::obs {
+
+namespace {
+
+std::int64_t steady_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::int64_t wall_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+Tracer::Tracer(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      epoch_steady_ns_(steady_ns()),
+      epoch_wall_us_(wall_us()) {}
+
+std::int64_t Tracer::now_ns() const { return steady_ns() - epoch_steady_ns_; }
+
+std::int64_t Tracer::begin(std::string name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  OpenSpan s;
+  s.name = std::move(name);
+  s.start_ns = now_ns();
+  s.token = next_token_++;
+  open_.push_back(std::move(s));
+  return open_.back().token;
+}
+
+void Tracer::attr(std::int64_t token, std::string key, std::string value) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = open_.rbegin(); it != open_.rend(); ++it) {
+    if (it->token == token) {
+      it->attrs.emplace_back(std::move(key), std::move(value));
+      return;
+    }
+  }
+}
+
+std::int64_t Tracer::end(std::int64_t token) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const std::int64_t end_ns = now_ns();
+  std::int64_t dur = 0;
+  // Pop until (and including) the frame holding `token`.
+  while (!open_.empty()) {
+    OpenSpan frame = std::move(open_.back());
+    open_.pop_back();
+    const bool is_target = frame.token == token;
+    SpanRecord rec;
+    rec.name = std::move(frame.name);
+    rec.attrs = std::move(frame.attrs);
+    rec.start_ns = frame.start_ns;
+    rec.dur_ns = end_ns - frame.start_ns;
+    rec.wall_start_us = epoch_wall_us_ + frame.start_ns / 1000;
+    rec.depth = static_cast<int>(open_.size());
+    if (is_target) dur = rec.dur_ns;
+    push_record(std::move(rec));
+    if (is_target) return dur;
+  }
+  return dur;
+}
+
+void Tracer::push_record(SpanRecord rec) {
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(rec));
+    return;
+  }
+  ring_[head_] = std::move(rec);
+  head_ = (head_ + 1) % capacity_;
+  ++dropped_;
+}
+
+std::vector<SpanRecord> Tracer::spans() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SpanRecord> out;
+  out.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::size_t Tracer::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+std::size_t Tracer::dropped() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+void Tracer::clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  head_ = 0;
+  dropped_ = 0;
+}
+
+std::string Tracer::to_chrome_json() const {
+  auto recs = spans();
+  std::stable_sort(recs.begin(), recs.end(),
+                   [](const SpanRecord& a, const SpanRecord& b) {
+                     return a.start_ns < b.start_ns;
+                   });
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  os << "{\"ph\":\"M\",\"pid\":1,\"tid\":1,\"name\":\"process_name\","
+        "\"args\":{\"name\":\"nfactor\"}}";
+  for (const auto& r : recs) {
+    os << ",{\"ph\":\"X\",\"pid\":1,\"tid\":1,\"name\":\""
+       << json_escape(r.name) << "\",\"ts\":" << (static_cast<double>(r.start_ns) / 1e3)
+       << ",\"dur\":" << (static_cast<double>(r.dur_ns) / 1e3) << ",\"args\":{";
+    os << "\"wall_start_us\":" << r.wall_start_us;
+    for (const auto& [k, v] : r.attrs) {
+      os << ",\"" << json_escape(k) << "\":\"" << json_escape(v) << "\"";
+    }
+    os << "}}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string Tracer::to_text_tree() const {
+  auto recs = spans();
+  std::stable_sort(recs.begin(), recs.end(),
+                   [](const SpanRecord& a, const SpanRecord& b) {
+                     return a.start_ns < b.start_ns;
+                   });
+  std::ostringstream os;
+  for (const auto& r : recs) {
+    for (int i = 0; i < r.depth; ++i) os << "  ";
+    os << r.name << "  " << (static_cast<double>(r.dur_ns) / 1e6) << "ms";
+    for (const auto& [k, v] : r.attrs) os << "  " << k << "=" << v;
+    os << "\n";
+  }
+  return os.str();
+}
+
+Tracer& default_tracer() {
+  static Tracer t;
+  return t;
+}
+
+}  // namespace nfactor::obs

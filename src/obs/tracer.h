@@ -1,0 +1,134 @@
+// Span-based tracer: RAII spans with nanosecond steady-clock durations,
+// nested via a per-tracer open-span stack, completed records kept in a
+// bounded ring buffer. Exports as Chrome trace_event JSON (load in
+// chrome://tracing or ui.perfetto.dev; complete "X" events nest by time
+// containment) and as a flat indented text tree.
+//
+// The explicit API (Tracer / Span) is always compiled in — the pipeline
+// uses it for its stage timings, which must work even with the
+// instrumentation kill switch off. The OBS_* macros in obs.h are the
+// compile-time-gated layer for hot paths.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace nfactor::obs {
+
+/// One completed span. `start_ns` is relative to the tracer's steady
+/// epoch; `wall_start_us` is microseconds since the Unix epoch (captured
+/// once at tracer construction and offset by start_ns).
+struct SpanRecord {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> attrs;
+  std::int64_t start_ns = 0;
+  std::int64_t dur_ns = 0;
+  std::int64_t wall_start_us = 0;
+  int depth = 0;  // nesting depth at begin time (0 = root)
+};
+
+class Tracer {
+ public:
+  explicit Tracer(std::size_t capacity = 65536);
+
+  /// Begin a span; returns a token to pass to end(). Prefer the RAII
+  /// Span wrapper over calling begin/end directly.
+  std::int64_t begin(std::string name);
+  /// Attach a key=value attribute to the open span `token`.
+  void attr(std::int64_t token, std::string key, std::string value);
+  /// End the span and record it. Returns the duration in nanoseconds.
+  /// Any spans opened after `token` and still open are ended first
+  /// (misuse guard; RAII makes this unreachable in practice).
+  std::int64_t end(std::int64_t token);
+
+  /// Completed spans, oldest first. When the ring overflowed, the oldest
+  /// records were evicted (see dropped()).
+  std::vector<SpanRecord> spans() const;
+  std::size_t size() const;
+  std::size_t dropped() const;
+  std::size_t capacity() const { return capacity_; }
+
+  /// Drop all completed records (open spans are untouched).
+  void clear();
+
+  /// Chrome trace_event JSON: {"traceEvents":[...]}.
+  std::string to_chrome_json() const;
+  /// Indented text rendering, ordered by start time.
+  std::string to_text_tree() const;
+
+ private:
+  struct OpenSpan {
+    std::string name;
+    std::vector<std::pair<std::string, std::string>> attrs;
+    std::int64_t start_ns = 0;
+    std::int64_t token = 0;
+  };
+
+  std::int64_t now_ns() const;
+  void push_record(SpanRecord rec);
+
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  std::vector<SpanRecord> ring_;  // circular once full
+  std::size_t head_ = 0;          // index of the oldest record when full
+  std::size_t dropped_ = 0;
+  std::vector<OpenSpan> open_;
+  std::int64_t next_token_ = 1;
+  std::int64_t epoch_steady_ns_ = 0;  // steady_clock raw ns at construction
+  std::int64_t epoch_wall_us_ = 0;    // wall clock at construction
+};
+
+/// Process-wide default tracer (used by the OBS_SPAN macros and the
+/// pipeline's stage spans).
+Tracer& default_tracer();
+
+/// RAII span on a tracer. Ends at scope exit, or earlier via close_ms().
+class Span {
+ public:
+  Span(Tracer& t, std::string name) : t_(&t), token_(t.begin(std::move(name))) {}
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span() {
+    if (t_ != nullptr) t_->end(token_);
+  }
+
+  void attr(std::string key, std::string value) {
+    if (t_ != nullptr) t_->attr(token_, std::move(key), std::move(value));
+  }
+  void attr(std::string key, std::int64_t value) {
+    attr(std::move(key), std::to_string(value));
+  }
+  void attr(std::string key, std::uint64_t value) {
+    attr(std::move(key), std::to_string(value));
+  }
+  void attr(std::string key, double value) {
+    attr(std::move(key), std::to_string(value));
+  }
+
+  /// End the span now; returns its duration in milliseconds, computed
+  /// from the same nanosecond measurement stored in the record — so a
+  /// StageTimes field filled from this is exactly the span's duration.
+  double close_ms() {
+    if (t_ == nullptr) return 0.0;
+    const std::int64_t ns = t_->end(token_);
+    t_ = nullptr;
+    return static_cast<double>(ns) / 1e6;
+  }
+
+ private:
+  Tracer* t_;
+  std::int64_t token_;
+};
+
+/// No-op stand-in with the same surface as Span; what OBS_SPAN_VAR
+/// declares when the kill switch is off.
+struct NoopSpan {
+  template <typename K, typename V>
+  void attr(K&&, V&&) {}
+  double close_ms() { return 0.0; }
+};
+
+}  // namespace nfactor::obs

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "obs/obs.h"
+
 namespace nfactor::statealyzer {
 
 namespace {
@@ -25,6 +27,7 @@ std::string to_string(VarCategory c) {
 }
 
 Result analyze(const ir::Module& m, const analysis::Pdg& pdg) {
+  OBS_SPAN_VAR(span, "statealyzer.analyze");
   const ir::Cfg& body = m.body;
   Result r;
 
@@ -99,6 +102,12 @@ Result analyze(const ir::Module& m, const analysis::Pdg& pdg) {
     }
   }
 
+  OBS_GAUGE("statealyzer.ois_vars", r.ois_vars.size());
+  OBS_GAUGE("statealyzer.cfg_vars", r.cfg_vars.size());
+  OBS_GAUGE("statealyzer.log_vars", r.log_vars.size());
+  span.attr("ois", static_cast<std::int64_t>(r.ois_vars.size()));
+  span.attr("cfg", static_cast<std::int64_t>(r.cfg_vars.size()));
+  span.attr("log", static_cast<std::int64_t>(r.log_vars.size()));
   return r;
 }
 

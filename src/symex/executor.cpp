@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "lang/builtins.h"
+#include "obs/obs.h"
 #include "runtime/value.h"
 
 namespace nfactor::symex {
@@ -19,6 +20,16 @@ using lang::ExprKind;
 constexpr const char* kPayloadField = "__payload";
 
 }  // namespace
+
+std::string ExecStats::to_string() const {
+  std::ostringstream os;
+  os << "paths=" << paths_completed << " truncated=" << paths_truncated
+     << " pruned=" << paths_pruned << " forks=" << forks
+     << " queries=" << solver_queries << " steps=" << steps;
+  if (hit_path_cap) os << " [path-cap]";
+  if (timed_out) os << " [timeout]";
+  return os.str();
+}
 
 std::string ExecPath::signature() const {
   std::ostringstream os;
@@ -255,6 +266,7 @@ SymRef SymbolicExecutor::eval(const Expr& e, State& st) const {
 
 std::vector<ExecPath> SymbolicExecutor::run(const ExecOptions& opts,
                                             ExecStats* stats_out) {
+  OBS_SPAN_VAR(run_span, "symex.run");
   const auto t0 = std::chrono::steady_clock::now();
   ExecStats stats;
   Solver solver;
@@ -326,6 +338,11 @@ std::vector<ExecPath> SymbolicExecutor::run(const ExecOptions& opts,
 
     State st = std::move(stack.back());
     stack.pop_back();
+
+    // One span per scheduled continuation: from the fork (or the root)
+    // that created this state until it terminates or forks off children.
+    OBS_SPAN_VAR(path_span, "symex.path");
+    const std::size_t steps_before = st.steps;
 
     bool done = false;
     while (!done) {
@@ -455,6 +472,7 @@ std::vector<ExecPath> SymbolicExecutor::run(const ExecOptions& opts,
                              solver.check(pc_false) == SatResult::kSat;
 
           if (sat_t && sat_f) {
+            ++stats.forks;
             State other = st;  // fork
             other.node = n.succs[1];
             other.pc = std::move(pc_false);
@@ -487,11 +505,25 @@ std::vector<ExecPath> SymbolicExecutor::run(const ExecOptions& opts,
       if (!done) st.node = next;
     }
 
+    path_span.attr("steps", static_cast<std::int64_t>(st.steps - steps_before));
     stats.solver_queries = solver.query_count();
   }
 
   stats.solver_queries = solver.query_count();
   stats.wall_ms = elapsed_ms();
+
+  // Aggregate per-run counters into the registry once, off the hot loop.
+  OBS_COUNT_N("symex.paths.completed", stats.paths_completed);
+  OBS_COUNT_N("symex.paths.truncated", stats.paths_truncated);
+  OBS_COUNT_N("symex.paths.pruned", stats.paths_pruned);
+  OBS_COUNT_N("symex.forks", stats.forks);
+  OBS_COUNT_N("symex.steps", stats.steps);
+  if (stats.hit_path_cap) OBS_COUNT("symex.hit_path_cap");
+  if (stats.timed_out) OBS_COUNT("symex.timed_out");
+  run_span.attr("paths", static_cast<std::int64_t>(paths.size()));
+  run_span.attr("steps", static_cast<std::int64_t>(stats.steps));
+  run_span.attr("queries", static_cast<std::int64_t>(stats.solver_queries));
+
   if (stats_out != nullptr) *stats_out = stats;
   return paths;
 }

@@ -76,11 +76,15 @@ struct ExecStats {
   std::size_t paths_completed = 0;
   std::size_t paths_truncated = 0;
   std::size_t paths_pruned = 0;  // infeasible branch sides cut by the solver
+  std::size_t forks = 0;         // both-sides-feasible branch splits
   std::uint64_t solver_queries = 0;
   std::uint64_t steps = 0;
   bool hit_path_cap = false;
   bool timed_out = false;
   double wall_ms = 0.0;
+
+  /// One-line rendering for CLIs and logs.
+  std::string to_string() const;
 };
 
 class SymbolicExecutor {

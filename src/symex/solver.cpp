@@ -6,6 +6,8 @@
 #include <set>
 #include <string>
 
+#include "obs/obs.h"
+
 namespace nfactor::symex {
 
 namespace {
@@ -413,7 +415,11 @@ class Checker {
 
 SatResult Solver::check(const std::vector<SymRef>& constraints) {
   ++queries_;
-  return Checker().run(constraints) ? SatResult::kSat : SatResult::kUnsat;
+  OBS_TIMER_NS("symex.solver.query_ns");
+  OBS_COUNT("symex.solver.queries");
+  const bool sat = Checker().run(constraints);
+  OBS_COUNT(sat ? "symex.solver.sat" : "symex.solver.unsat");
+  return sat ? SatResult::kSat : SatResult::kUnsat;
 }
 
 }  // namespace nfactor::symex

@@ -1,0 +1,390 @@
+// Tests for the obs subsystem: span nesting and ring buffering in the
+// tracer, histogram bucketing in the registry, well-formedness of both
+// JSON exports (checked with a small structural JSON parser), and the
+// compile-time kill switch.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <string>
+
+#include "obs/obs.h"
+
+namespace nfactor::obs {
+namespace {
+
+// ---- minimal structural JSON checker --------------------------------------
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& s) : s_(s) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{':
+        return object();
+      case '[':
+        return array();
+      case '"':
+        return string();
+      case 't':
+        return literal("true");
+      case 'f':
+        return literal("false");
+      case 'n':
+        return literal("null");
+      default:
+        return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+      }
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0 ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool literal(const char* lit) {
+    const std::size_t n = std::string(lit).size();
+    if (s_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+bool is_valid_json(const std::string& s) { return JsonChecker(s).valid(); }
+
+TEST(JsonCheckerSelfTest, AcceptsAndRejects) {
+  EXPECT_TRUE(is_valid_json("{}"));
+  EXPECT_TRUE(is_valid_json("{\"a\":[1,2.5,-3],\"b\":{\"c\":\"x\\\"y\"}}"));
+  EXPECT_FALSE(is_valid_json("{"));
+  EXPECT_FALSE(is_valid_json("{\"a\":}"));
+  EXPECT_FALSE(is_valid_json("{} trailing"));
+}
+
+// ---- tracer ---------------------------------------------------------------
+
+TEST(Tracer, NestedSpansRecordDepthAndOrder) {
+  Tracer t;
+  {
+    Span outer(t, "outer");
+    {
+      Span inner(t, "inner");
+      { Span leaf(t, "leaf"); }
+    }
+    { Span inner2(t, "inner2"); }
+  }
+  const auto spans = t.spans();
+  ASSERT_EQ(spans.size(), 4u);
+  // Records complete innermost-first.
+  EXPECT_EQ(spans[0].name, "leaf");
+  EXPECT_EQ(spans[0].depth, 2);
+  EXPECT_EQ(spans[1].name, "inner");
+  EXPECT_EQ(spans[1].depth, 1);
+  EXPECT_EQ(spans[2].name, "inner2");
+  EXPECT_EQ(spans[2].depth, 1);
+  EXPECT_EQ(spans[3].name, "outer");
+  EXPECT_EQ(spans[3].depth, 0);
+  // Containment: the outer span brackets every inner span.
+  for (const auto& s : spans) {
+    EXPECT_GE(s.start_ns, spans[3].start_ns);
+    EXPECT_LE(s.start_ns + s.dur_ns, spans[3].start_ns + spans[3].dur_ns);
+    EXPECT_GE(s.dur_ns, 0);
+  }
+}
+
+TEST(Tracer, TextTreeIndentsByDepth) {
+  Tracer t;
+  {
+    Span a(t, "alpha");
+    Span b(t, "beta");
+    (void)a;
+    (void)b;
+  }
+  const std::string tree = t.to_text_tree();
+  EXPECT_NE(tree.find("alpha"), std::string::npos);
+  EXPECT_NE(tree.find("\n  beta"), std::string::npos);  // depth-1 indent
+}
+
+TEST(Tracer, RingEvictsOldestAndCountsDropped) {
+  Tracer t(4);
+  for (int i = 0; i < 10; ++i) {
+    Span s(t, "s" + std::to_string(i));
+  }
+  EXPECT_EQ(t.size(), 4u);
+  EXPECT_EQ(t.dropped(), 6u);
+  const auto spans = t.spans();
+  ASSERT_EQ(spans.size(), 4u);
+  EXPECT_EQ(spans.front().name, "s6");  // oldest surviving
+  EXPECT_EQ(spans.back().name, "s9");
+}
+
+TEST(Tracer, AttrsAndCloseMs) {
+  Tracer t;
+  Span s(t, "work");
+  s.attr("k", "v");
+  s.attr("n", std::int64_t{42});
+  const double ms = s.close_ms();
+  EXPECT_GE(ms, 0.0);
+  const auto spans = t.spans();
+  ASSERT_EQ(spans.size(), 1u);
+  // close_ms is exactly the recorded duration — StageTimes-as-view
+  // depends on this.
+  EXPECT_DOUBLE_EQ(ms, static_cast<double>(spans[0].dur_ns) / 1e6);
+  ASSERT_EQ(spans[0].attrs.size(), 2u);
+  EXPECT_EQ(spans[0].attrs[0].first, "k");
+  EXPECT_EQ(spans[0].attrs[0].second, "v");
+  EXPECT_EQ(spans[0].attrs[1].second, "42");
+}
+
+TEST(Tracer, ChromeJsonIsWellFormedAndEscaped) {
+  Tracer t;
+  {
+    Span s(t, "na\"me\\with\nbad chars");
+    s.attr("key\"", "val\\ue");
+  }
+  const std::string json = t.to_chrome_json();
+  EXPECT_TRUE(is_valid_json(json)) << json;
+  EXPECT_NE(json.find("traceEvents"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+}
+
+TEST(Tracer, ClearDropsRecords) {
+  Tracer t;
+  { Span s(t, "x"); }
+  EXPECT_EQ(t.size(), 1u);
+  t.clear();
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.dropped(), 0u);
+}
+
+// ---- histogram ------------------------------------------------------------
+
+TEST(Histogram, BucketIndexPowersOfTwo) {
+  EXPECT_EQ(Histogram::bucket_index(0), 0u);
+  EXPECT_EQ(Histogram::bucket_index(1), 0u);
+  EXPECT_EQ(Histogram::bucket_index(2), 1u);
+  EXPECT_EQ(Histogram::bucket_index(3), 2u);
+  EXPECT_EQ(Histogram::bucket_index(4), 2u);
+  EXPECT_EQ(Histogram::bucket_index(5), 3u);
+  EXPECT_EQ(Histogram::bucket_index(8), 3u);
+  EXPECT_EQ(Histogram::bucket_index(9), 4u);
+  EXPECT_EQ(Histogram::bucket_index(1ull << 40), 40u);
+  EXPECT_EQ(Histogram::bucket_index((1ull << 40) + 1), 41u);
+}
+
+TEST(Histogram, ObserveTracksCountSumMinMax) {
+  Histogram h;
+  for (const std::uint64_t v : {5u, 1u, 100u, 7u}) h.observe(v);
+  EXPECT_EQ(h.count, 4u);
+  EXPECT_EQ(h.sum, 113u);
+  EXPECT_EQ(h.min, 1u);
+  EXPECT_EQ(h.max, 100u);
+  EXPECT_EQ(h.buckets[Histogram::bucket_index(5)], 2u);  // 5 and 7 share
+  EXPECT_EQ(h.buckets[0], 1u);
+  EXPECT_EQ(h.buckets[Histogram::bucket_index(100)], 1u);
+}
+
+TEST(Histogram, ApproxQuantileBracketsTrueValue) {
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 100; ++v) h.observe(v);
+  // p50 of 1..100 is 50; the bucket upper bound answer must be the
+  // enclosing power of two (64), never below the true value's bucket.
+  EXPECT_EQ(h.approx_quantile(0.5), 64u);
+  EXPECT_EQ(h.approx_quantile(1.0), 100u);  // clamped to observed max
+  EXPECT_EQ(Histogram{}.approx_quantile(0.5), 0u);
+}
+
+// ---- registry -------------------------------------------------------------
+
+TEST(Registry, CountersGaugesHistograms) {
+  Registry r;
+  r.count("a.b");
+  r.count("a.b", 4);
+  r.gauge_set("g", 2.5);
+  r.gauge_set("g", 3.5);  // last write wins
+  r.observe("h_ns", 1000);
+  EXPECT_EQ(r.counter("a.b"), 5u);
+  EXPECT_EQ(r.counter("missing"), 0u);
+  EXPECT_DOUBLE_EQ(r.gauge("g"), 3.5);
+  EXPECT_EQ(r.histogram("h_ns").count, 1u);
+  EXPECT_EQ(r.histogram("missing").count, 0u);
+  r.clear();
+  EXPECT_EQ(r.counter("a.b"), 0u);
+}
+
+TEST(Registry, JsonIsWellFormed) {
+  Registry r;
+  r.count("with\"quote", 2);
+  r.gauge_set("gauge.x", -1.25);
+  for (std::uint64_t v = 1; v < 2000; v *= 3) r.observe("lat_ns", v);
+  const std::string json = r.to_json();
+  EXPECT_TRUE(is_valid_json(json)) << json;
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"buckets\""), std::string::npos);
+}
+
+TEST(Registry, SummaryIsOneLine) {
+  Registry r;
+  r.count("c", 7);
+  r.gauge_set("g", 1);
+  r.observe("h", 12);
+  const std::string s = r.summary();
+  EXPECT_EQ(s.find('\n'), std::string::npos);
+  EXPECT_NE(s.find("c=7"), std::string::npos);
+  EXPECT_NE(s.find("h{n=1"), std::string::npos);
+}
+
+TEST(Registry, EmptyExportsAreValid) {
+  Registry r;
+  EXPECT_TRUE(is_valid_json(r.to_json()));
+  EXPECT_EQ(r.summary(), "obs:");
+  Tracer t;
+  EXPECT_TRUE(is_valid_json(t.to_chrome_json()));
+  EXPECT_EQ(t.to_text_tree(), "");
+}
+
+// ---- macros / kill switch -------------------------------------------------
+
+#if NFACTOR_OBS_ENABLED
+
+TEST(Macros, RecordIntoDefaults) {
+  const std::uint64_t before = default_registry().counter("obs_test.macro");
+  const std::size_t spans_before = default_tracer().size();
+  {
+    OBS_SPAN("obs_test.span");
+    OBS_SPAN_VAR(sp, "obs_test.span2");
+    sp.attr("k", std::int64_t{1});
+    OBS_COUNT("obs_test.macro");
+    OBS_COUNT_N("obs_test.macro", 2);
+    OBS_GAUGE("obs_test.gauge", 9);
+    OBS_HIST("obs_test.hist", 3);
+    { OBS_TIMER_NS("obs_test.timer_ns"); }
+  }
+  EXPECT_EQ(default_registry().counter("obs_test.macro"), before + 3);
+  EXPECT_DOUBLE_EQ(default_registry().gauge("obs_test.gauge"), 9.0);
+  EXPECT_GE(default_registry().histogram("obs_test.hist").count, 1u);
+  EXPECT_GE(default_registry().histogram("obs_test.timer_ns").count, 1u);
+  EXPECT_EQ(default_tracer().size(), spans_before + 2);
+}
+
+#else  // kill switch: same call sites must compile to no-ops.
+
+TEST(Macros, NoOpWhenDisabled) {
+  default_registry().clear();
+  default_tracer().clear();
+  {
+    OBS_SPAN("obs_test.span");
+    OBS_SPAN_VAR(sp, "obs_test.span2");
+    sp.attr("k", std::int64_t{1});
+    OBS_COUNT("obs_test.macro");
+    OBS_COUNT_N("obs_test.macro", 2);
+    OBS_GAUGE("obs_test.gauge", 9);
+    OBS_HIST("obs_test.hist", 3);
+    { OBS_TIMER_NS("obs_test.timer_ns"); }
+  }
+  EXPECT_EQ(default_registry().counter("obs_test.macro"), 0u);
+  EXPECT_EQ(default_registry().histogram("obs_test.hist").count, 0u);
+  EXPECT_EQ(default_tracer().size(), 0u);
+  // The explicit API still works with the switch off (the pipeline's
+  // stage spans rely on this).
+  { Span s(default_tracer(), "explicit"); }
+  EXPECT_EQ(default_tracer().size(), 1u);
+}
+
+#endif  // NFACTOR_OBS_ENABLED
+
+}  // namespace
+}  // namespace nfactor::obs

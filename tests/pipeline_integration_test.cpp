@@ -10,6 +10,7 @@
 #include "netsim/packet_gen.h"
 #include "nfactor/pipeline.h"
 #include "nfs/corpus.h"
+#include "obs/obs.h"
 #include "verify/equivalence.h"
 
 namespace nfactor {
@@ -141,6 +142,56 @@ INSTANTIATE_TEST_SUITE_P(
                                          "firewall", "monitor", "l2_switch",
                                          "dpi", "heavy_hitter", "synflood"),
                        ::testing::Values(1, 2, 3)));
+
+TEST(ObsSpans, EveryStageEmitsExactlyOneSpanAndTimesMatch) {
+  obs::default_tracer().clear();
+  const auto r = run_nf("lb", /*with_orig_se=*/true);
+  const auto spans = obs::default_tracer().spans();
+
+  auto count_of = [&](const std::string& name) {
+    std::size_t n = 0;
+    for (const auto& s : spans) n += s.name == name ? 1 : 0;
+    return n;
+  };
+  auto dur_ms = [&](const std::string& name) {
+    for (const auto& s : spans) {
+      if (s.name == name) return static_cast<double>(s.dur_ns) / 1e6;
+    }
+    return -1.0;
+  };
+
+  // One span per Algorithm-1 stage, plus the enclosing run span.
+  for (const char* stage :
+       {"pipeline.run", "pipeline.lower", "pipeline.slice",
+        "pipeline.se_slice", "pipeline.model", "pipeline.se_orig"}) {
+    EXPECT_EQ(count_of(stage), 1u) << stage;
+  }
+
+  // StageTimes is a *view* over the spans: identical numbers, not a
+  // second measurement.
+  EXPECT_DOUBLE_EQ(r.times.lower_ms, dur_ms("pipeline.lower"));
+  EXPECT_DOUBLE_EQ(r.times.slicing_ms, dur_ms("pipeline.slice"));
+  EXPECT_DOUBLE_EQ(r.times.se_slice_ms, dur_ms("pipeline.se_slice"));
+  EXPECT_DOUBLE_EQ(r.times.model_ms, dur_ms("pipeline.model"));
+  EXPECT_DOUBLE_EQ(r.times.se_orig_ms, dur_ms("pipeline.se_orig"));
+  EXPECT_DOUBLE_EQ(r.times.total_ms, dur_ms("pipeline.run"));
+
+  // Stage spans nest inside the run span.
+  for (const auto& s : spans) {
+    if (s.name.rfind("pipeline.", 0) == 0 && s.name != "pipeline.run") {
+      EXPECT_EQ(s.depth, 1) << s.name;
+    }
+  }
+}
+
+TEST(ObsSpans, SkippedOrigSeEmitsNoSpan) {
+  obs::default_tracer().clear();
+  const auto r = run_nf("lb", /*with_orig_se=*/false);
+  (void)r;
+  for (const auto& s : obs::default_tracer().spans()) {
+    EXPECT_NE(s.name, "pipeline.se_orig");
+  }
+}
 
 TEST(PipelineTimings, AllStagesReported) {
   const auto r = run_nf("lb", true);
