@@ -20,6 +20,8 @@
 
 #include "analysis/dot.h"
 #include "ir/dot.h"
+#include "lang/diagnostics.h"
+#include "lint/lint.h"
 #include "model/fsm.h"
 #include "model/model.h"
 #include "model/sefl_export.h"
@@ -33,7 +35,8 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: nfactor_cli <file.nf> [--table|--json|--text|--slices|"
-               "--vars|--stats|--validate|--sefl|--fsm <statevar>|--dot-cfg|--dot-pdg]\n"
+               "--vars|--stats|--validate|--sefl|--fsm <statevar>|--dot-cfg|"
+               "--dot-pdg|--lint|--lint-json]\n"
                "       nfactor_cli --corpus <name> [flags]   (bundled NFs: ");
   for (const auto& e : nfactor::nfs::corpus()) {
     std::fprintf(stderr, "%s ", std::string(e.name).c_str());
@@ -43,7 +46,11 @@ int usage() {
                "bundled corpus)\n"
                "       nfactor_cli --write-corpus <dir>\n"
                "observability flags (any position): --trace-out FILE, "
-               "--metrics-out FILE, --obs-summary\n");
+               "--metrics-out FILE, --obs-summary\n"
+               "lint/simplify flags (any position): --lint (diagnostics, "
+               "exit 2 on errors), --lint-json,\n"
+               "  --Werror (warnings become errors), --no-simplify (skip "
+               "IR simplification before SE)\n");
   return 2;
 }
 
@@ -99,8 +106,40 @@ bool extract_obs_flags(std::vector<std::string>& args, ObsFlags& obs) {
   return true;
 }
 
+/// Remove a boolean flag (anywhere in args); returns whether it was seen.
+bool extract_flag(std::vector<std::string>& args, const std::string& flag) {
+  bool seen = false;
+  for (auto it = args.begin(); it != args.end();) {
+    if (*it == flag) {
+      seen = true;
+      it = args.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return seen;
+}
+
 void print_se_stats(const char* label, const nfactor::symex::ExecStats& s) {
   std::printf("%s: %s\n", label, s.to_string().c_str());
+}
+
+/// --lint / --lint-json: run the diagnostics engine instead of the
+/// synthesis pipeline. Exit code 2 when errors (or, under --Werror,
+/// warnings) were reported.
+int run_lint(const std::string& source, const std::string& unit, bool json,
+             bool werror) {
+  nfactor::lang::DiagnosticSink sink;
+  nfactor::lint::lint_source(source, unit, sink);
+  if (json) {
+    std::printf("%s\n", sink.render_json(unit).c_str());
+  } else {
+    std::fputs(sink.render_text(unit).c_str(), stdout);
+    std::printf("%s: %d error(s), %d warning(s), %d note(s)\n", unit.c_str(),
+                sink.errors(), sink.warnings(), sink.notes());
+  }
+  const bool fail = sink.has_errors() || (werror && sink.warnings() > 0);
+  return fail ? 2 : 0;
 }
 
 }  // namespace
@@ -111,6 +150,8 @@ int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
   ObsFlags obs;
   if (!extract_obs_flags(args, obs)) return usage();
+  const bool no_simplify = extract_flag(args, "--no-simplify");
+  const bool werror = extract_flag(args, "--Werror");
   if (args.empty()) return usage();
 
   std::string source;
@@ -172,10 +213,19 @@ int main(int argc, char** argv) {
   std::string mode = "--table";
   if (args.size() > flag_start) mode = args[flag_start];
 
+  if (mode == "--lint" || mode == "--lint-json") {
+    const int rc = run_lint(source, unit, mode == "--lint-json", werror);
+    return obs.emit() ? rc : 1;
+  }
+
   int rc = 0;
   try {
     pipeline::PipelineOptions opts;
     if (mode == "--stats") opts.run_orig_se = true;
+    // The CLI runs the full production pipeline: simplify on (with
+    // config folding) unless --no-simplify asks for the raw IR.
+    opts.simplify.enabled = !no_simplify;
+    opts.simplify.fold_config = !no_simplify;
     const auto r = pipeline::run_source(source, unit, opts);
 
     if (mode == "--table") {
@@ -223,10 +273,13 @@ int main(int argc, char** argv) {
     } else if (mode == "--stats") {
       std::printf("LoC: orig=%d slice=%d path=%d\n", r.loc_orig, r.loc_slice,
                   r.loc_path);
-      std::printf("stages: lower=%.2fms slicing=%.2fms se_slice=%.2fms "
-                  "model=%.2fms se_orig=%.2fms total=%.2fms\n",
-                  r.times.lower_ms, r.times.slicing_ms, r.times.se_slice_ms,
-                  r.times.model_ms, r.times.se_orig_ms, r.times.total_ms);
+      std::printf("stages: lower=%.2fms simplify=%.2fms slicing=%.2fms "
+                  "se_slice=%.2fms model=%.2fms se_orig=%.2fms total=%.2fms\n",
+                  r.times.lower_ms, r.times.simplify_ms, r.times.slicing_ms,
+                  r.times.se_slice_ms, r.times.model_ms, r.times.se_orig_ms,
+                  r.times.total_ms);
+      std::printf("simplify: %s%s\n", r.simplify_stats.to_string().c_str(),
+                  no_simplify ? " (disabled by --no-simplify)" : "");
       print_se_stats("SE(slice)", r.slice_stats);
       print_se_stats("SE(orig) ", r.orig_stats);
     } else {

@@ -1,0 +1,300 @@
+#include "analysis/const_prop.h"
+
+#include <deque>
+#include <utility>
+
+#include "lang/builtins.h"
+
+namespace nfactor::analysis {
+
+namespace {
+
+using lang::BinOp;
+using lang::UnOp;
+
+/// Integer folding with the exact semantics of the symbolic folder and
+/// the concrete runtime (Python-style modulo, 64-bit shift masking).
+/// *ok=false on division/modulo by zero or a non-integer operator.
+std::int64_t fold_bin_int(BinOp op, std::int64_t a, std::int64_t b, bool* ok) {
+  *ok = true;
+  switch (op) {
+    case BinOp::kAdd: return a + b;
+    case BinOp::kSub: return a - b;
+    case BinOp::kMul: return a * b;
+    case BinOp::kDiv:
+      if (b == 0) { *ok = false; return 0; }
+      return a / b;
+    case BinOp::kMod:
+      if (b == 0) { *ok = false; return 0; }
+      return ((a % b) + b) % b;
+    case BinOp::kBitAnd: return a & b;
+    case BinOp::kBitOr: return a | b;
+    case BinOp::kBitXor: return a ^ b;
+    case BinOp::kShl: return a << (b & 63);
+    case BinOp::kShr:
+      return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) >>
+                                       (b & 63));
+    default:
+      *ok = false;
+      return 0;
+  }
+}
+
+ConstVal eval_binary(BinOp op, const ConstVal& l, const ConstVal& r) {
+  using K = ConstVal::Kind;
+  if (l.is_top() || r.is_top()) return ConstVal::top();
+  if (l.is_bottom() || r.is_bottom()) return ConstVal::bottom();
+
+  if (op == BinOp::kEq || op == BinOp::kNe) {
+    if (l.kind != r.kind) return ConstVal::bottom();
+    bool eq = false;
+    switch (l.kind) {
+      case K::kInt: eq = l.i == r.i; break;
+      case K::kBool: eq = l.b == r.b; break;
+      case K::kStr: eq = l.s == r.s; break;
+      default: return ConstVal::bottom();
+    }
+    return ConstVal::of_bool(op == BinOp::kEq ? eq : !eq);
+  }
+
+  if (l.kind != K::kInt || r.kind != K::kInt) return ConstVal::bottom();
+  switch (op) {
+    case BinOp::kLt: return ConstVal::of_bool(l.i < r.i);
+    case BinOp::kLe: return ConstVal::of_bool(l.i <= r.i);
+    case BinOp::kGt: return ConstVal::of_bool(l.i > r.i);
+    case BinOp::kGe: return ConstVal::of_bool(l.i >= r.i);
+    default: break;
+  }
+  bool ok = false;
+  const std::int64_t v = fold_bin_int(op, l.i, r.i, &ok);
+  return ok ? ConstVal::of_int(v) : ConstVal::bottom();
+}
+
+/// Set every tracked field location of `var` to Bottom (whole-variable
+/// strong def: old field facts die; packet targets get the full field
+/// vocabulary so later reads see Bottom, not Top).
+void smash_fields(ConstEnv& env, const std::string& var, bool full_vocab) {
+  const std::string prefix = var + ".";
+  for (auto it = env.lower_bound(prefix); it != env.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    it->second = ConstVal::bottom();
+  }
+  if (full_vocab) {
+    for (const auto& f : lang::packet_fields()) {
+      env[ir::field_loc(var, f.name)] = ConstVal::bottom();
+    }
+  }
+}
+
+/// Pointwise meet of `src` into `dst` (missing key = Top). Returns true
+/// when `dst` descended.
+bool merge_into(ConstEnv& dst, const ConstEnv& src) {
+  bool changed = false;
+  for (const auto& [loc, v] : src) {
+    if (v.is_top()) continue;  // Top adds no information
+    auto it = dst.find(loc);
+    if (it == dst.end()) {
+      dst.emplace(loc, v);
+      changed = true;
+    } else {
+      const ConstVal m = meet(it->second, v);
+      if (!(m == it->second)) {
+        it->second = m;
+        changed = true;
+      }
+    }
+  }
+  return changed;
+}
+
+}  // namespace
+
+std::string ConstVal::to_string() const {
+  switch (kind) {
+    case Kind::kTop: return "top";
+    case Kind::kBottom: return "bottom";
+    case Kind::kInt: return std::to_string(i);
+    case Kind::kBool: return b ? "true" : "false";
+    case Kind::kStr: return "\"" + s + "\"";
+  }
+  return "?";
+}
+
+ConstVal meet(const ConstVal& a, const ConstVal& b) {
+  if (a.is_top()) return b;
+  if (b.is_top()) return a;
+  if (a == b) return a;
+  return ConstVal::bottom();
+}
+
+ConstVal eval_const(
+    const lang::Expr& e,
+    const std::function<ConstVal(const ir::Location&)>& lookup) {
+  switch (e.kind) {
+    case lang::ExprKind::kIntLit:
+      return ConstVal::of_int(static_cast<const lang::IntLit&>(e).value);
+    case lang::ExprKind::kBoolLit:
+      return ConstVal::of_bool(static_cast<const lang::BoolLit&>(e).value);
+    case lang::ExprKind::kStrLit:
+      return ConstVal::of_str(static_cast<const lang::StrLit&>(e).value);
+    case lang::ExprKind::kVarRef:
+      return lookup(static_cast<const lang::VarRef&>(e).name);
+    case lang::ExprKind::kField: {
+      const auto& f = static_cast<const lang::FieldRef&>(e);
+      if (f.base->kind != lang::ExprKind::kVarRef) return ConstVal::bottom();
+      const auto& base = static_cast<const lang::VarRef&>(*f.base);
+      return lookup(ir::field_loc(base.name, f.field));
+    }
+    case lang::ExprKind::kUnary: {
+      const auto& u = static_cast<const lang::Unary&>(e);
+      const ConstVal v = eval_const(*u.operand, lookup);
+      if (v.is_top()) return v;
+      if (u.op == UnOp::kNeg && v.kind == ConstVal::Kind::kInt) {
+        return ConstVal::of_int(-v.i);
+      }
+      if (u.op == UnOp::kNot && v.kind == ConstVal::Kind::kBool) {
+        return ConstVal::of_bool(!v.b);
+      }
+      return ConstVal::bottom();
+    }
+    case lang::ExprKind::kBinary: {
+      const auto& b = static_cast<const lang::Binary&>(e);
+      if (b.op == BinOp::kAnd || b.op == BinOp::kOr) {
+        // Short-circuit folding only off a Const left side: the right
+        // side may divide by zero at runtime, so it must not be skipped
+        // on the strength of its own constness.
+        const ConstVal l = eval_const(*b.lhs, lookup);
+        if (l.kind == ConstVal::Kind::kBool) {
+          if (b.op == BinOp::kAnd && !l.b) return ConstVal::of_bool(false);
+          if (b.op == BinOp::kOr && l.b) return ConstVal::of_bool(true);
+          const ConstVal r = eval_const(*b.rhs, lookup);
+          if (r.is_top()) return r;
+          if (r.kind == ConstVal::Kind::kBool) return r;
+          return ConstVal::bottom();
+        }
+        return l.is_top() ? ConstVal::top() : ConstVal::bottom();
+      }
+      return eval_binary(b.op, eval_const(*b.lhs, lookup),
+                         eval_const(*b.rhs, lookup));
+    }
+    default:
+      // Calls, indexing, membership, and container literals are never
+      // constants here (container stores are weak updates).
+      return ConstVal::bottom();
+  }
+}
+
+ConstProp::ConstProp(const ir::Cfg& cfg, ConstEnv entry_env) : cfg_(cfg) {
+  in_.resize(cfg.size());
+  exec_.assign(cfg.size(), false);
+  edge_exec_.resize(cfg.size());
+  for (std::size_t i = 0; i < cfg.size(); ++i) {
+    edge_exec_[i].assign(cfg.nodes[i]->succs.size(), false);
+  }
+  if (cfg.entry < 0) return;
+
+  in_[static_cast<std::size_t>(cfg.entry)] = std::move(entry_env);
+  exec_[static_cast<std::size_t>(cfg.entry)] = true;
+
+  std::deque<std::pair<int, int>> wl;
+  const auto push_live_edges = [&](int n) {
+    const ir::Instr& nd = cfg_.node(n);
+    if (nd.kind == ir::InstrKind::kBranch && nd.succs.size() == 2) {
+      const ConstVal d = branch_decision(n);
+      if (d.kind == ConstVal::Kind::kBool) {
+        wl.emplace_back(n, d.b ? 0 : 1);
+      } else if (!d.is_top()) {
+        wl.emplace_back(n, 0);
+        wl.emplace_back(n, 1);
+      }
+      // Top: no arm provably executes yet — wait for the condition to
+      // descend (it stays Top only for provably-undefined reads, which
+      // edge_executable() then reports as both-live).
+      return;
+    }
+    for (int slot = 0; slot < static_cast<int>(nd.succs.size()); ++slot) {
+      wl.emplace_back(n, slot);
+    }
+  };
+
+  push_live_edges(cfg.entry);
+  while (!wl.empty()) {
+    const auto [u, slot] = wl.front();
+    wl.pop_front();
+    const int v = cfg_.node(u).succs[static_cast<std::size_t>(slot)];
+    if (v < 0) continue;
+    edge_exec_[static_cast<std::size_t>(u)][static_cast<std::size_t>(slot)] =
+        true;
+    const ConstEnv out =
+        transfer(cfg_.node(u), in_[static_cast<std::size_t>(u)]);
+    bool changed = merge_into(in_[static_cast<std::size_t>(v)], out);
+    if (!exec_[static_cast<std::size_t>(v)]) {
+      exec_[static_cast<std::size_t>(v)] = true;
+      changed = true;
+    }
+    if (changed) push_live_edges(v);
+  }
+}
+
+ConstEnv ConstProp::transfer(const ir::Instr& n, const ConstEnv& in) const {
+  ConstEnv out = in;
+  const auto lookup = [&in](const ir::Location& loc) {
+    const auto it = in.find(loc);
+    return it == in.end() ? ConstVal::top() : it->second;
+  };
+  switch (n.kind) {
+    case ir::InstrKind::kAssign: {
+      const ConstVal v = eval_const(*n.value, lookup);
+      smash_fields(out, n.var, n.value->type == lang::Type::kPacket);
+      out[n.var] = v;
+      break;
+    }
+    case ir::InstrKind::kRecv:
+      smash_fields(out, n.var, /*full_vocab=*/true);
+      out[n.var] = ConstVal::bottom();
+      break;
+    case ir::InstrKind::kFieldStore:
+      out[ir::field_loc(n.var, n.field)] = eval_const(*n.value, lookup);
+      break;
+    case ir::InstrKind::kIndexStore:
+      out[n.var] = ConstVal::bottom();
+      break;
+    case ir::InstrKind::kCall:
+      // push/pop smash their container; pop's result is unknown.
+      for (const auto& loc : n.defs()) out[loc] = ConstVal::bottom();
+      break;
+    default:
+      break;  // entry/exit/branch/send: no defs
+  }
+  return out;
+}
+
+bool ConstProp::edge_executable(int node, int slot) const {
+  if (!exec_[static_cast<std::size_t>(node)]) return false;
+  const ir::Instr& nd = cfg_.node(node);
+  if (nd.kind == ir::InstrKind::kBranch && branch_decision(node).is_top()) {
+    return true;
+  }
+  const auto& edges = edge_exec_[static_cast<std::size_t>(node)];
+  return slot >= 0 && slot < static_cast<int>(edges.size()) &&
+         edges[static_cast<std::size_t>(slot)];
+}
+
+ConstVal ConstProp::value_in(int node, const ir::Location& loc) const {
+  const auto& env = in_[static_cast<std::size_t>(node)];
+  const auto it = env.find(loc);
+  return it == env.end() ? ConstVal::top() : it->second;
+}
+
+ConstVal ConstProp::eval_in(int node, const lang::Expr& e) const {
+  return eval_const(e, [this, node](const ir::Location& loc) {
+    return value_in(node, loc);
+  });
+}
+
+ConstVal ConstProp::branch_decision(int node) const {
+  const ir::Instr& nd = cfg_.node(node);
+  return nd.value ? eval_in(node, *nd.value) : ConstVal::bottom();
+}
+
+}  // namespace nfactor::analysis

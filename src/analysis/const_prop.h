@@ -1,0 +1,116 @@
+// Sparse conditional constant propagation (SCCP) over the statement CFG.
+// The lattice per location is the classic three-level one:
+//
+//     Top  (no executable definition seen yet — optimistically unknown)
+//      |
+//    Const (a single int/bool/str constant on every executable path)
+//      |
+//   Bottom (overdefined: symbolic, container-valued, or conflicting)
+//
+// The pass interleaves value propagation with edge executability: a
+// branch whose condition evaluates to a constant only propagates along
+// the taken edge, so code behind provably-dead arms never pollutes the
+// merge points (Wegman–Zadeck, adapted to our non-SSA location maps).
+//
+// Clients:
+//   - lint NF204 (unreachable arm) / NF207 (invalid send port), with
+//     persistents seeded Bottom or config-seeded respectively;
+//   - the lint simplify pass, which folds Const expressions and prunes
+//     branch arms whose condition is Const at fixpoint.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ir/ir.h"
+#include "lang/ast.h"
+
+namespace nfactor::analysis {
+
+/// One lattice element. Tuples, lists and maps are never tracked as
+/// constants (container stores are weak updates) — they go to Bottom.
+struct ConstVal {
+  enum class Kind : std::uint8_t { kTop, kInt, kBool, kStr, kBottom };
+
+  Kind kind = Kind::kTop;
+  std::int64_t i = 0;
+  bool b = false;
+  std::string s;
+
+  static ConstVal top() { return {}; }
+  static ConstVal bottom() { return {Kind::kBottom, 0, false, {}}; }
+  static ConstVal of_int(std::int64_t v) { return {Kind::kInt, v, false, {}}; }
+  static ConstVal of_bool(bool v) { return {Kind::kBool, 0, v, {}}; }
+  static ConstVal of_str(std::string v) {
+    return {Kind::kStr, 0, false, std::move(v)};
+  }
+
+  bool is_top() const { return kind == Kind::kTop; }
+  bool is_bottom() const { return kind == Kind::kBottom; }
+  bool is_const() const { return !is_top() && !is_bottom(); }
+
+  bool operator==(const ConstVal& o) const {
+    return kind == o.kind && i == o.i && b == o.b && s == o.s;
+  }
+
+  std::string to_string() const;
+};
+
+/// Lattice meet: Top ∧ x = x; Const(a) ∧ Const(b) = Const(a) when equal,
+/// Bottom otherwise; Bottom ∧ x = Bottom.
+ConstVal meet(const ConstVal& a, const ConstVal& b);
+
+/// Abstract environment: location -> lattice value. A missing key reads
+/// as Top (nothing known yet).
+using ConstEnv = std::map<ir::Location, ConstVal>;
+
+/// Abstractly evaluate `e` under `lookup`. Matches the concrete runtime
+/// and the symbolic folder exactly where it folds (Python-style modulo,
+/// shift masking); division/modulo by a constant zero yields Bottom so
+/// the runtime's error path is never folded away. `and`/`or` fold via
+/// left-to-right short-circuit only when the left side is Const.
+ConstVal eval_const(
+    const lang::Expr& e,
+    const std::function<ConstVal(const ir::Location&)>& lookup);
+
+class ConstProp {
+ public:
+  /// Runs to fixpoint on construction. `entry_env` seeds the entry
+  /// node's environment (typically: every persistent location mapped to
+  /// Bottom, or to a Const for config-folded scalars). Locations absent
+  /// from the seed start at Top.
+  ConstProp(const ir::Cfg& cfg, ConstEnv entry_env);
+
+  /// Whether any executable path reaches `node`.
+  bool node_executable(int node) const {
+    return exec_[static_cast<std::size_t>(node)];
+  }
+
+  /// Whether the edge `node -> succs[slot]` is ever taken. For a branch
+  /// with a Top condition at fixpoint both slots read executable (we
+  /// refuse to reason about provably-undefined conditions).
+  bool edge_executable(int node, int slot) const;
+
+  /// Lattice value of `loc` at the entry of `node`.
+  ConstVal value_in(int node, const ir::Location& loc) const;
+
+  /// Abstractly evaluate `e` in `node`'s entry environment.
+  ConstVal eval_in(int node, const lang::Expr& e) const;
+
+  /// For a kBranch node: its condition's fixpoint value. Only a Const
+  /// bool decides the branch; anything else means both arms stay live.
+  ConstVal branch_decision(int node) const;
+
+ private:
+  ConstEnv transfer(const ir::Instr& n, const ConstEnv& in) const;
+
+  const ir::Cfg& cfg_;
+  std::vector<ConstEnv> in_;
+  std::vector<bool> exec_;
+  std::vector<std::vector<bool>> edge_exec_;
+};
+
+}  // namespace nfactor::analysis

@@ -1,0 +1,26 @@
+#include "lang/diagnostics.h"
+
+#include <sstream>
+
+#include "obs/json.h"
+
+namespace nfactor::lang {
+
+std::string DiagnosticSink::render_json(const std::string& unit) const {
+  std::ostringstream os;
+  os << "{\"unit\":\"" << obs::json_escape(unit) << "\",\"diagnostics\":[";
+  bool first = true;
+  for (const Diagnostic* d : ordered()) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"line\":" << d->loc.line << ",\"col\":" << d->loc.col
+       << ",\"severity\":\"" << to_string(d->severity) << "\",\"code\":\""
+       << obs::json_escape(d->code) << "\",\"message\":\""
+       << obs::json_escape(d->message) << "\"}";
+  }
+  os << "],\"counts\":{\"note\":" << notes() << ",\"warning\":" << warnings()
+     << ",\"error\":" << errors() << "}}";
+  return os.str();
+}
+
+}  // namespace nfactor::lang

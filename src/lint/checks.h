@@ -1,0 +1,38 @@
+// Internal interface between the lint driver and the check passes.
+// Each check is a free function over a shared, read-only analysis
+// context; the driver owns the analyses and the execution order.
+#pragma once
+
+#include "analysis/const_prop.h"
+#include "analysis/live_vars.h"
+#include "analysis/pdg.h"
+#include "ir/ir.h"
+#include "lang/diagnostics.h"
+#include "statealyzer/statealyzer.h"
+
+namespace nfactor::lint {
+
+struct CheckContext {
+  const ir::Module& m;
+  const analysis::Pdg& pdg;
+  const statealyzer::Result& cats;
+  const analysis::LiveVars& live;
+  /// SCCP with every persistent seeded Bottom: facts hold for *any*
+  /// configuration (used by NF204 so config-guarded arms stay live).
+  const analysis::ConstProp& cp;
+  /// SCCP with config scalars seeded to their initializer constants:
+  /// facts hold for *this* configuration (used by NF207).
+  const analysis::ConstProp& cp_cfg;
+  lang::DiagnosticSink& sink;
+};
+
+void check_use_before_init(const CheckContext& ctx);     // NF201
+void check_dead_store(const CheckContext& ctx);          // NF202
+void check_write_only_state(const CheckContext& ctx);    // NF203
+void check_unreachable_arm(const CheckContext& ctx);     // NF204
+void check_logvar_guard(const CheckContext& ctx);        // NF205
+void check_weak_update_shadow(const CheckContext& ctx);  // NF206
+void check_invalid_send_port(const CheckContext& ctx);   // NF207
+void check_vacuous_model(const CheckContext& ctx);       // NF301
+
+}  // namespace nfactor::lint

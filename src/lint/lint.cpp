@@ -1,0 +1,102 @@
+#include "lint/lint.h"
+
+#include "analysis/const_prop.h"
+#include "analysis/live_vars.h"
+#include "analysis/pdg.h"
+#include "ir/lower.h"
+#include "lang/parser.h"
+#include "lint/checks.h"
+#include "lint/simplify.h"
+#include "obs/obs.h"
+#include "statealyzer/statealyzer.h"
+#include "transform/normalize.h"
+
+namespace nfactor::lint {
+
+const std::vector<CheckInfo>& checks() {
+  using lang::Severity;
+  static const std::vector<CheckInfo> kChecks = {
+      {"NF201", "use-before-init", Severity::kWarning,
+       "non-persistent variable may be read before initialization"},
+      {"NF202", "dead-store", Severity::kWarning,
+       "assignment to a local that is never read"},
+      {"NF203", "write-only-state", Severity::kWarning,
+       "persistent variable written during packet processing but never read"},
+      {"NF204", "unreachable-arm", Severity::kWarning,
+       "branch arm unreachable under constant propagation (any config)"},
+      {"NF205", "logvar-guard", Severity::kNote,
+       "branch condition reads a logVar (possibly miscategorized state)"},
+      {"NF206", "weak-update-shadow", Severity::kWarning,
+       "container element store overwritten before any read"},
+      {"NF207", "invalid-send-port", Severity::kWarning,
+       "send() port folds to a constant outside 0..65535"},
+      {"NF301", "vacuous-model", Severity::kWarning,
+       "NF never sends a packet; the synthesized model is vacuous"},
+  };
+  return kChecks;
+}
+
+void run_checks(const ir::Module& m, lang::DiagnosticSink& sink) {
+  obs::Span sp(obs::default_tracer(), "lint.run_checks");
+  sp.attr("nf", m.name);
+
+  analysis::Pdg pdg(m.body);
+  const statealyzer::Result cats = statealyzer::analyze(m, pdg);
+  const analysis::LiveVars live(m.body);
+
+  // Config-agnostic lattice: every persistent is opaque (Bottom), so a
+  // "dead" arm is dead for every possible configuration.
+  analysis::ConstEnv env_any;
+  for (const auto& v : m.persistent) env_any[v] = analysis::ConstVal::bottom();
+  for (const auto& g : m.globals) env_any[g.name] = analysis::ConstVal::bottom();
+  const analysis::ConstProp cp(m.body, std::move(env_any));
+
+  // Config-specific lattice: config scalars take their initializer
+  // constants (what simplify's fold_config uses).
+  analysis::ConstEnv env_cfg;
+  for (const auto& v : m.persistent) env_cfg[v] = analysis::ConstVal::bottom();
+  for (const auto& g : m.globals) env_cfg[g.name] = analysis::ConstVal::bottom();
+  for (auto& [k, v] : config_env(m)) env_cfg[k] = v;
+  const analysis::ConstProp cp_cfg(m.body, std::move(env_cfg));
+
+  const CheckContext ctx{m, pdg, cats, live, cp, cp_cfg, sink};
+  check_use_before_init(ctx);
+  check_dead_store(ctx);
+  check_write_only_state(ctx);
+  check_unreachable_arm(ctx);
+  check_logvar_guard(ctx);
+  check_weak_update_shadow(ctx);
+  check_invalid_send_port(ctx);
+  check_vacuous_model(ctx);
+
+  OBS_GAUGE("lint.diags", sink.size());
+  sp.attr("diags", static_cast<std::int64_t>(sink.size()));
+}
+
+bool lint_source(std::string_view source, const std::string& unit,
+                 lang::DiagnosticSink& sink) {
+  try {
+    lang::Program prog = lang::parse(source, unit);
+    lang::Program canon = transform::normalize(prog);
+    const ir::Module m = ir::lower(std::move(canon));
+    run_checks(m, sink);
+    return true;
+  } catch (const lang::LexError& e) {
+    sink.report(e.diag().loc, lang::Severity::kError, "NF101",
+                e.diag().message);
+  } catch (const lang::ParseError& e) {
+    sink.report(e.diag().loc, lang::Severity::kError, "NF102",
+                e.diag().message);
+  } catch (const lang::SemaError& e) {
+    sink.report(e.diag().loc, lang::Severity::kError, "NF103",
+                e.diag().message);
+  } catch (const lang::FrontendError& e) {
+    // LowerError, TransformError, and anything else structural.
+    sink.report(e.diag().loc, lang::Severity::kError, "NF104",
+                e.diag().message);
+  }
+  OBS_GAUGE("lint.diags", sink.size());
+  return false;
+}
+
+}  // namespace nfactor::lint

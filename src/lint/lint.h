@@ -1,0 +1,44 @@
+// nf-lint: static-analysis diagnostics over NF sources and their lowered
+// IR. The engine is a pass manager: every check is a named pass with a
+// stable code (docs/lint.md has the catalog) running over a shared
+// analysis context (PDG, StateAlyzer categories, SCCP constant lattice).
+//
+//   NF1xx  frontend (lex / parse / sema / lowering failures)
+//   NF2xx  dataflow over the per-packet CFG
+//   NF3xx  model-level (synthesis produces a vacuous model)
+//
+// Severity policy: errors stop model synthesis, warnings indicate likely
+// bugs (a clean NF has zero), notes flag suspicious-but-legal idioms.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ir/ir.h"
+#include "lang/diagnostics.h"
+
+namespace nfactor::lint {
+
+/// One registered check pass (for docs, tests, and --help output).
+struct CheckInfo {
+  std::string code;      // "NF202"
+  std::string name;      // "dead-store"
+  lang::Severity severity;
+  std::string summary;   // one-line description
+};
+
+/// The NF2xx/NF3xx check catalog in execution order.
+const std::vector<CheckInfo>& checks();
+
+/// Run every IR-level check over a lowered module, appending to `sink`.
+/// Builds its own PDG / StateAlyzer / constant-propagation context.
+void run_checks(const ir::Module& m, lang::DiagnosticSink& sink);
+
+/// Front door used by the CLI: parse + normalize + lower `source`, then
+/// run_checks. Frontend failures become NF1xx error diagnostics (and the
+/// IR checks are skipped). Returns true when lowering succeeded.
+bool lint_source(std::string_view source, const std::string& unit,
+                 lang::DiagnosticSink& sink);
+
+}  // namespace nfactor::lint

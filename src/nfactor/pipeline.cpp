@@ -35,6 +35,18 @@ PipelineResult run(const lang::Program& prog, const PipelineOptions& opts) {
     r.times.lower_ms = sp.close_ms();
   }
 
+  // ---- Optional: IR simplification (constant folding + dead-arm
+  //      pruning) ahead of slicing and symbolic execution --------------
+  if (opts.simplify.enabled) {
+    obs::Span sp(tracer, "pipeline.simplify");
+    r.simplify_stats = lint::simplify_module(*r.module, opts.simplify);
+    sp.attr("branches_pruned",
+            static_cast<std::int64_t>(r.simplify_stats.branches_pruned));
+    sp.attr("exprs_folded",
+            static_cast<std::int64_t>(r.simplify_stats.exprs_folded));
+    r.times.simplify_ms = sp.close_ms();
+  }
+
   // ---- Stage 1+2: dependence graph, packet slice, categorization,
   //                 state slice (Algorithm 1, lines 1-9) -------------------
   {
@@ -112,6 +124,7 @@ PipelineResult run(const lang::Program& prog, const PipelineOptions& opts) {
   // Mirror the stage times into the registry so --metrics-out / bench
   // metric dumps carry the per-stage breakdown without the trace.
   OBS_GAUGE("pipeline.lower_ms", r.times.lower_ms);
+  OBS_GAUGE("pipeline.simplify_ms", r.times.simplify_ms);
   OBS_GAUGE("pipeline.slicing_ms", r.times.slicing_ms);
   OBS_GAUGE("pipeline.se_slice_ms", r.times.se_slice_ms);
   OBS_GAUGE("pipeline.model_ms", r.times.model_ms);

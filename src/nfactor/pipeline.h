@@ -18,6 +18,7 @@
 #include "analysis/pdg.h"
 #include "ir/ir.h"
 #include "lang/ast.h"
+#include "lint/simplify.h"
 #include "model/model.h"
 #include "statealyzer/statealyzer.h"
 #include "symex/executor.h"
@@ -26,6 +27,10 @@ namespace nfactor::pipeline {
 
 struct PipelineOptions {
   bool normalize_structure = true;  // apply §3.2 transforms first
+  /// Opt-in IR simplification between lowering and slicing (disabled by
+  /// default so library behavior is unchanged; nfactor_cli turns it on
+  /// with fold_config and offers --no-simplify).
+  lint::SimplifyOptions simplify;
   symex::ExecOptions se_slice;      // symbolic execution on the slice
   symex::ExecOptions se_orig;       // symbolic execution on the original
   bool run_orig_se = false;         // Table 2's "orig" columns
@@ -38,6 +43,7 @@ struct PipelineOptions {
 /// `obs::default_tracer()` — no separate chrono bookkeeping.
 struct StageTimes {
   double lower_ms = 0;
+  double simplify_ms = 0;     // 0 unless PipelineOptions.simplify.enabled
   double slicing_ms = 0;      // PDG + packet & state slices (paper: "Slicing Time")
   double se_slice_ms = 0;
   double model_ms = 0;        // path -> model-entry refactoring
@@ -60,6 +66,7 @@ struct PipelineResult {
   symex::ExecStats orig_stats;
 
   model::Model model;
+  lint::SimplifyStats simplify_stats;  // all-zero unless simplify ran
   StageTimes times;
 
   // Table-2 metrics (source-line counts).

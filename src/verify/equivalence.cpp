@@ -1,10 +1,13 @@
 #include "verify/equivalence.h"
 
+#include <map>
 #include <set>
 #include <sstream>
 
+#include "lint/simplify.h"
 #include "model/interp.h"
 #include "runtime/interp.h"
+#include "symex/solver.h"
 
 namespace nfactor::verify {
 
@@ -109,6 +112,75 @@ PathSetComparison compare_action_sets(const std::vector<symex::ExecPath>& a,
   for (const auto& p : b) {
     if (!p.truncated) sb.insert(action_signature(p, cats));
   }
+  PathSetComparison out;
+  for (const auto& s : sa) {
+    if (sb.count(s)) {
+      ++out.common;
+    } else {
+      out.only_in_a.push_back(s);
+    }
+  }
+  for (const auto& s : sb) {
+    if (!sa.count(s)) out.only_in_b.push_back(s);
+  }
+  return out;
+}
+
+std::map<std::string, symex::SymRef> config_bindings(const ir::Module& m) {
+  std::map<std::string, symex::SymRef> out;
+  for (const auto& [name, v] : lint::config_env(m)) {
+    using K = analysis::ConstVal::Kind;
+    switch (v.kind) {
+      case K::kInt: out[name] = symex::make_int(v.i); break;
+      case K::kBool: out[name] = symex::make_bool(v.b); break;
+      case K::kStr: out[name] = symex::make_str(v.s); break;
+      default: break;
+    }
+  }
+  return out;
+}
+
+PathSetComparison compare_action_sets_under_config(
+    const std::vector<symex::ExecPath>& full,
+    const std::vector<symex::ExecPath>& specialized,
+    const statealyzer::Result& cats_full,
+    const statealyzer::Result& cats_spec,
+    const std::map<std::string, symex::SymRef>& bindings) {
+  symex::Solver solver;
+  std::set<std::string> sa;
+  for (const symex::ExecPath& p : full) {
+    if (p.truncated) continue;
+    symex::ExecPath sub = p;
+    bool infeasible = false;
+    std::vector<symex::SymRef> live;
+    for (auto& c : sub.constraints) {
+      symex::SymRef s = symex::substitute(c, bindings);
+      if (s->kind == symex::SymKind::kConstBool) {
+        if (!s->bool_val) {
+          infeasible = true;  // this arm only existed for other configs
+          break;
+        }
+        continue;  // constant-true: no information
+      }
+      live.push_back(s);
+    }
+    if (infeasible || solver.check(live) == symex::SatResult::kUnsat) continue;
+    sub.constraints = std::move(live);
+    for (auto& s : sub.sends) {
+      for (auto& [f, v] : s.fields) v = symex::substitute(v, bindings);
+      s.port = symex::substitute(s.port, bindings);
+    }
+    for (auto& [var, v] : sub.final_state) {
+      v = symex::substitute(v, bindings);
+    }
+    sa.insert(action_signature(sub, cats_full));
+  }
+
+  std::set<std::string> sb;
+  for (const auto& p : specialized) {
+    if (!p.truncated) sb.insert(action_signature(p, cats_spec));
+  }
+
   PathSetComparison out;
   for (const auto& s : sa) {
     if (sb.count(s)) {

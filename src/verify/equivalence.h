@@ -8,6 +8,7 @@
 //      must coincide.
 #pragma once
 
+#include <map>
 #include <span>
 #include <string>
 #include <vector>
@@ -54,5 +55,23 @@ struct PathSetComparison {
 PathSetComparison compare_action_sets(const std::vector<symex::ExecPath>& a,
                                       const std::vector<symex::ExecPath>& b,
                                       const statealyzer::Result& cats);
+
+/// Concrete symbolic bindings for every config scalar that is foldable
+/// from its initializer (mirrors lint::config_env, so this is exactly
+/// the substitution the simplify pass's fold_config tier performs).
+std::map<std::string, symex::SymRef> config_bindings(const ir::Module& m);
+
+/// Equivalence of an unsimplified path set `full` against a
+/// config-folded path set `specialized`: substitute `bindings` into
+/// every `full` path, drop paths whose constraints become unsatisfiable
+/// (those are the arms fold_config pruned), and compare the surviving
+/// action signatures. `cats_full`/`cats_spec` are each side's own
+/// StateAlyzer results.
+PathSetComparison compare_action_sets_under_config(
+    const std::vector<symex::ExecPath>& full,
+    const std::vector<symex::ExecPath>& specialized,
+    const statealyzer::Result& cats_full,
+    const statealyzer::Result& cats_spec,
+    const std::map<std::string, symex::SymRef>& bindings);
 
 }  // namespace nfactor::verify

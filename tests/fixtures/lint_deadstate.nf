@@ -1,0 +1,23 @@
+# Deliberately-buggy lint fixture: dead store to a local (NF202),
+# write-only persistent state (NF203), a branch guarding on a logVar
+# (NF205), and a container weak-update shadowed before any read (NF206).
+var seen = {};
+var hits = 0;
+var stamps = 0;
+
+def main() {
+  while (true) {
+    pkt = recv(0);
+    tmp = pkt.len + 1;
+    stamps = pkt.len;
+    hits = hits + 1;
+    if (hits > 10) {
+      log(hits);
+    }
+    k = (pkt.ip_src, pkt.ip_dst);
+    seen[k] = 1;
+    seen[k] = 2;
+    send(pkt, 1);
+    return;
+  }
+}

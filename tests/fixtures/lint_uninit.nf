@@ -1,0 +1,21 @@
+# Deliberately-buggy lint fixture: use-before-init (NF201), a branch arm
+# dead under constant propagation (NF204), and a send() whose port folds
+# to an out-of-range constant (NF207). Kept synthesizable on purpose so
+# the lint golden test can also lower it.
+var BAD_PORT = 70000;
+
+def main() {
+  while (true) {
+    pkt = recv(0);
+    threshold = 100;
+    if (pkt.len > threshold) {
+      mark = 1;
+    }
+    pkt.ip_tos = mark;
+    if (threshold < 50) {
+      pkt.ip_ttl = 1;
+    }
+    send(pkt, BAD_PORT);
+    return;
+  }
+}
