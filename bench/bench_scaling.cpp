@@ -62,6 +62,51 @@ void report() {
   std::printf("\n");
 }
 
+// Thread sweep: the same NF at 1/2/4/8 SE workers. Paths and model are
+// byte-identical at every width (that is enforced by ctest, not here);
+// what this measures is wall time. Gauges land in the metrics JSON
+// (--metrics-out / NFACTOR_METRICS_OUT) as
+//   scaling.<nf>.jobs<N>.se_ms and scaling.<nf>.jobs<N>.speedup.
+void report_thread_sweep() {
+  std::printf("Thread sweep: SE wall time vs --jobs (slice + orig SE)\n");
+  benchutil::rule('=');
+  std::printf("%-12s | %5s | %10s | %8s | %10s\n", "NF", "jobs", "SE time",
+              "speedup", "cache hit%");
+  benchutil::rule();
+  for (const char* name : {"snort_lite", "nat"}) {
+    const auto& e = nfs::find(name);
+    double base_ms = 0.0;
+    for (const int jobs : {1, 2, 4, 8}) {
+      pipeline::PipelineOptions opts;
+      opts.run_orig_se = true;
+      opts.jobs = jobs;
+      const auto r =
+          pipeline::run_source(e.source, std::string(e.name), opts);
+      const double se_ms = r.times.se_slice_ms + r.times.se_orig_ms;
+      if (jobs == 1) base_ms = se_ms;
+      const double speedup = se_ms > 0.0 ? base_ms / se_ms : 0.0;
+      const auto& ss = r.slice_stats;
+      const auto& os = r.orig_stats;
+      const std::uint64_t hits = ss.cache_hits + os.cache_hits;
+      const std::uint64_t lookups =
+          hits + ss.cache_misses + os.cache_misses;
+      const double hit_pct =
+          lookups > 0 ? 100.0 * static_cast<double>(hits) /
+                            static_cast<double>(lookups)
+                      : 0.0;
+      const std::string tag =
+          "scaling." + std::string(name) + ".jobs" + std::to_string(jobs);
+      OBS_GAUGE(tag + ".se_ms", se_ms);
+      OBS_GAUGE(tag + ".speedup", speedup);
+      OBS_GAUGE(tag + ".cache_hit_rate", hit_pct / 100.0);
+      std::printf("%-12s | %5d | %8.2fms | %7.2fx | %9.1f%%\n", name, jobs,
+                  se_ms, speedup, hit_pct);
+    }
+    benchutil::rule();
+  }
+  std::printf("\n");
+}
+
 void BM_SliceSyntheticK(benchmark::State& state) {
   const std::string src = nfs::synthetic_nf(static_cast<int>(state.range(0)), 4);
   auto prog = lang::parse(src, "synthetic");
@@ -76,5 +121,6 @@ BENCHMARK(BM_SliceSyntheticK)->Arg(4)->Arg(8)->Arg(12)->Unit(benchmark::kMillise
 
 int main(int argc, char** argv) {
   report();
+  report_thread_sweep();
   return nfactor::benchutil::bench_main(argc, argv);
 }

@@ -47,6 +47,10 @@ int usage() {
                "       nfactor_cli --write-corpus <dir>\n"
                "observability flags (any position): --trace-out FILE, "
                "--metrics-out FILE, --obs-summary\n"
+               "execution flags (any position): --jobs N (symbolic-execution "
+               "worker threads;\n"
+               "  0 = one per core, 1 = serial; the model is byte-identical "
+               "at any width)\n"
                "lint/simplify flags (any position): --lint (diagnostics, "
                "exit 2 on errors), --lint-json,\n"
                "  --Werror (warnings become errors), --no-simplify (skip "
@@ -106,6 +110,28 @@ bool extract_obs_flags(std::vector<std::string>& args, ObsFlags& obs) {
   return true;
 }
 
+/// Remove `--jobs N` (anywhere in args). Returns false on a missing or
+/// non-numeric value; leaves `jobs` untouched when the flag is absent.
+bool extract_jobs_flag(std::vector<std::string>& args, int& jobs) {
+  for (auto it = args.begin(); it != args.end();) {
+    if (*it != "--jobs") {
+      ++it;
+      continue;
+    }
+    it = args.erase(it);
+    if (it == args.end()) return false;
+    try {
+      std::size_t pos = 0;
+      jobs = std::stoi(*it, &pos);
+      if (pos != it->size() || jobs < 0) return false;
+    } catch (const std::exception&) {
+      return false;
+    }
+    it = args.erase(it);
+  }
+  return true;
+}
+
 /// Remove a boolean flag (anywhere in args); returns whether it was seen.
 bool extract_flag(std::vector<std::string>& args, const std::string& flag) {
   bool seen = false;
@@ -150,6 +176,8 @@ int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
   ObsFlags obs;
   if (!extract_obs_flags(args, obs)) return usage();
+  int jobs = 0;  // 0 = leave ExecOptions defaults in charge
+  if (!extract_jobs_flag(args, jobs)) return usage();
   const bool no_simplify = extract_flag(args, "--no-simplify");
   const bool werror = extract_flag(args, "--Werror");
   if (args.empty()) return usage();
@@ -174,7 +202,10 @@ int main(int argc, char** argv) {
     std::fputc('\n', stdout);
     for (const auto& e : nfactor::nfs::corpus()) {
       try {
-        const auto r = pipeline::run_source(e.source, std::string(e.name));
+        pipeline::PipelineOptions all_opts;
+        all_opts.jobs = jobs;
+        const auto r =
+            pipeline::run_source(e.source, std::string(e.name), all_opts);
         std::printf("%-12s | %-18s | %5d %5d %5d | %5zu | %7zu%s\n",
                     std::string(e.name).c_str(),
                     std::string(e.structure).c_str(), r.loc_orig, r.loc_slice,
@@ -221,6 +252,7 @@ int main(int argc, char** argv) {
   int rc = 0;
   try {
     pipeline::PipelineOptions opts;
+    opts.jobs = jobs;
     if (mode == "--stats") opts.run_orig_se = true;
     // The CLI runs the full production pipeline: simplify on (with
     // config folding) unless --no-simplify asks for the raw IR.

@@ -83,10 +83,18 @@ PipelineResult run(const lang::Program& prog, const PipelineOptions& opts) {
 
   // ---- Stage 3: symbolic execution of the slice (line 10) ---------------
   symex::SymbolicExecutor se(*r.module, r.cats);
+  // One verdict memo for the whole pipeline: the orig-SE run replays most
+  // of the slice run's branch conditions, so sharing the cache across the
+  // two runs is where the big hit rates come from.
+  symex::SolverCache solver_cache;
   {
     obs::Span sp(tracer, "pipeline.se_slice");
     symex::ExecOptions slice_opts = opts.se_slice;
     slice_opts.filter = &r.union_slice;
+    if (opts.jobs > 0) slice_opts.jobs = opts.jobs;
+    if (slice_opts.solver_cache == nullptr) {
+      slice_opts.solver_cache = &solver_cache;
+    }
     r.slice_paths = se.run(slice_opts, &r.slice_stats);
     sp.attr("paths", static_cast<std::int64_t>(r.slice_paths.size()));
     r.times.se_slice_ms = sp.close_ms();
@@ -103,7 +111,12 @@ PipelineResult run(const lang::Program& prog, const PipelineOptions& opts) {
   // ---- Optional: SE on the original program (Table 2 baseline) ----------
   if (opts.run_orig_se) {
     obs::Span sp(tracer, "pipeline.se_orig");
-    r.orig_paths = se.run(opts.se_orig, &r.orig_stats);
+    symex::ExecOptions orig_opts = opts.se_orig;
+    if (opts.jobs > 0) orig_opts.jobs = opts.jobs;
+    if (orig_opts.solver_cache == nullptr) {
+      orig_opts.solver_cache = &solver_cache;
+    }
+    r.orig_paths = se.run(orig_opts, &r.orig_stats);
     sp.attr("paths", static_cast<std::int64_t>(r.orig_paths.size()));
     r.times.se_orig_ms = sp.close_ms();
   }
@@ -118,6 +131,16 @@ PipelineResult run(const lang::Program& prog, const PipelineOptions& opts) {
   OBS_GAUGE("pipeline.loc_orig", r.loc_orig);
   OBS_GAUGE("pipeline.loc_slice", r.loc_slice);
   OBS_GAUGE("pipeline.loc_path", r.loc_path);
+
+  {
+    const auto cs = solver_cache.stats();
+    OBS_GAUGE("pipeline.solver_cache.entries", solver_cache.size());
+    const std::uint64_t lookups = cs.hits + cs.misses;
+    if (lookups > 0) {
+      OBS_GAUGE("pipeline.solver_cache.hit_rate",
+                static_cast<double>(cs.hits) / static_cast<double>(lookups));
+    }
+  }
 
   r.times.total_ms = total.close_ms();
 

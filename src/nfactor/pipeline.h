@@ -34,6 +34,10 @@ struct PipelineOptions {
   symex::ExecOptions se_slice;      // symbolic execution on the slice
   symex::ExecOptions se_orig;       // symbolic execution on the original
   bool run_orig_se = false;         // Table 2's "orig" columns
+  /// Worker threads for both SE runs: 0 leaves se_slice/se_orig alone
+  /// (their own `jobs` fields apply), > 0 overrides both. Any value
+  /// yields byte-identical models (see symex::ExecOptions::jobs).
+  int jobs = 0;
 };
 
 /// Per-stage wall times. A *view* over the pipeline's obs spans: each

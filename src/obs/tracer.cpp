@@ -37,13 +37,16 @@ std::int64_t Tracer::begin(std::string name) {
   s.name = std::move(name);
   s.start_ns = now_ns();
   s.token = next_token_++;
-  open_.push_back(std::move(s));
-  return open_.back().token;
+  auto& stack = open_[std::this_thread::get_id()];
+  stack.push_back(std::move(s));
+  return stack.back().token;
 }
 
 void Tracer::attr(std::int64_t token, std::string key, std::string value) {
   const std::lock_guard<std::mutex> lock(mu_);
-  for (auto it = open_.rbegin(); it != open_.rend(); ++it) {
+  const auto si = open_.find(std::this_thread::get_id());
+  if (si == open_.end()) return;
+  for (auto it = si->second.rbegin(); it != si->second.rend(); ++it) {
     if (it->token == token) {
       it->attrs.emplace_back(std::move(key), std::move(value));
       return;
@@ -55,10 +58,15 @@ std::int64_t Tracer::end(std::int64_t token) {
   const std::lock_guard<std::mutex> lock(mu_);
   const std::int64_t end_ns = now_ns();
   std::int64_t dur = 0;
-  // Pop until (and including) the frame holding `token`.
-  while (!open_.empty()) {
-    OpenSpan frame = std::move(open_.back());
-    open_.pop_back();
+  const auto si = open_.find(std::this_thread::get_id());
+  if (si == open_.end()) return dur;
+  auto& stack = si->second;
+  // Pop until (and including) the frame holding `token`. Only this
+  // thread's stack is touched: spans of concurrently running workers
+  // are unaffected by an end() on another thread.
+  while (!stack.empty()) {
+    OpenSpan frame = std::move(stack.back());
+    stack.pop_back();
     const bool is_target = frame.token == token;
     SpanRecord rec;
     rec.name = std::move(frame.name);
@@ -66,11 +74,12 @@ std::int64_t Tracer::end(std::int64_t token) {
     rec.start_ns = frame.start_ns;
     rec.dur_ns = end_ns - frame.start_ns;
     rec.wall_start_us = epoch_wall_us_ + frame.start_ns / 1000;
-    rec.depth = static_cast<int>(open_.size());
+    rec.depth = static_cast<int>(stack.size());
     if (is_target) dur = rec.dur_ns;
     push_record(std::move(rec));
-    if (is_target) return dur;
+    if (is_target) break;
   }
+  if (stack.empty()) open_.erase(si);
   return dur;
 }
 

@@ -11,8 +11,10 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -35,7 +37,10 @@ class Tracer {
   explicit Tracer(std::size_t capacity = 65536);
 
   /// Begin a span; returns a token to pass to end(). Prefer the RAII
-  /// Span wrapper over calling begin/end directly.
+  /// Span wrapper over calling begin/end directly. Spans nest per
+  /// thread: each thread has its own open-span stack, so concurrent
+  /// spans from executor workers record independently (a span must be
+  /// ended on the thread that began it — RAII guarantees this).
   std::int64_t begin(std::string name);
   /// Attach a key=value attribute to the open span `token`.
   void attr(std::int64_t token, std::string key, std::string value);
@@ -75,7 +80,7 @@ class Tracer {
   std::vector<SpanRecord> ring_;  // circular once full
   std::size_t head_ = 0;          // index of the oldest record when full
   std::size_t dropped_ = 0;
-  std::vector<OpenSpan> open_;
+  std::map<std::thread::id, std::vector<OpenSpan>> open_;  // per-thread stacks
   std::int64_t next_token_ = 1;
   std::int64_t epoch_steady_ns_ = 0;  // steady_clock raw ns at construction
   std::int64_t epoch_wall_us_ = 0;    // wall clock at construction

@@ -1,8 +1,13 @@
 #include "symex/executor.h"
 
+#include <algorithm>
 #include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 
 #include "lang/builtins.h"
 #include "obs/obs.h"
@@ -19,6 +24,12 @@ using lang::ExprKind;
 /// predicates; never touched by field stores.
 constexpr const char* kPayloadField = "__payload";
 
+std::size_t effective_jobs(int jobs) {
+  if (jobs > 0) return static_cast<std::size_t>(jobs);
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
 }  // namespace
 
 std::string ExecStats::to_string() const {
@@ -26,6 +37,10 @@ std::string ExecStats::to_string() const {
   os << "paths=" << paths_completed << " truncated=" << paths_truncated
      << " pruned=" << paths_pruned << " forks=" << forks
      << " queries=" << solver_queries << " steps=" << steps;
+  if (jobs > 1) os << " jobs=" << jobs;
+  if (cache_hits + cache_misses > 0) {
+    os << " cache=" << cache_hits << "/" << (cache_hits + cache_misses);
+  }
   if (hit_path_cap) os << " [path-cap]";
   if (timed_out) os << " [timeout]";
   return os.str();
@@ -65,6 +80,16 @@ struct SymbolicExecutor::State {
   std::set<int> nodes;
   std::map<int, int> visits;  // symbolic-branch node -> count
   std::size_t steps = 0;
+  /// Branch-decision key: (node, taken ? 0 : 1) pairs, flattened.
+  /// Serial DFS continues the true side inline and stacks the false
+  /// sibling, so it completes paths exactly in lexicographic key order —
+  /// which makes this key the canonical schedule-independent order for
+  /// the parallel scheduler: lex-least-first popping reproduces the
+  /// serial pop order at jobs=1, the final sort reproduces the serial
+  /// output order at any width, and a state's pop-time key lower-bounds
+  /// every path in its subtree (a prefix precedes all its extensions),
+  /// which is what makes the path-cap survivor set canonical.
+  std::vector<int> key;
 };
 
 SymRef const_expr_to_sym(const Expr& e) {
@@ -268,9 +293,14 @@ std::vector<ExecPath> SymbolicExecutor::run(const ExecOptions& opts,
                                             ExecStats* stats_out) {
   OBS_SPAN_VAR(run_span, "symex.run");
   const auto t0 = std::chrono::steady_clock::now();
-  ExecStats stats;
-  Solver solver;
-  std::vector<ExecPath> paths;
+  const std::size_t jobs = effective_jobs(opts.jobs);
+
+  // Run-local verdict memo when none was supplied: this run's workers
+  // still share verdicts with each other. (Serial runs with no cache get
+  // none — exactly today's behavior.)
+  std::optional<SolverCache> local_cache;
+  SolverCache* cache = opts.solver_cache;
+  if (cache == nullptr && jobs > 1) cache = &local_cache.emplace();
 
   auto elapsed_ms = [&] {
     return std::chrono::duration<double, std::milli>(
@@ -301,48 +331,133 @@ std::vector<ExecPath> SymbolicExecutor::run(const ExecOptions& opts,
   }
   if (opts.initial_pc != nullptr) init.pc = *opts.initial_pc;
 
-  std::vector<State> stack;
-  stack.push_back(std::move(init));
+  struct Finalized {
+    std::vector<int> key;
+    ExecPath path;
+  };
 
-  auto finalize = [&](State& st, bool truncated) {
-    ExecPath p;
-    p.branches = std::move(st.branches);
-    for (const auto& b : p.branches) {
-      const SymRef eff = b.effective();
-      if (!is_const_bool(eff)) p.constraints.push_back(eff);
-    }
-    p.sends = std::move(st.sends);
-    for (const auto& v : m_.persistent) {
-      const auto it = st.env.find(v);
-      if (it != st.env.end()) p.final_state[v] = it->second;
-    }
-    p.nodes = std::move(st.nodes);
-    p.truncated = truncated;
-    paths.push_back(std::move(p));
-    if (truncated) {
-      ++stats.paths_truncated;
-    } else {
-      ++stats.paths_completed;
+  // Scheduler state shared by all workers under one mutex. The budgets
+  // (timeout, path cap) live here, so they are global across workers and
+  // checked at the same granularity as the old serial loop: between
+  // scheduled states.
+  struct Shared {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::vector<State> pending;  // min-heap on State::key, lex-least front
+    std::size_t in_flight = 0;   // states currently being executed
+    std::vector<Finalized> done;
+    /// The max_paths lex-least finalized keys so far. Once full, any
+    /// pending state whose pop-time key exceeds the largest entry can be
+    /// discarded: every path in its subtree sorts after the survivors —
+    /// exactly the work a serial run stops before reaching.
+    std::multiset<std::vector<int>> best;
+    bool stop = false;
+    bool timed_out = false;
+    bool discarded = false;  // pending work dropped by the path cap
+    ExecStats agg;
+    std::exception_ptr error;
+  } sh;
+
+  auto heap_less = [](const State& a, const State& b) { return b.key < a.key; };
+
+  // Caller holds sh.mu.
+  auto prune_pending = [&] {
+    if (sh.best.size() < opts.max_paths) return;
+    while (!sh.pending.empty()) {
+      if (opts.max_paths > 0 && !(*sh.best.rbegin() < sh.pending.front().key)) {
+        break;
+      }
+      std::pop_heap(sh.pending.begin(), sh.pending.end(), heap_less);
+      sh.pending.pop_back();
+      sh.discarded = true;
     }
   };
 
-  while (!stack.empty()) {
-    if (paths.size() >= opts.max_paths) {
-      stats.hit_path_cap = true;
-      break;
-    }
-    if (elapsed_ms() > opts.timeout_ms) {
-      stats.timed_out = true;
-      break;
-    }
+  sh.pending.push_back(std::move(init));
 
-    State st = std::move(stack.back());
-    stack.pop_back();
+  auto worker = [&](std::size_t worker_id) {
+#if NFACTOR_OBS_ENABLED
+    // Serial runs keep today's exact trace shape: worker spans only
+    // appear at jobs > 1.
+    std::optional<obs::Span> worker_span;
+    if (jobs > 1) {
+      worker_span.emplace(obs::default_tracer(), "symex.worker");
+      worker_span->attr("worker", static_cast<std::int64_t>(worker_id));
+    }
+#else
+    (void)worker_id;
+#endif
+    Solver solver(cache);
+    std::size_t local_steps = 0;
+    std::size_t local_forks = 0;
+    std::size_t local_pruned = 0;
+    std::size_t local_states = 0;
+
+    auto finalize = [&](State& st, bool truncated) {
+      ExecPath p;
+      p.branches = std::move(st.branches);
+      for (const auto& b : p.branches) {
+        const SymRef eff = b.effective();
+        if (!is_const_bool(eff)) p.constraints.push_back(eff);
+      }
+      p.sends = std::move(st.sends);
+      for (const auto& v : m_.persistent) {
+        const auto it = st.env.find(v);
+        if (it != st.env.end()) p.final_state[v] = it->second;
+      }
+      p.nodes = std::move(st.nodes);
+      p.truncated = truncated;
+      const std::lock_guard<std::mutex> lock(sh.mu);
+      sh.done.push_back({std::move(st.key), std::move(p)});
+      if (opts.max_paths > 0) {
+        sh.best.insert(sh.done.back().key);
+        if (sh.best.size() > opts.max_paths) {
+          sh.best.erase(std::prev(sh.best.end()));
+        }
+      }
+      prune_pending();
+    };
+
+    while (true) {
+      std::optional<State> popped;
+      {
+        std::unique_lock<std::mutex> lock(sh.mu);
+        while (true) {
+          if (sh.stop) break;
+          if (elapsed_ms() > opts.timeout_ms) {
+            sh.timed_out = true;
+            sh.stop = true;
+            sh.pending.clear();
+            sh.cv.notify_all();
+            break;
+          }
+          prune_pending();
+          if (!sh.pending.empty()) {
+            std::pop_heap(sh.pending.begin(), sh.pending.end(), heap_less);
+            popped.emplace(std::move(sh.pending.back()));
+            sh.pending.pop_back();
+            ++sh.in_flight;
+            break;
+          }
+          if (sh.in_flight == 0) {
+            // Natural end: nothing pending, nothing running anywhere.
+            sh.stop = true;
+            sh.cv.notify_all();
+            break;
+          }
+          // Bounded wait so a sleeping worker still notices the deadline.
+          sh.cv.wait_for(lock, std::chrono::milliseconds(50));
+        }
+      }
+      if (!popped) break;
+      State st = std::move(*popped);
+      ++local_states;
 
     // One span per scheduled continuation: from the fork (or the root)
     // that created this state until it terminates or forks off children.
     OBS_SPAN_VAR(path_span, "symex.path");
     const std::size_t steps_before = st.steps;
+    try {
 
     bool done = false;
     while (!done) {
@@ -350,7 +465,7 @@ std::vector<ExecPath> SymbolicExecutor::run(const ExecOptions& opts,
         finalize(st, /*truncated=*/true);
         break;
       }
-      ++stats.steps;
+      ++local_steps;
       const ir::Instr& n = m_.body.node(st.node);
       const bool enabled = node_enabled(n.id);
       int next = n.succs.empty() ? m_.body.exit : n.succs[0];
@@ -472,29 +587,42 @@ std::vector<ExecPath> SymbolicExecutor::run(const ExecOptions& opts,
                              solver.check(pc_false) == SatResult::kSat;
 
           if (sat_t && sat_f) {
-            ++stats.forks;
+            ++local_forks;
             State other = st;  // fork
             other.node = n.succs[1];
             other.pc = std::move(pc_false);
             other.branches.push_back({n.id, cond, false});
-            stack.push_back(std::move(other));
+            other.key.push_back(n.id);
+            other.key.push_back(1);  // false side: lex-after the true side
+            {
+              const std::lock_guard<std::mutex> lock(sh.mu);
+              sh.pending.push_back(std::move(other));
+              std::push_heap(sh.pending.begin(), sh.pending.end(), heap_less);
+              sh.cv.notify_one();
+            }
 
             st.pc = std::move(pc_true);
             st.branches.push_back({n.id, cond, true});
+            st.key.push_back(n.id);
+            st.key.push_back(0);
             next = n.succs[0];
           } else if (sat_t) {
-            ++stats.paths_pruned;
+            ++local_pruned;
             st.pc = std::move(pc_true);
             st.branches.push_back({n.id, cond, true});
+            st.key.push_back(n.id);
+            st.key.push_back(0);
             next = n.succs[0];
           } else if (sat_f) {
-            ++stats.paths_pruned;
+            ++local_pruned;
             st.pc = std::move(pc_false);
             st.branches.push_back({n.id, cond, false});
+            st.key.push_back(n.id);
+            st.key.push_back(1);
             next = n.succs[1];
           } else {
             // Whole state infeasible (should not happen: pc was sat).
-            ++stats.paths_pruned;
+            ++local_pruned;
             done = true;
             break;
           }
@@ -504,12 +632,77 @@ std::vector<ExecPath> SymbolicExecutor::run(const ExecOptions& opts,
 
       if (!done) st.node = next;
     }
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(sh.mu);
+      if (!sh.error) sh.error = std::current_exception();
+      sh.stop = true;
+      --sh.in_flight;
+      sh.cv.notify_all();
+      break;
+    }
 
-    path_span.attr("steps", static_cast<std::int64_t>(st.steps - steps_before));
-    stats.solver_queries = solver.query_count();
+      path_span.attr("steps",
+                     static_cast<std::int64_t>(st.steps - steps_before));
+      {
+        const std::lock_guard<std::mutex> lock(sh.mu);
+        --sh.in_flight;
+        if (sh.in_flight == 0 && sh.pending.empty()) {
+          sh.stop = true;
+          sh.cv.notify_all();
+        }
+      }
+    }
+
+#if NFACTOR_OBS_ENABLED
+    if (worker_span) {
+      worker_span->attr("states", static_cast<std::int64_t>(local_states));
+      worker_span->attr("steps", static_cast<std::int64_t>(local_steps));
+    }
+#endif
+    {
+      const std::lock_guard<std::mutex> lock(sh.mu);
+      sh.agg.steps += local_steps;
+      sh.agg.forks += local_forks;
+      sh.agg.paths_pruned += local_pruned;
+      sh.agg.solver_queries += solver.query_count();
+      sh.agg.cache_hits += solver.cache_hits();
+      sh.agg.cache_misses += solver.cache_misses();
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(jobs > 1 ? jobs - 1 : 0);
+  for (std::size_t w = 1; w < jobs; ++w) threads.emplace_back(worker, w);
+  worker(0);  // the calling thread is always worker 0
+  for (auto& t : threads) t.join();
+  if (sh.error) std::rethrow_exception(sh.error);
+
+  // Canonical merge: sort by decision key — exactly the order the serial
+  // DFS completes paths in — then trim to the cap's survivor set. This
+  // makes the returned vector byte-for-byte independent of the schedule.
+  std::sort(sh.done.begin(), sh.done.end(),
+            [](const Finalized& a, const Finalized& b) { return a.key < b.key; });
+  bool trimmed = false;
+  if (sh.done.size() > opts.max_paths) {
+    sh.done.resize(opts.max_paths);
+    trimmed = true;
   }
 
-  stats.solver_queries = solver.query_count();
+  ExecStats stats = sh.agg;
+  stats.jobs = jobs;
+  stats.timed_out = sh.timed_out;
+  stats.hit_path_cap = trimmed || sh.discarded;
+
+  std::vector<ExecPath> paths;
+  paths.reserve(sh.done.size());
+  for (auto& d : sh.done) {
+    if (d.path.truncated) {
+      ++stats.paths_truncated;
+    } else {
+      ++stats.paths_completed;
+    }
+    paths.push_back(std::move(d.path));
+  }
   stats.wall_ms = elapsed_ms();
 
   // Aggregate per-run counters into the registry once, off the hot loop.
@@ -523,6 +716,12 @@ std::vector<ExecPath> SymbolicExecutor::run(const ExecOptions& opts,
   run_span.attr("paths", static_cast<std::int64_t>(paths.size()));
   run_span.attr("steps", static_cast<std::int64_t>(stats.steps));
   run_span.attr("queries", static_cast<std::int64_t>(stats.solver_queries));
+  run_span.attr("jobs", static_cast<std::int64_t>(jobs));
+  if (stats.cache_hits + stats.cache_misses > 0) {
+    run_span.attr("cache_hits", static_cast<std::int64_t>(stats.cache_hits));
+    run_span.attr("cache_misses",
+                  static_cast<std::int64_t>(stats.cache_misses));
+  }
 
   if (stats_out != nullptr) *stats_out = stats;
   return paths;

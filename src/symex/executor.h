@@ -61,6 +61,19 @@ struct ExecOptions {
   /// by bench_ablation to quantify what the solver buys.
   bool assume_all_feasible = false;
 
+  /// Worker threads exploring pending forks: 0 picks
+  /// hardware_concurrency, 1 runs serially on the calling thread. Any
+  /// value produces byte-identical paths, models, and path/fork stats
+  /// (completed paths are re-sorted into the serial exploration order;
+  /// the path cap keeps the same canonical survivor set at every width).
+  /// Only cache_hits/cache_misses vary with the schedule.
+  int jobs = 0;
+  /// Optional shared verdict memo. When null and jobs > 1 a run-local
+  /// cache is created so this run's workers still share verdicts; pass
+  /// one explicitly to also share across runs (the pipeline reuses one
+  /// cache for its slice and original SE passes).
+  SolverCache* solver_cache = nullptr;
+
   /// Multi-packet exploration hooks (see verify/multi_packet.h):
   /// symbol prefix for this packet's header fields ("pkt." by default,
   /// "pkt2." for the second packet of a sequence)...
@@ -78,7 +91,14 @@ struct ExecStats {
   std::size_t paths_pruned = 0;  // infeasible branch sides cut by the solver
   std::size_t forks = 0;         // both-sides-feasible branch splits
   std::uint64_t solver_queries = 0;
+  /// Of solver_queries: answered from / missed the shared SolverCache.
+  /// Zero when no cache is in play. Schedule-dependent (two workers can
+  /// race to first-compute the same key), so differential tests must not
+  /// compare these across runs.
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
   std::uint64_t steps = 0;
+  std::size_t jobs = 1;  // worker count actually used
   bool hit_path_cap = false;
   bool timed_out = false;
   double wall_ms = 0.0;

@@ -14,6 +14,14 @@ SymRef node(SymKind k) {
 
 SymExpr* mut(SymRef& r) { return const_cast<SymExpr*>(r.get()); }
 
+/// Every builder returns through here: computing the canonical key while
+/// the node is still thread-private makes later key() calls pure reads,
+/// so expression DAGs can be shared across executor worker threads.
+SymRef seal(SymRef e) {
+  e->key();
+  return e;
+}
+
 Int fold_bin_int(lang::BinOp op, Int a, Int b, bool* ok) {
   *ok = true;
   using lang::BinOp;
@@ -108,38 +116,38 @@ const std::string& SymExpr::key() const {
 SymRef make_int(Int v) {
   auto e = node(SymKind::kConstInt);
   mut(e)->int_val = v;
-  return e;
+  return seal(std::move(e));
 }
 
 SymRef make_bool(bool v) {
   auto e = node(SymKind::kConstBool);
   mut(e)->bool_val = v;
-  return e;
+  return seal(std::move(e));
 }
 
 SymRef make_str(std::string s) {
   auto e = node(SymKind::kConstStr);
   mut(e)->str_val = std::move(s);
-  return e;
+  return seal(std::move(e));
 }
 
 SymRef make_tuple_const(std::vector<Int> t) {
   auto e = node(SymKind::kConstTuple);
   mut(e)->tuple_val = std::move(t);
-  return e;
+  return seal(std::move(e));
 }
 
 SymRef make_list_const(std::vector<SymRef> elems) {
   auto e = node(SymKind::kConstList);
   mut(e)->operands = std::move(elems);
-  return e;
+  return seal(std::move(e));
 }
 
 SymRef make_var(std::string name, VarClass cls) {
   auto e = node(SymKind::kVar);
   mut(e)->str_val = std::move(name);
   mut(e)->var_class = cls;
-  return e;
+  return seal(std::move(e));
 }
 
 SymRef make_un(lang::UnOp op, SymRef a) {
@@ -148,7 +156,7 @@ SymRef make_un(lang::UnOp op, SymRef a) {
   auto e = node(SymKind::kUn);
   mut(e)->un_op = op;
   mut(e)->operands = {std::move(a)};
-  return e;
+  return seal(std::move(e));
 }
 
 SymRef negate(const SymRef& a) {
@@ -162,7 +170,7 @@ SymRef negate(const SymRef& a) {
       auto e = node(SymKind::kBin);
       mut(e)->bin_op = op;
       mut(e)->operands = a->operands;
-      return e;
+      return seal(std::move(e));
     };
     switch (a->bin_op) {
       case BinOp::kEq: return inverted(BinOp::kNe);
@@ -177,7 +185,7 @@ SymRef negate(const SymRef& a) {
   auto e = node(SymKind::kUn);
   mut(e)->un_op = lang::UnOp::kNot;
   mut(e)->operands = {a};
-  return e;
+  return seal(std::move(e));
 }
 
 SymRef make_bin(lang::BinOp op, SymRef a, SymRef b) {
@@ -242,7 +250,7 @@ SymRef make_bin(lang::BinOp op, SymRef a, SymRef b) {
   auto e = node(SymKind::kBin);
   mut(e)->bin_op = op;
   mut(e)->operands = {std::move(a), std::move(b)};
-  return e;
+  return seal(std::move(e));
 }
 
 SymRef make_tuple(std::vector<SymRef> elems) {
@@ -256,7 +264,7 @@ SymRef make_tuple(std::vector<SymRef> elems) {
   }
   auto e = node(SymKind::kTupleExpr);
   mut(e)->operands = std::move(elems);
-  return e;
+  return seal(std::move(e));
 }
 
 SymRef make_list_get(SymRef list, SymRef idx) {
@@ -268,19 +276,19 @@ SymRef make_list_get(SymRef list, SymRef idx) {
   }
   auto e = node(SymKind::kListGet);
   mut(e)->operands = {std::move(list), std::move(idx)};
-  return e;
+  return seal(std::move(e));
 }
 
 SymRef make_map_base(std::string name) {
   auto e = node(SymKind::kMapBase);
   mut(e)->str_val = std::move(name);
-  return e;
+  return seal(std::move(e));
 }
 
 SymRef make_map_store(SymRef map, SymRef key, SymRef value) {
   auto e = node(SymKind::kMapStore);
   mut(e)->operands = {std::move(map), std::move(key), std::move(value)};
-  return e;
+  return seal(std::move(e));
 }
 
 namespace {
@@ -310,7 +318,7 @@ SymRef make_map_get(SymRef map, SymRef key) {
   }
   auto e = node(SymKind::kMapGet);
   mut(e)->operands = {std::move(map), std::move(key)};
-  return e;
+  return seal(std::move(e));
 }
 
 SymRef make_contains(SymRef container, SymRef key) {
@@ -343,20 +351,20 @@ SymRef make_contains(SymRef container, SymRef key) {
   // is a state match).
   auto e = node(SymKind::kContains);
   mut(e)->operands = {std::move(m), std::move(key)};
-  return e;
+  return seal(std::move(e));
 }
 
 SymRef make_call(std::string name, std::vector<SymRef> args) {
   auto e = node(SymKind::kCall);
   mut(e)->str_val = std::move(name);
   mut(e)->operands = std::move(args);
-  return e;
+  return seal(std::move(e));
 }
 
 SymRef make_packet(std::map<std::string, SymRef> fields) {
   auto e = node(SymKind::kPacket);
   mut(e)->fields = std::move(fields);
-  return e;
+  return seal(std::move(e));
 }
 
 std::string to_string(const SymExpr& e) {

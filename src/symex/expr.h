@@ -62,6 +62,9 @@ struct SymExpr {
   std::map<std::string, SymRef> fields;  // kPacket
 
   /// Canonical rendering; equal keys <=> structurally equal expressions.
+  /// Precomputed by the builders while the node is still thread-private,
+  /// so calling key() on a shared DAG is a pure read (worker threads of
+  /// the parallel executor share expression nodes freely).
   const std::string& key() const;
 
  private:

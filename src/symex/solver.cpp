@@ -1,5 +1,7 @@
 #include "symex/solver.h"
 
+#include <algorithm>
+#include <functional>
 #include <limits>
 #include <map>
 #include <optional>
@@ -411,13 +413,207 @@ class Checker {
   std::size_t split_depth_ = 0;
 };
 
+/// Sorted-by-key, deduplicated view of a conjunction. Shared by the
+/// checker and the cache key so the verdict is a pure function of the
+/// constraint *set*: the solver's split budget (kMaxSplits) is consumed
+/// in ingestion order, so without a canonical order `a && b` and
+/// `b && a` could degrade differently.
+std::vector<SymRef> canonicalize(const std::vector<SymRef>& constraints) {
+  std::vector<SymRef> sorted = constraints;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const SymRef& a, const SymRef& b) { return a->key() < b->key(); });
+  sorted.erase(std::unique(sorted.begin(), sorted.end(),
+                           [](const SymRef& a, const SymRef& b) {
+                             return a->key() == b->key();
+                           }),
+               sorted.end());
+  return sorted;
+}
+
+/// Symbols through which a conjunct can interact with other conjuncts:
+/// named variables, map bases, and whole uninterpreted-call terms. The
+/// checker's theories propagate only through shared terms — intervals
+/// and forbidden sets are per term, union-find chains need a shared
+/// term, and opaque-atom polarity conflicts need the identical atom —
+/// so conjuncts sharing none of these cannot join in a conflict.
+void collect_symbols(const SymRef& e, std::set<std::string>& out) {
+  switch (e->kind) {
+    case SymKind::kVar:
+      out.insert("v:" + e->str_val);
+      break;
+    case SymKind::kMapBase:
+      out.insert("m:" + e->str_val);
+      break;
+    case SymKind::kCall:
+      // The call term itself: links e.g. hash((1,2))==x with
+      // hash((1,2))==5 even when the arguments carry no variables.
+      out.insert("c:" + e->key());
+      break;
+    default:
+      break;
+  }
+  for (const auto& c : e->operands) collect_symbols(c, out);
+  for (const auto& [f, v] : e->fields) collect_symbols(v, out);
+}
+
+/// KLEE-style constraint independence: split a canonicalized conjunction
+/// into connected components of the share-a-symbol graph. The
+/// conjunction is satisfiable iff every component is (no theory crosses
+/// a component boundary), each component gets the full DPLL split budget
+/// (never less precise than checking the whole set), and — the point —
+/// small components recur across path-condition queries far more often
+/// than whole path conditions do, which is what makes the verdict cache
+/// hit within a single symbolic-execution run.
+std::vector<std::vector<SymRef>> independence_components(
+    const std::vector<SymRef>& canon) {
+  std::vector<int> parent(canon.size());
+  for (std::size_t i = 0; i < canon.size(); ++i) parent[i] = static_cast<int>(i);
+  std::function<int(int)> find = [&](int x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+
+  std::map<std::string, int> owner;  // symbol -> first conjunct seen with it
+  for (std::size_t i = 0; i < canon.size(); ++i) {
+    std::set<std::string> syms;
+    collect_symbols(canon[i], syms);
+    if (syms.empty()) syms.insert("$const");  // symbol-free conjuncts group
+    for (const auto& s : syms) {
+      const auto [it, inserted] = owner.emplace(s, static_cast<int>(i));
+      if (!inserted) parent[find(static_cast<int>(i))] = find(it->second);
+    }
+  }
+
+  // Group by root, preserving the canonical conjunct order within and
+  // across components (first-index order), so component keys — and the
+  // verdict — stay a pure function of the constraint set.
+  std::map<int, std::size_t> root_slot;
+  std::vector<std::vector<SymRef>> comps;
+  for (std::size_t i = 0; i < canon.size(); ++i) {
+    const int r = find(static_cast<int>(i));
+    const auto [it, inserted] = root_slot.emplace(r, comps.size());
+    if (inserted) comps.emplace_back();
+    comps[it->second].push_back(canon[i]);
+  }
+  return comps;
+}
+
 }  // namespace
+
+SolverCache::SolverCache(std::size_t max_entries)
+    : max_per_shard_(std::max<std::size_t>(1, max_entries / kShards)) {}
+
+SolverCache::Shard& SolverCache::shard_for(const std::string& key) {
+  return shards_[std::hash<std::string>{}(key) % kShards];
+}
+
+std::optional<SatResult> SolverCache::lookup(const std::string& key) {
+  Shard& s = shard_for(key);
+  const std::lock_guard<std::mutex> lock(s.mu);
+  const auto it = s.map.find(key);
+  if (it == s.map.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    OBS_COUNT("symex.solver.cache.misses");
+    return std::nullopt;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  OBS_COUNT("symex.solver.cache.hits");
+  return it->second;
+}
+
+void SolverCache::insert(const std::string& key, SatResult verdict) {
+  Shard& s = shard_for(key);
+  const std::lock_guard<std::mutex> lock(s.mu);
+  if (s.map.size() >= max_per_shard_ && s.map.find(key) == s.map.end()) {
+    // Bulk-evict the full shard: verdicts are cheap to recompute and a
+    // full sweep keeps the eviction path trivially O(1) amortized.
+    const std::uint64_t dropped = s.map.size();
+    s.map.clear();
+    evictions_.fetch_add(dropped, std::memory_order_relaxed);
+    OBS_COUNT_N("symex.solver.cache.evictions", dropped);
+  }
+  s.map.emplace(key, verdict);
+}
+
+std::string SolverCache::canonical_key(const std::vector<SymRef>& constraints) {
+  const std::vector<SymRef> sorted = canonicalize(constraints);
+  std::string key;
+  for (const auto& c : sorted) {
+    key += c->key();
+    key += '&';
+  }
+  return key;
+}
+
+std::size_t SolverCache::size() const {
+  std::size_t n = 0;
+  for (const auto& s : shards_) {
+    const std::lock_guard<std::mutex> lock(s.mu);
+    n += s.map.size();
+  }
+  return n;
+}
+
+SolverCacheStats SolverCache::stats() const {
+  SolverCacheStats st;
+  st.hits = hits_.load(std::memory_order_relaxed);
+  st.misses = misses_.load(std::memory_order_relaxed);
+  st.evictions = evictions_.load(std::memory_order_relaxed);
+  return st;
+}
+
+void SolverCache::clear() {
+  for (auto& s : shards_) {
+    const std::lock_guard<std::mutex> lock(s.mu);
+    s.map.clear();
+  }
+}
 
 SatResult Solver::check(const std::vector<SymRef>& constraints) {
   ++queries_;
   OBS_TIMER_NS("symex.solver.query_ns");
   OBS_COUNT("symex.solver.queries");
-  const bool sat = Checker().run(constraints);
+  const std::vector<SymRef> canon = canonicalize(constraints);
+
+  // Check (and memoize) per independence component: the conjunction is
+  // SAT iff every component is. Whole path conditions are nearly always
+  // novel, but their components recur constantly.
+  bool sat = true;
+  bool all_from_cache = true;
+  for (const auto& comp : independence_components(canon)) {
+    std::optional<SatResult> verdict;
+    std::string comp_key;
+    if (cache_ != nullptr) {
+      for (const auto& c : comp) {
+        comp_key += c->key();
+        comp_key += '&';
+      }
+      verdict = cache_->lookup(comp_key);
+    }
+    if (!verdict) {
+      all_from_cache = false;
+      verdict = Checker().run(comp) ? SatResult::kSat : SatResult::kUnsat;
+      if (cache_ != nullptr) cache_->insert(comp_key, *verdict);
+    }
+    if (*verdict == SatResult::kUnsat) {
+      sat = false;
+      break;
+    }
+  }
+
+  // Query-level accounting: a query "hit" only when every component it
+  // needed was already cached, so hits + misses == query_count() and the
+  // hit rate reads as "queries answered without running the checker".
+  if (cache_ != nullptr) {
+    if (all_from_cache) {
+      ++cache_hits_;
+    } else {
+      ++cache_misses_;
+    }
+  }
   OBS_COUNT(sat ? "symex.solver.sat" : "symex.solver.unsat");
   return sat ? SatResult::kSat : SatResult::kUnsat;
 }

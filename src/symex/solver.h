@@ -7,9 +7,25 @@
 // The solver is *sound for pruning*: kUnsat is only returned on a real
 // conflict; anything it cannot decide is kSat (explore the path). This is
 // the same posture KLEE takes with incomplete theory combinations.
+//
+// Queries are canonicalized (conjuncts sorted by key, deduplicated)
+// before checking, which makes the verdict a pure function of the
+// constraint *set* — the property the memoizing SolverCache below relies
+// on, and what keeps parallel executor runs schedule-independent. Each
+// query is then split into KLEE-style independence components (connected
+// components of the share-a-symbol graph) and checked — and memoized —
+// per component: whole path conditions are nearly always novel, but
+// their components recur constantly, which is where cache hits come
+// from.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "symex/expr.h"
@@ -18,15 +34,80 @@ namespace nfactor::symex {
 
 enum class SatResult : std::uint8_t { kSat, kUnsat };
 
+struct SolverCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+};
+
+/// Sharded memoization table from a canonical constraint-conjunct key to
+/// the solver's verdict. Thread-safe: one mutex per shard, so concurrent
+/// executor workers (and the orig/slice SE runs of one pipeline) share
+/// verdicts with little contention. Bounded: when a shard fills up it is
+/// bulk-evicted (the cache is a pure accelerator — eviction only costs
+/// recomputation, never correctness).
+///
+/// Metrics (src/obs): `symex.solver.cache.hits` / `.misses` /
+/// `.evictions` counters accumulate across all cache instances.
+class SolverCache {
+ public:
+  static constexpr std::size_t kShards = 16;
+
+  explicit SolverCache(std::size_t max_entries = 1 << 20);
+
+  /// Verdict for `key`, if present.
+  std::optional<SatResult> lookup(const std::string& key);
+  void insert(const std::string& key, SatResult verdict);
+
+  /// Canonical cache key of a constraint conjunction: the sorted,
+  /// deduplicated expression keys joined with '&' — order-insensitive,
+  /// so `a && b` and `b && a` share one entry.
+  static std::string canonical_key(const std::vector<SymRef>& constraints);
+
+  std::size_t size() const;
+  SolverCacheStats stats() const;
+  void clear();
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, SatResult> map;
+  };
+
+  Shard& shard_for(const std::string& key);
+
+  std::array<Shard, kShards> shards_;
+  std::size_t max_per_shard_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+};
+
+/// One checker instance. Not thread-safe itself — the parallel executor
+/// gives each worker its own Solver — but multiple Solvers may share one
+/// SolverCache.
 class Solver {
  public:
+  Solver() = default;
+  explicit Solver(SolverCache* cache) : cache_(cache) {}
+
   /// Check the conjunction of `constraints`.
   SatResult check(const std::vector<SymRef>& constraints);
 
   std::uint64_t query_count() const { return queries_; }
+  /// Of query_count(): how many were answered entirely from the cache
+  /// (every independence component hit) vs. needed the checker for at
+  /// least one component. Both zero when no cache is attached;
+  /// hits + misses == queries otherwise. The cache's own
+  /// SolverCacheStats count per-component lookups, so they run higher.
+  std::uint64_t cache_hits() const { return cache_hits_; }
+  std::uint64_t cache_misses() const { return cache_misses_; }
 
  private:
   std::uint64_t queries_ = 0;
+  std::uint64_t cache_hits_ = 0;
+  std::uint64_t cache_misses_ = 0;
+  SolverCache* cache_ = nullptr;
 };
 
 }  // namespace nfactor::symex

@@ -1,0 +1,207 @@
+// Memoizing solver cache: cached and uncached verdicts must agree (the
+// cache is a pure accelerator), the cache key must be a function of the
+// constraint *set* (a&&b hits b&&a's entry), the counters must account
+// for every query, and eviction must bound the footprint without ever
+// changing an answer. The concurrent test doubles as the TSan target for
+// the sharded map.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "symex/solver.h"
+
+namespace nfactor::symex {
+namespace {
+
+using lang::BinOp;
+
+/// Random constraint set that is true under a known assignment
+/// (satisfiable by construction), or a constructed contradiction.
+std::vector<SymRef> random_sat_set(std::mt19937_64& rng) {
+  constexpr int kVars = 4;
+  Int value[kVars];
+  SymRef var[kVars];
+  for (int i = 0; i < kVars; ++i) {
+    value[i] = static_cast<Int>(rng() % 100) - 50;
+    var[i] = make_var("v" + std::to_string(i), VarClass::kPkt);
+  }
+  std::vector<SymRef> cs;
+  const int n = 2 + static_cast<int>(rng() % 6);
+  for (int a = 0; a < n; ++a) {
+    const int i = static_cast<int>(rng() % kVars);
+    switch (rng() % 4) {
+      case 0:
+        cs.push_back(make_bin(BinOp::kEq, var[i], make_int(value[i])));
+        break;
+      case 1:
+        cs.push_back(make_bin(BinOp::kLe, var[i],
+                              make_int(value[i] + static_cast<Int>(rng() % 8))));
+        break;
+      case 2:
+        cs.push_back(make_bin(BinOp::kGe, var[i],
+                              make_int(value[i] - static_cast<Int>(rng() % 8))));
+        break;
+      default:
+        cs.push_back(make_bin(
+            BinOp::kNe, var[i],
+            make_int(value[i] + 1 + static_cast<Int>(rng() % 5))));
+        break;
+    }
+  }
+  return cs;
+}
+
+std::vector<SymRef> contradiction(std::mt19937_64& rng) {
+  const SymRef x = make_var("x" + std::to_string(rng() % 7), VarClass::kPkt);
+  const Int v = static_cast<Int>(rng() % 100);
+  return {make_bin(BinOp::kEq, x, make_int(v)),
+          make_bin(BinOp::kEq, x, make_int(v + 1 + static_cast<Int>(rng() % 9)))};
+}
+
+TEST(SolverCache, CachedAndUncachedVerdictsAgree) {
+  std::mt19937_64 rng(0xC0FFEE);
+  SolverCache cache;
+  Solver cached(&cache);
+  Solver plain;
+
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto cs = (rng() % 3 == 0) ? contradiction(rng) : random_sat_set(rng);
+    const SatResult want = plain.check(cs);
+    // Twice through the cached solver: the second query of a repeated
+    // set is a hit, and a hit must return the same verdict.
+    EXPECT_EQ(cached.check(cs), want) << "trial " << trial;
+    EXPECT_EQ(cached.check(cs), want) << "trial " << trial << " (cached)";
+  }
+  EXPECT_GE(cache.stats().hits, 200u);
+}
+
+TEST(SolverCache, KeyIsOrderInsensitiveAndDeduplicated) {
+  const SymRef x = make_var("x", VarClass::kPkt);
+  const SymRef y = make_var("y", VarClass::kPkt);
+  const SymRef a = make_bin(BinOp::kGt, x, make_int(10));
+  const SymRef b = make_bin(BinOp::kLt, y, make_int(5));
+
+  EXPECT_EQ(SolverCache::canonical_key({a, b}), SolverCache::canonical_key({b, a}));
+  EXPECT_EQ(SolverCache::canonical_key({a, a, b}),
+            SolverCache::canonical_key({b, a}));
+  EXPECT_NE(SolverCache::canonical_key({a}), SolverCache::canonical_key({b}));
+
+  // a && b then b && a: the reversed conjunction must hit the cache and
+  // return the identical verdict. a and b touch different variables, so
+  // they form two independence components — the replay hits both.
+  SolverCache cache;
+  Solver solver(&cache);
+  const SatResult first = solver.check({a, b});
+  const auto before = cache.stats();
+  const SatResult reversed = solver.check({b, a});
+  const auto after = cache.stats();
+  EXPECT_EQ(reversed, first);
+  EXPECT_EQ(after.hits, before.hits + 2);
+  EXPECT_EQ(after.misses, before.misses);
+  EXPECT_EQ(solver.cache_hits(), 1u);  // query-level: one fully cached query
+  EXPECT_EQ(solver.cache_misses(), 1u);
+}
+
+TEST(SolverCache, HitsPlusMissesAccountForEveryQuery) {
+  std::mt19937_64 rng(42);
+  SolverCache cache;
+  Solver solver(&cache);
+
+  std::vector<std::vector<SymRef>> replay;
+  for (int trial = 0; trial < 100; ++trial) {
+    auto cs = (rng() % 4 == 0) ? contradiction(rng) : random_sat_set(rng);
+    solver.check(cs);
+    if (replay.size() < 20) replay.push_back(std::move(cs));
+  }
+  for (const auto& cs : replay) solver.check(cs);  // guaranteed re-queries
+  EXPECT_EQ(solver.query_count(), 120u);
+  EXPECT_EQ(solver.cache_hits() + solver.cache_misses(), solver.query_count());
+  EXPECT_GE(solver.cache_hits(), 20u);  // at least the replayed sets hit
+  // The cache's own stats count per-component lookups — at least one per
+  // (non-empty) query, usually several.
+  const auto cs = cache.stats();
+  EXPECT_GE(cs.hits + cs.misses, solver.query_count());
+  EXPECT_GE(cs.hits, solver.cache_hits());
+
+  // Without a cache the counters stay zero.
+  Solver plain;
+  plain.check({make_bin(BinOp::kEq, make_var("p", VarClass::kPkt), make_int(1))});
+  EXPECT_EQ(plain.query_count(), 1u);
+  EXPECT_EQ(plain.cache_hits(), 0u);
+  EXPECT_EQ(plain.cache_misses(), 0u);
+}
+
+TEST(SolverCache, EvictionBoundsFootprintWithoutChangingVerdicts) {
+  // max_entries=16 over 16 shards: one entry per shard, so nearly every
+  // insert bulk-evicts its shard.
+  SolverCache cache(16);
+  for (int i = 0; i < 100; ++i) {
+    cache.insert("key" + std::to_string(i), SatResult::kSat);
+  }
+  EXPECT_LE(cache.size(), SolverCache::kShards);
+  EXPECT_GT(cache.stats().evictions, 0u);
+
+  // A solver over an evicting cache still answers correctly: verdicts
+  // are recomputed on the misses the eviction created.
+  std::mt19937_64 rng(7);
+  Solver tight(&cache);
+  Solver plain;
+  for (int trial = 0; trial < 60; ++trial) {
+    const auto cs = (rng() % 3 == 0) ? contradiction(rng) : random_sat_set(rng);
+    EXPECT_EQ(tight.check(cs), plain.check(cs)) << "trial " << trial;
+  }
+}
+
+TEST(SolverCache, ConcurrentSolversShareOneCacheSafely) {
+  // Small cache forces concurrent eviction; a shared pool of constraint
+  // sets forces concurrent hits, misses, and same-key races. Run under
+  // TSan, this is the data-race check for the sharded map.
+  SolverCache cache(64);
+  std::mt19937_64 seed_rng(99);
+  std::vector<std::vector<SymRef>> pool;
+  std::vector<SatResult> want;
+  for (int i = 0; i < 24; ++i) {
+    pool.push_back(i % 3 == 0 ? contradiction(seed_rng)
+                              : random_sat_set(seed_rng));
+  }
+  Solver reference;
+  want.reserve(pool.size());
+  for (const auto& cs : pool) want.push_back(reference.check(cs));
+
+  constexpr int kThreads = 4;
+  constexpr int kQueries = 300;
+  std::vector<int> wrong(kThreads, 0);
+  std::vector<std::uint64_t> accounted(kThreads, 0);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::mt19937_64 rng(1000 + t);
+      Solver solver(&cache);
+      for (int q = 0; q < kQueries; ++q) {
+        const std::size_t i = rng() % pool.size();
+        if (solver.check(pool[i]) != want[i]) ++wrong[t];
+      }
+      if (solver.cache_hits() + solver.cache_misses() == solver.query_count()) {
+        accounted[t] = solver.query_count();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  std::uint64_t total = 0;
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(wrong[t], 0) << "thread " << t;
+    total += accounted[t];
+  }
+  EXPECT_EQ(total, static_cast<std::uint64_t>(kThreads) * kQueries);
+  const auto cs = cache.stats();
+  // Per-component lookups: at least one per query.
+  EXPECT_GE(cs.hits + cs.misses, total);
+}
+
+}  // namespace
+}  // namespace nfactor::symex

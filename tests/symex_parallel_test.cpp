@@ -1,0 +1,222 @@
+// Serial-vs-parallel differential suite for the symbolic executor: the
+// scheduler may run at any width, but paths, models, and deterministic
+// stats must be byte-identical to the jobs=1 run. This is the lockdown
+// for docs/parallel_symex.md's determinism guarantee:
+//  - corpus-wide: jobs=4 == jobs=1 for slice SE, orig SE, model bytes,
+//    and path/fork stats, with IR simplification both on and off;
+//  - stress: snort_lite 20x at jobs=0 (one worker per core) produces
+//    identical model bytes and signature order every time;
+//  - global budgets: the path cap selects the same canonical survivor
+//    set at any width, and timeout_ms=0 times out at any width.
+// Cache hit/miss counters are deliberately NOT compared: two workers can
+// race to first-compute the same key, so only verdicts are deterministic.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "analysis/pdg.h"
+#include "model/model.h"
+#include "nfactor/pipeline.h"
+#include "nfs/corpus.h"
+#include "statealyzer/statealyzer.h"
+#include "symex/executor.h"
+#include "tests/test_util.h"
+
+namespace nfactor::symex {
+namespace {
+
+std::vector<std::string> signatures(const std::vector<ExecPath>& paths) {
+  std::vector<std::string> out;
+  out.reserve(paths.size());
+  for (const auto& p : paths) out.push_back(p.signature());
+  return out;
+}
+
+/// The schedule-independent part of ExecStats. Forks/steps/pruned/queries
+/// are only included when the run explored the full tree: under a path
+/// cap or timeout, *which* states get explored before the budget trips is
+/// inherently schedule-dependent even though the survivor set is not.
+std::string stats_fingerprint(const ExecStats& s) {
+  std::string fp = "completed=" + std::to_string(s.paths_completed) +
+                   " truncated=" + std::to_string(s.paths_truncated) +
+                   " cap=" + std::to_string(s.hit_path_cap) +
+                   " timeout=" + std::to_string(s.timed_out);
+  if (!s.hit_path_cap && !s.timed_out) {
+    fp += " pruned=" + std::to_string(s.paths_pruned) +
+          " forks=" + std::to_string(s.forks) +
+          " steps=" + std::to_string(s.steps) +
+          " queries=" + std::to_string(s.solver_queries);
+  }
+  return fp;
+}
+
+TEST(ParallelDifferential, CorpusModelsAndPathsIdenticalAtJobs4) {
+  for (const auto& e : nfs::corpus()) {
+    for (const bool simplify : {false, true}) {
+      pipeline::PipelineOptions serial;
+      serial.run_orig_se = true;
+      serial.jobs = 1;
+      serial.simplify.enabled = simplify;
+      serial.simplify.fold_config = simplify;
+      pipeline::PipelineOptions wide = serial;
+      wide.jobs = 4;
+
+      const auto r1 = pipeline::run_source(e.source, std::string(e.name), serial);
+      const auto r4 = pipeline::run_source(e.source, std::string(e.name), wide);
+      const std::string tag =
+          std::string(e.name) + (simplify ? " (simplify)" : " (raw)");
+
+      // Exact ordered signature lists — stronger than sorted-set
+      // equality: the parallel merge must reproduce the serial DFS
+      // completion order, not just the same path set.
+      EXPECT_EQ(signatures(r1.slice_paths), signatures(r4.slice_paths))
+          << tag << ": slice SE paths diverge";
+      EXPECT_EQ(signatures(r1.orig_paths), signatures(r4.orig_paths))
+          << tag << ": orig SE paths diverge";
+
+      // Model bytes, both renderings.
+      EXPECT_EQ(model::to_json(r1.model), model::to_json(r4.model))
+          << tag << ": model JSON diverges";
+      EXPECT_EQ(model::to_text(r1.model), model::to_text(r4.model))
+          << tag << ": model text diverges";
+
+      EXPECT_EQ(stats_fingerprint(r1.slice_stats),
+                stats_fingerprint(r4.slice_stats))
+          << tag << ": slice SE stats diverge";
+      EXPECT_EQ(stats_fingerprint(r1.orig_stats),
+                stats_fingerprint(r4.orig_stats))
+          << tag << ": orig SE stats diverge";
+
+      EXPECT_EQ(r4.slice_stats.jobs, 4u) << tag;
+      EXPECT_EQ(r1.slice_stats.jobs, 1u) << tag;
+    }
+  }
+}
+
+TEST(ParallelDifferential, SnortLiteStressTwentyRunsAtMaxWidth) {
+  const auto& e = nfs::find("snort_lite");
+  pipeline::PipelineOptions opts;
+  opts.run_orig_se = true;
+  opts.jobs = 0;  // one worker per core — whatever this machine has
+
+  pipeline::PipelineOptions serial = opts;
+  serial.jobs = 1;
+  const auto base = pipeline::run_source(e.source, "snort_lite", serial);
+  const std::string base_model = model::to_json(base.model);
+  const auto base_slice_sigs = signatures(base.slice_paths);
+  const auto base_orig_sigs = signatures(base.orig_paths);
+
+  for (int i = 0; i < 20; ++i) {
+    const auto r = pipeline::run_source(e.source, "snort_lite", opts);
+    ASSERT_EQ(model::to_json(r.model), base_model) << "run " << i;
+    ASSERT_EQ(signatures(r.slice_paths), base_slice_sigs) << "run " << i;
+    ASSERT_EQ(signatures(r.orig_paths), base_orig_sigs) << "run " << i;
+  }
+}
+
+// ---- executor-level budget tests ------------------------------------------
+
+struct Setup {
+  std::unique_ptr<ir::Module> module;
+  std::unique_ptr<analysis::Pdg> pdg;
+  statealyzer::Result cats;
+};
+
+Setup prepare(const std::string& src) {
+  Setup s;
+  s.module = std::make_unique<ir::Module>(testutil::lowered(src));
+  s.pdg = std::make_unique<analysis::Pdg>(s.module->body);
+  s.cats = statealyzer::analyze(*s.module, *s.pdg);
+  return s;
+}
+
+// Four independent symbolic branches: 16 feasible paths.
+const char* kWideProgram =
+    "a = 0;\n"
+    "if (pkt.len > 1) { a = 1; }\n"
+    "if (pkt.ip_ttl > 1) { a = a + 1; }\n"
+    "if (pkt.ip_tos > 1) { a = a + 1; }\n"
+    "if (pkt.dport > 1) { a = a + 1; }\n"
+    "send(pkt, a);";
+
+TEST(ParallelBudgets, PathCapSelectsCanonicalSurvivorsAtAnyWidth) {
+  const auto s = prepare(testutil::nf_body(kWideProgram));
+  SymbolicExecutor se(*s.module, s.cats);
+
+  ExecOptions opts;
+  opts.max_paths = 5;
+  opts.jobs = 1;
+  ExecStats serial_stats;
+  const auto serial = se.run(opts, &serial_stats);
+  ASSERT_EQ(serial.size(), 5u);
+  EXPECT_TRUE(serial_stats.hit_path_cap);
+  const auto want = signatures(serial);
+
+  // The cap is a global budget: at every width the same canonical
+  // survivor set comes back, in the same order, run after run.
+  for (const int jobs : {2, 4, 8}) {
+    opts.jobs = jobs;
+    for (int rep = 0; rep < 5; ++rep) {
+      ExecStats stats;
+      const auto paths = se.run(opts, &stats);
+      ASSERT_EQ(signatures(paths), want)
+          << "jobs=" << jobs << " rep=" << rep;
+      EXPECT_TRUE(stats.hit_path_cap) << "jobs=" << jobs;
+      EXPECT_EQ(stats.paths_completed, 5u) << "jobs=" << jobs;
+    }
+  }
+}
+
+TEST(ParallelBudgets, UncappedRunIsIdenticalIncludingWorkCounters) {
+  const auto s = prepare(testutil::nf_body(kWideProgram));
+  SymbolicExecutor se(*s.module, s.cats);
+
+  ExecOptions opts;
+  opts.jobs = 1;
+  ExecStats serial_stats;
+  const auto serial = se.run(opts, &serial_stats);
+  EXPECT_EQ(serial.size(), 16u);
+
+  opts.jobs = 4;
+  ExecStats stats;
+  const auto wide = se.run(opts, &stats);
+  EXPECT_EQ(signatures(wide), signatures(serial));
+  // Full exploration: even the work counters are schedule-independent.
+  EXPECT_EQ(stats.forks, serial_stats.forks);
+  EXPECT_EQ(stats.steps, serial_stats.steps);
+  EXPECT_EQ(stats.paths_pruned, serial_stats.paths_pruned);
+  EXPECT_EQ(stats.solver_queries, serial_stats.solver_queries);
+  EXPECT_FALSE(stats.hit_path_cap);
+  EXPECT_FALSE(stats.timed_out);
+}
+
+TEST(ParallelBudgets, ZeroCapDiscardsEverythingAtAnyWidth) {
+  const auto s = prepare(testutil::nf_body(kWideProgram));
+  SymbolicExecutor se(*s.module, s.cats);
+  for (const int jobs : {1, 4}) {
+    ExecOptions opts;
+    opts.max_paths = 0;
+    opts.jobs = jobs;
+    ExecStats stats;
+    const auto paths = se.run(opts, &stats);
+    EXPECT_TRUE(paths.empty()) << "jobs=" << jobs;
+    EXPECT_TRUE(stats.hit_path_cap) << "jobs=" << jobs;
+  }
+}
+
+TEST(ParallelBudgets, TimeoutIsGlobalAcrossWorkers) {
+  const auto s = prepare(testutil::nf_body(
+      "i = 0;\nwhile (i < pkt.dport) {\n  i = i + 1;\n}\nsend(pkt, i);"));
+  SymbolicExecutor se(*s.module, s.cats);
+  ExecOptions opts;
+  opts.timeout_ms = 0.0;  // the shared deadline trips before any pop
+  opts.jobs = 4;
+  ExecStats stats;
+  const auto paths = se.run(opts, &stats);
+  EXPECT_TRUE(stats.timed_out);
+  EXPECT_TRUE(paths.empty());
+}
+
+}  // namespace
+}  // namespace nfactor::symex
