@@ -2,6 +2,7 @@
 // (b) packet slice and state slice sizes, (c) the execution paths found
 // in the union slice, (d) the resulting model tables.
 #include <cstdio>
+#include <string>
 
 #include "bench/bench_util.h"
 #include "model/model.h"
@@ -35,6 +36,31 @@ void report() {
               r.times.lower_ms, r.times.slicing_ms, r.times.se_slice_ms);
 }
 
+// Stage-time section on the two SE-heaviest corpus NFs. The se_ms gauges
+// emitted here (`stages.<nf>.se_ms`) are what the CI perf-smoke step
+// compares against bench/perf_baseline.json, so interner regressions that
+// only show at snort_lite/dpi scale fail the build instead of landing.
+void report_stage_times() {
+  std::printf("Stage times on the SE-heaviest NFs (orig-program SE on)\n");
+  benchutil::rule('=');
+  for (const char* name : {"snort_lite", "dpi"}) {
+    pipeline::PipelineOptions opts;
+    opts.run_orig_se = true;
+    const auto r = benchutil::run_nf(name, opts);
+    const double se_ms = r.times.se_slice_ms + r.times.se_orig_ms;
+    std::printf(
+        "%-12s lower %7.2fms  slicing %7.2fms  se_slice %7.2fms  "
+        "se_orig %7.2fms  model %7.2fms  total %7.2fms\n",
+        name, r.times.lower_ms, r.times.slicing_ms, r.times.se_slice_ms,
+        r.times.se_orig_ms, r.times.model_ms, r.times.total_ms);
+    obs::default_registry().gauge_set(std::string("stages.") + name + ".se_ms",
+                                      se_ms);
+    obs::default_registry().gauge_set(
+        std::string("stages.") + name + ".total_ms", r.times.total_ms);
+  }
+  std::printf("\n");
+}
+
 void BM_FullPipelineLb(benchmark::State& state) {
   const auto& e = nfs::find("lb");
   auto prog = lang::parse(e.source, "lb");
@@ -49,5 +75,6 @@ BENCHMARK(BM_FullPipelineLb)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
   report();
+  report_stage_times();
   return nfactor::benchutil::bench_main(argc, argv);
 }

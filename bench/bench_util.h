@@ -10,6 +10,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -42,6 +43,24 @@ inline bool write_metrics_json(const std::string& path) {
   return static_cast<bool>(out);
 }
 
+/// Peak resident set size of this process in bytes (VmHWM from
+/// /proc/self/status), or 0 where procfs is unavailable. The kernel's
+/// high-water mark covers the whole run, which is exactly what a memory
+/// before/after comparison wants.
+inline std::uint64_t peak_rss_bytes() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) != 0) continue;
+    std::uint64_t kib = 0;
+    if (std::sscanf(line.c_str(), "VmHWM: %llu",
+                    reinterpret_cast<unsigned long long*>(&kib)) == 1) {
+      return kib * 1024;
+    }
+  }
+  return 0;
+}
+
 /// Print the report section, then hand over to google-benchmark.
 /// Usage: int main(argc, argv) { print_report(); return bench_main(argc, argv); }
 inline int bench_main(int argc, char** argv) {
@@ -65,6 +84,12 @@ inline int bench_main(int argc, char** argv) {
   if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   ::benchmark::RunSpecifiedBenchmarks();
   ::benchmark::Shutdown();
+
+  // Memory high-water mark of the whole bench process, so memory wins
+  // (e.g. expression interning) show up next to the timings.
+  if (const std::uint64_t rss = peak_rss_bytes(); rss > 0) {
+    OBS_GAUGE("process.peak_rss_bytes", rss);
+  }
 
   if (!metrics_out.empty() && !write_metrics_json(metrics_out)) {
     std::fprintf(stderr, "bench: cannot write metrics to %s\n",

@@ -29,6 +29,7 @@
 #include "nfactor/pipeline.h"
 #include "nfs/corpus.h"
 #include "obs/obs.h"
+#include "symex/intern.h"
 
 namespace {
 
@@ -314,6 +315,7 @@ int main(int argc, char** argv) {
                   no_simplify ? " (disabled by --no-simplify)" : "");
       print_se_stats("SE(slice)", r.slice_stats);
       print_se_stats("SE(orig) ", r.orig_stats);
+      std::printf("intern: %s\n", symex::intern_summary().c_str());
     } else {
       return usage();
     }

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Perf-smoke gate: compare a bench metrics dump against the checked-in
+baseline.
+
+Usage: check_perf_baseline.py <metrics.json> <baseline.json> [factor]
+
+<metrics.json> is the registry dump a bench binary writes via
+--metrics-out / $NFACTOR_METRICS_OUT ({"counters": {...}, "gauges":
+{...}}).  <baseline.json> maps gauge names to reference values (see
+bench/perf_baseline.json).  The check fails when any baselined gauge
+exceeds factor x its reference (default 2.0) — a deliberately loose
+bound: it tolerates CI-runner noise and hardware drift but catches the
+step-function regressions this gate exists for (e.g. the expression
+interner silently disabled, a cache key that stopped hitting).
+
+Exit codes: 0 ok, 1 regression, 2 usage/missing data.
+"""
+
+import json
+import sys
+
+
+def main(argv):
+    if len(argv) < 3 or len(argv) > 4:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    factor = float(argv[3]) if len(argv) == 4 else 2.0
+
+    with open(argv[1]) as f:
+        metrics = json.load(f)
+    with open(argv[2]) as f:
+        baseline = json.load(f)
+    gauges = metrics.get("gauges", {})
+
+    failures = []
+    for name, ref in sorted(baseline.items()):
+        if name.startswith("_"):  # comment/provenance keys
+            continue
+        if name not in gauges:
+            print(f"MISSING {name}: not in metrics dump", file=sys.stderr)
+            failures.append(name)
+            continue
+        cur = float(gauges[name])
+        limit = factor * float(ref)
+        verdict = "FAIL" if cur > limit else "ok"
+        print(f"{verdict:4} {name}: current={cur:.2f} baseline={ref:.2f} "
+              f"limit={limit:.2f} ({factor:g}x)")
+        if cur > limit:
+            failures.append(name)
+
+    if failures:
+        print(f"perf-smoke: {len(failures)} gauge(s) regressed beyond "
+              f"{factor:g}x baseline", file=sys.stderr)
+        return 1
+    print("perf-smoke: all gauges within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

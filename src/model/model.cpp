@@ -1,6 +1,9 @@
 #include "model/model.h"
 
+#include <algorithm>
 #include <sstream>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "obs/obs.h"
 
@@ -14,8 +17,13 @@ struct VarMix {
   bool cfg = false;
 };
 
-void classify(const symex::SymRef& e, VarMix& mix) {
+// The mix flags only ever accumulate, so skipping an already-visited
+// shared subtree (deep store chains share almost everything) is exact —
+// and keeps the walk linear in unique nodes.
+void classify(const symex::SymRef& e, VarMix& mix,
+              std::unordered_set<const symex::SymExpr*>& visited) {
   using symex::SymKind;
+  if (!visited.insert(e.get()).second) return;
   if (e->kind == SymKind::kVar) {
     switch (e->var_class) {
       case symex::VarClass::kPkt: mix.pkt = true; break;
@@ -28,10 +36,10 @@ void classify(const symex::SymRef& e, VarMix& mix) {
       e->kind == SymKind::kMapStore) {
     mix.state = true;
   }
-  for (const auto& c : e->operands) classify(c, mix);
+  for (const auto& c : e->operands) classify(c, mix, visited);
   for (const auto& [f, v] : e->fields) {
     (void)f;
-    classify(v, mix);
+    classify(v, mix, visited);
   }
 }
 
@@ -54,9 +62,50 @@ std::string ModelEntry::config_key() const {
   return out;
 }
 
+std::vector<std::uint64_t> ModelEntry::config_identity() const {
+  std::vector<std::uint64_t> fps;
+  fps.reserve(config_match.size());
+  for (const auto& c : config_match) fps.push_back(c->fp);
+  std::sort(fps.begin(), fps.end());
+  fps.erase(std::unique(fps.begin(), fps.end()), fps.end());
+  return fps;
+}
+
 std::map<std::string, std::vector<const ModelEntry*>> Model::tables() const {
+  // Group by the fingerprint identity (word compares), then label each
+  // group with the rendered config_key — computed once per group, not
+  // once per entry — so the returned map sorts exactly as it always has
+  // and table output bytes are unchanged.
+  struct IdHash {
+    std::size_t operator()(const std::vector<std::uint64_t>& id) const {
+      std::uint64_t h = 0xcbf29ce484222325ULL ^ id.size();
+      for (const std::uint64_t fp : id) {
+        h ^= fp;
+        h *= 0x100000001b3ULL;
+      }
+      return static_cast<std::size_t>(h);
+    }
+  };
+  std::unordered_map<std::vector<std::uint64_t>,
+                     std::vector<const ModelEntry*>, IdHash>
+      groups;
+  for (const auto& e : entries) groups[e.config_identity()].push_back(&e);
   std::map<std::string, std::vector<const ModelEntry*>> out;
-  for (const auto& e : entries) out[e.config_key()].push_back(&e);
+  for (auto& [id, group] : groups) {
+    (void)id;
+    auto& slot = out[group.front()->config_key()];
+    if (slot.empty()) {
+      slot = std::move(group);
+    } else {
+      // A fingerprint collision split what the rendered key considers
+      // one table; merge back in entry order to match legacy grouping.
+      slot.insert(slot.end(), group.begin(), group.end());
+      std::sort(slot.begin(), slot.end(),
+                [this](const ModelEntry* a, const ModelEntry* b) {
+                  return a - &entries[0] < b - &entries[0];
+                });
+    }
+  }
   return out;
 }
 
@@ -81,7 +130,8 @@ Model build_model(const std::string& nf_name,
     //   canonical "tuple in nat-map" membership predicates land).
     for (const auto& c : p.constraints) {
       VarMix mix;
-      classify(c, mix);
+      std::unordered_set<const symex::SymExpr*> visited;
+      classify(c, mix, visited);
       if (mix.state) {
         e.state_match.push_back(c);
       } else if (mix.pkt) {

@@ -7,6 +7,7 @@
 // action is drop (§3.2).
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <set>
@@ -41,9 +42,15 @@ struct ModelEntry {
 
   bool is_drop() const { return flow_action.empty(); }
 
-  /// Key identifying the configuration table this entry belongs to
+  /// Rendered label of the configuration table this entry belongs to
   /// (sorted canonical keys of config_match; empty = "any config").
+  /// Rendering-only: grouping itself uses config_identity().
   std::string config_key() const;
+
+  /// Structural identity of the config set: sorted, deduplicated
+  /// fingerprints of config_match. This is what tables() groups by —
+  /// word compares instead of string renders.
+  std::vector<std::uint64_t> config_identity() const;
 };
 
 struct Model {

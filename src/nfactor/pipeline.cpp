@@ -3,6 +3,7 @@
 #include "ir/lower.h"
 #include "lang/parser.h"
 #include "obs/obs.h"
+#include "symex/intern.h"
 #include "transform/normalize.h"
 
 namespace nfactor::pipeline {
@@ -143,6 +144,11 @@ PipelineResult run(const lang::Program& prog, const PipelineOptions& opts) {
   }
 
   r.times.total_ms = total.close_ms();
+
+  // Mirror the interner counters accumulated by this run (deltas since
+  // the last publish) into the registry — the intern hot path itself
+  // never touches the registry mutex.
+  symex::publish_intern_metrics();
 
   // Mirror the stage times into the registry so --metrics-out / bench
   // metric dumps carry the per-stage breakdown without the trace.

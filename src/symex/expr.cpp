@@ -1,24 +1,18 @@
 #include "symex/expr.h"
 
 #include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "symex/intern.h"
 
 namespace nfactor::symex {
 
 namespace {
 
-SymRef node(SymKind k) {
-  auto e = std::make_shared<SymExpr>();
-  e->kind = k;
-  return e;
-}
-
-SymExpr* mut(SymRef& r) { return const_cast<SymExpr*>(r.get()); }
-
-/// Every builder returns through here: computing the canonical key while
-/// the node is still thread-private makes later key() calls pure reads,
-/// so expression DAGs can be shared across executor worker threads.
-SymRef seal(SymRef e) {
-  e->key();
+SymExpr raw(SymKind k) {
+  SymExpr e;
+  e.kind = k;
   return e;
 }
 
@@ -49,8 +43,24 @@ Int fold_bin_int(lang::BinOp op, Int a, Int b, bool* ok) {
 
 }  // namespace
 
+SymExpr::SymExpr(SymExpr&& o) noexcept
+    : kind(o.kind),
+      int_val(o.int_val),
+      bool_val(o.bool_val),
+      str_val(std::move(o.str_val)),
+      tuple_val(std::move(o.tuple_val)),
+      operands(std::move(o.operands)),
+      bin_op(o.bin_op),
+      un_op(o.un_op),
+      var_class(o.var_class),
+      fields(std::move(o.fields)),
+      fp(o.fp),
+      key_(o.key_.exchange(nullptr, std::memory_order_acq_rel)) {}
+
+SymExpr::~SymExpr() { delete key_.load(std::memory_order_acquire); }
+
 const std::string& SymExpr::key() const {
-  if (!key_.empty()) return key_;
+  if (const std::string* k = key_.load(std::memory_order_acquire)) return *k;
   std::ostringstream os;
   switch (kind) {
     case SymKind::kConstInt: os << 'i' << int_val; break;
@@ -109,54 +119,61 @@ const std::string& SymExpr::key() const {
       break;
     }
   }
-  key_ = os.str();
-  return key_;
+  auto* fresh = new std::string(os.str());
+  const std::string* expected = nullptr;
+  if (!key_.compare_exchange_strong(expected, fresh,
+                                    std::memory_order_acq_rel,
+                                    std::memory_order_acquire)) {
+    delete fresh;  // another thread rendered the same key first
+    return *expected;
+  }
+  return *fresh;
 }
 
 SymRef make_int(Int v) {
-  auto e = node(SymKind::kConstInt);
-  mut(e)->int_val = v;
-  return seal(std::move(e));
+  auto e = raw(SymKind::kConstInt);
+  e.int_val = v;
+  return intern_node(std::move(e));
 }
 
 SymRef make_bool(bool v) {
-  auto e = node(SymKind::kConstBool);
-  mut(e)->bool_val = v;
-  return seal(std::move(e));
+  auto e = raw(SymKind::kConstBool);
+  e.bool_val = v;
+  return intern_node(std::move(e));
 }
 
 SymRef make_str(std::string s) {
-  auto e = node(SymKind::kConstStr);
-  mut(e)->str_val = std::move(s);
-  return seal(std::move(e));
+  auto e = raw(SymKind::kConstStr);
+  e.str_val = std::move(s);
+  return intern_node(std::move(e));
 }
 
 SymRef make_tuple_const(std::vector<Int> t) {
-  auto e = node(SymKind::kConstTuple);
-  mut(e)->tuple_val = std::move(t);
-  return seal(std::move(e));
+  auto e = raw(SymKind::kConstTuple);
+  e.tuple_val = std::move(t);
+  return intern_node(std::move(e));
 }
 
 SymRef make_list_const(std::vector<SymRef> elems) {
-  auto e = node(SymKind::kConstList);
-  mut(e)->operands = std::move(elems);
-  return seal(std::move(e));
+  auto e = raw(SymKind::kConstList);
+  e.operands = std::move(elems);
+  return intern_node(std::move(e));
 }
 
 SymRef make_var(std::string name, VarClass cls) {
-  auto e = node(SymKind::kVar);
-  mut(e)->str_val = std::move(name);
-  mut(e)->var_class = cls;
-  return seal(std::move(e));
+  auto e = raw(SymKind::kVar);
+  e.str_val = std::move(name);
+  e.var_class = cls;
+  return intern_node(std::move(e));
 }
 
 SymRef make_un(lang::UnOp op, SymRef a) {
   if (op == lang::UnOp::kNeg && is_const_int(a)) return make_int(-a->int_val);
   if (op == lang::UnOp::kNot) return negate(a);
-  auto e = node(SymKind::kUn);
-  mut(e)->un_op = op;
-  mut(e)->operands = {std::move(a)};
-  return seal(std::move(e));
+  auto e = raw(SymKind::kUn);
+  e.un_op = op;
+  e.operands = {std::move(a)};
+  return intern_node(std::move(e));
 }
 
 SymRef negate(const SymRef& a) {
@@ -167,10 +184,10 @@ SymRef negate(const SymRef& a) {
   }
   if (a->kind == SymKind::kBin) {
     auto inverted = [&](BinOp op) {
-      auto e = node(SymKind::kBin);
-      mut(e)->bin_op = op;
-      mut(e)->operands = a->operands;
-      return seal(std::move(e));
+      auto e = raw(SymKind::kBin);
+      e.bin_op = op;
+      e.operands = a->operands;
+      return intern_node(std::move(e));
     };
     switch (a->bin_op) {
       case BinOp::kEq: return inverted(BinOp::kNe);
@@ -182,10 +199,10 @@ SymRef negate(const SymRef& a) {
       default: break;
     }
   }
-  auto e = node(SymKind::kUn);
-  mut(e)->un_op = lang::UnOp::kNot;
-  mut(e)->operands = {a};
-  return seal(std::move(e));
+  auto e = raw(SymKind::kUn);
+  e.un_op = lang::UnOp::kNot;
+  e.operands = {a};
+  return intern_node(std::move(e));
 }
 
 SymRef make_bin(lang::BinOp op, SymRef a, SymRef b) {
@@ -231,13 +248,13 @@ SymRef make_bin(lang::BinOp op, SymRef a, SymRef b) {
     const bool eq = a->tuple_val == b->tuple_val;
     return make_bool(op == BinOp::kEq ? eq : !eq);
   }
-  // Syntactic identity: e == e is true.
+  // Syntactic identity: e == e is true (a pointer compare when interned).
   if ((op == BinOp::kEq || op == BinOp::kLe || op == BinOp::kGe) &&
-      a->key() == b->key()) {
+      struct_eq(a, b)) {
     return make_bool(true);
   }
   if ((op == BinOp::kNe || op == BinOp::kLt || op == BinOp::kGt) &&
-      a->key() == b->key()) {
+      struct_eq(a, b)) {
     return make_bool(false);
   }
   // x + 0, x - 0, x * 1, x % with concrete... keep it minimal: identities.
@@ -247,10 +264,10 @@ SymRef make_bin(lang::BinOp op, SymRef a, SymRef b) {
   if (op == BinOp::kMul && is_const_int(b) && b->int_val == 1) return a;
   if (op == BinOp::kMul && is_const_int(a) && a->int_val == 1) return b;
 
-  auto e = node(SymKind::kBin);
-  mut(e)->bin_op = op;
-  mut(e)->operands = {std::move(a), std::move(b)};
-  return seal(std::move(e));
+  auto e = raw(SymKind::kBin);
+  e.bin_op = op;
+  e.operands = {std::move(a), std::move(b)};
+  return intern_node(std::move(e));
 }
 
 SymRef make_tuple(std::vector<SymRef> elems) {
@@ -262,9 +279,9 @@ SymRef make_tuple(std::vector<SymRef> elems) {
     for (const auto& x : elems) t.push_back(x->int_val);
     return make_tuple_const(std::move(t));
   }
-  auto e = node(SymKind::kTupleExpr);
-  mut(e)->operands = std::move(elems);
-  return seal(std::move(e));
+  auto e = raw(SymKind::kTupleExpr);
+  e.operands = std::move(elems);
+  return intern_node(std::move(e));
 }
 
 SymRef make_list_get(SymRef list, SymRef idx) {
@@ -274,21 +291,21 @@ SymRef make_list_get(SymRef list, SymRef idx) {
       return list->operands[static_cast<std::size_t>(i)];
     }
   }
-  auto e = node(SymKind::kListGet);
-  mut(e)->operands = {std::move(list), std::move(idx)};
-  return seal(std::move(e));
+  auto e = raw(SymKind::kListGet);
+  e.operands = {std::move(list), std::move(idx)};
+  return intern_node(std::move(e));
 }
 
 SymRef make_map_base(std::string name) {
-  auto e = node(SymKind::kMapBase);
-  mut(e)->str_val = std::move(name);
-  return seal(std::move(e));
+  auto e = raw(SymKind::kMapBase);
+  e.str_val = std::move(name);
+  return intern_node(std::move(e));
 }
 
 SymRef make_map_store(SymRef map, SymRef key, SymRef value) {
-  auto e = node(SymKind::kMapStore);
-  mut(e)->operands = {std::move(map), std::move(key), std::move(value)};
-  return seal(std::move(e));
+  auto e = raw(SymKind::kMapStore);
+  e.operands = {std::move(map), std::move(key), std::move(value)};
+  return intern_node(std::move(e));
 }
 
 namespace {
@@ -309,16 +326,16 @@ SymRef make_map_get(SymRef map, SymRef key) {
   SymRef m = map;
   while (m->kind == SymKind::kMapStore) {
     const SymRef& sk = m->operands[1];
-    if (sk->key() == key->key()) return m->operands[2];
+    if (struct_eq(sk, key)) return m->operands[2];
     if (keys_definitely_differ(sk, key)) {
       m = m->operands[0];
       continue;
     }
     break;  // undecidable: keep the residual over the full chain
   }
-  auto e = node(SymKind::kMapGet);
-  mut(e)->operands = {std::move(map), std::move(key)};
-  return seal(std::move(e));
+  auto e = raw(SymKind::kMapGet);
+  e.operands = {std::move(map), std::move(key)};
+  return intern_node(std::move(e));
 }
 
 SymRef make_contains(SymRef container, SymRef key) {
@@ -327,7 +344,7 @@ SymRef make_contains(SymRef container, SymRef key) {
     bool all_comparable = key->kind == SymKind::kConstTuple || is_const_int(key);
     if (all_comparable) {
       for (const auto& x : container->operands) {
-        if (x->key() == key->key()) return make_bool(true);
+        if (struct_eq(x, key)) return make_bool(true);
         if (!keys_definitely_differ(x, key)) {
           all_comparable = false;
           break;
@@ -339,7 +356,7 @@ SymRef make_contains(SymRef container, SymRef key) {
   SymRef m = container;
   while (m->kind == SymKind::kMapStore) {
     const SymRef& sk = m->operands[1];
-    if (sk->key() == key->key()) return make_bool(true);
+    if (struct_eq(sk, key)) return make_bool(true);
     if (keys_definitely_differ(sk, key)) {
       m = m->operands[0];
       continue;
@@ -349,22 +366,22 @@ SymRef make_contains(SymRef container, SymRef key) {
   // Empty concrete base: a MapBase marked concrete-empty would fold to
   // false; initial state maps stay symbolic (the whole point: membership
   // is a state match).
-  auto e = node(SymKind::kContains);
-  mut(e)->operands = {std::move(m), std::move(key)};
-  return seal(std::move(e));
+  auto e = raw(SymKind::kContains);
+  e.operands = {std::move(m), std::move(key)};
+  return intern_node(std::move(e));
 }
 
 SymRef make_call(std::string name, std::vector<SymRef> args) {
-  auto e = node(SymKind::kCall);
-  mut(e)->str_val = std::move(name);
-  mut(e)->operands = std::move(args);
-  return seal(std::move(e));
+  auto e = raw(SymKind::kCall);
+  e.str_val = std::move(name);
+  e.operands = std::move(args);
+  return intern_node(std::move(e));
 }
 
 SymRef make_packet(std::map<std::string, SymRef> fields) {
-  auto e = node(SymKind::kPacket);
-  mut(e)->fields = std::move(fields);
-  return seal(std::move(e));
+  auto e = raw(SymKind::kPacket);
+  e.fields = std::move(fields);
+  return intern_node(std::move(e));
 }
 
 std::string to_string(const SymExpr& e) {
@@ -446,7 +463,15 @@ std::string to_string(const SymExpr& e) {
   return os.str();
 }
 
-SymRef substitute(const SymRef& e, const std::map<std::string, SymRef>& subst) {
+namespace {
+
+/// Memoized substitution worker. Keyed by node identity: shared subtrees
+/// (deep map-store chains are *all* sharing) are rewritten exactly once
+/// instead of once per path to them, which is the difference between
+/// linear and exponential on adversarial DAGs.
+SymRef substitute_memo(const SymRef& e,
+                       const std::map<std::string, SymRef>& subst,
+                       std::unordered_map<const SymExpr*, SymRef>& memo) {
   switch (e->kind) {
     case SymKind::kVar:
     case SymKind::kMapBase: {
@@ -461,51 +486,74 @@ SymRef substitute(const SymRef& e, const std::map<std::string, SymRef>& subst) {
     default:
       break;
   }
+  if (const auto it = memo.find(e.get()); it != memo.end()) return it->second;
   std::vector<SymRef> ops;
   ops.reserve(e->operands.size());
   bool changed = false;
   for (const auto& c : e->operands) {
-    ops.push_back(substitute(c, subst));
+    ops.push_back(substitute_memo(c, subst, memo));
     changed |= ops.back() != c;
   }
   std::map<std::string, SymRef> fields;
   for (const auto& [f, v] : e->fields) {
-    fields[f] = substitute(v, subst);
+    fields[f] = substitute_memo(v, subst, memo);
     changed |= fields[f] != v;
   }
-  if (!changed) return e;
-
-  switch (e->kind) {
-    case SymKind::kConstList: return make_list_const(std::move(ops));
-    case SymKind::kUn: return make_un(e->un_op, std::move(ops[0]));
-    case SymKind::kBin:
-      return make_bin(e->bin_op, std::move(ops[0]), std::move(ops[1]));
-    case SymKind::kTupleExpr: return make_tuple(std::move(ops));
-    case SymKind::kListGet:
-      return make_list_get(std::move(ops[0]), std::move(ops[1]));
-    case SymKind::kMapStore:
-      return make_map_store(std::move(ops[0]), std::move(ops[1]),
-                            std::move(ops[2]));
-    case SymKind::kMapGet:
-      return make_map_get(std::move(ops[0]), std::move(ops[1]));
-    case SymKind::kContains:
-      return make_contains(std::move(ops[0]), std::move(ops[1]));
-    case SymKind::kCall: return make_call(e->str_val, std::move(ops));
-    case SymKind::kPacket: return make_packet(std::move(fields));
-    default:
-      return e;
+  SymRef result = e;
+  if (changed) {
+    switch (e->kind) {
+      case SymKind::kConstList: result = make_list_const(std::move(ops)); break;
+      case SymKind::kUn: result = make_un(e->un_op, std::move(ops[0])); break;
+      case SymKind::kBin:
+        result = make_bin(e->bin_op, std::move(ops[0]), std::move(ops[1]));
+        break;
+      case SymKind::kTupleExpr: result = make_tuple(std::move(ops)); break;
+      case SymKind::kListGet:
+        result = make_list_get(std::move(ops[0]), std::move(ops[1]));
+        break;
+      case SymKind::kMapStore:
+        result = make_map_store(std::move(ops[0]), std::move(ops[1]),
+                                std::move(ops[2]));
+        break;
+      case SymKind::kMapGet:
+        result = make_map_get(std::move(ops[0]), std::move(ops[1]));
+        break;
+      case SymKind::kContains:
+        result = make_contains(std::move(ops[0]), std::move(ops[1]));
+        break;
+      case SymKind::kCall: result = make_call(e->str_val, std::move(ops)); break;
+      case SymKind::kPacket: result = make_packet(std::move(fields)); break;
+      default:
+        break;
+    }
   }
+  memo.emplace(e.get(), result);
+  return result;
 }
 
-void collect_vars(const SymRef& e, std::map<std::string, VarClass>& out) {
+void collect_vars_memo(const SymRef& e, std::map<std::string, VarClass>& out,
+                       std::unordered_set<const SymExpr*>& visited) {
+  if (!visited.insert(e.get()).second) return;
   if (e->kind == SymKind::kVar) {
     out.emplace(e->str_val, e->var_class);
   }
-  for (const auto& c : e->operands) collect_vars(c, out);
+  for (const auto& c : e->operands) collect_vars_memo(c, out, visited);
   for (const auto& [f, v] : e->fields) {
     (void)f;
-    collect_vars(v, out);
+    collect_vars_memo(v, out, visited);
   }
+}
+
+}  // namespace
+
+SymRef substitute(const SymRef& e, const std::map<std::string, SymRef>& subst) {
+  std::unordered_map<const SymExpr*, SymRef> memo;
+  return substitute_memo(e, subst, memo);
+}
+
+void collect_vars(const SymRef& e, std::map<std::string, VarClass>& out) {
+  std::unordered_set<const SymExpr*> visited;
+  collect_vars_memo(e, out, visited);
 }
 
 }  // namespace nfactor::symex

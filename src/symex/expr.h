@@ -1,14 +1,18 @@
-// Symbolic expressions for the KLEE-style executor. Immutable DAG nodes
-// shared via shared_ptr; builders constant-fold eagerly so fully concrete
-// programs never touch the solver. Each node renders to a canonical key
-// used for structural equality, term abstraction in the solver, and the
-// path-set comparison in the accuracy experiment (§5).
+// Symbolic expressions for the KLEE-style executor. Immutable,
+// hash-consed DAG nodes shared via shared_ptr; builders constant-fold
+// eagerly so fully concrete programs never touch the solver, and every
+// builder interns its result (src/symex/intern.h) so structurally equal
+// expressions are pointer-identical and carry a precomputed 64-bit
+// structural fingerprint. Structural equality is `struct_eq` — a pointer
+// compare on the hot path — and the rendered canonical key() string is
+// retained for rendering, goldens, and cross-run-stable artifacts only.
 //
 // State maps are modeled as store chains (MapBase -> MapStore*), and map
 // membership as Contains atoms — which is exactly what turns
 // "cs_ftpl not in f2b_nat" into a *state match* in the extracted model.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -48,7 +52,7 @@ struct SymExpr;
 using SymRef = std::shared_ptr<const SymExpr>;
 
 struct SymExpr {
-  SymKind kind;
+  SymKind kind = SymKind::kConstInt;
 
   // Payload (union-of-fields style; only the relevant members are set).
   Int int_val = 0;
@@ -61,15 +65,47 @@ struct SymExpr {
   VarClass var_class = VarClass::kLocal;
   std::map<std::string, SymRef> fields;  // kPacket
 
-  /// Canonical rendering; equal keys <=> structurally equal expressions.
-  /// Precomputed by the builders while the node is still thread-private,
-  /// so calling key() on a shared DAG is a pure read (worker threads of
-  /// the parallel executor share expression nodes freely).
+  /// 64-bit structural fingerprint, set by the interner before the node
+  /// is published: a deterministic hash of (kind, payload, children
+  /// fingerprints). Equal structures always have equal fingerprints;
+  /// the converse holds only up to hash collision, so fingerprints gate
+  /// equality checks (see struct_eq) and order canonical sequences, but
+  /// never decide equality alone where soundness depends on it.
+  std::uint64_t fp = 0;
+
+  SymExpr() = default;
+  SymExpr(SymExpr&& o) noexcept;
+  SymExpr(const SymExpr&) = delete;
+  SymExpr& operator=(const SymExpr&) = delete;
+  SymExpr& operator=(SymExpr&&) = delete;
+  ~SymExpr();
+
+  /// Canonical rendering; equal keys <=> structurally equal expressions
+  /// (within one run — var_class is part of interned identity but not of
+  /// the rendering). Computed lazily on first use and cached with an
+  /// atomic publish, so concurrent readers on shared DAGs are safe; hot
+  /// paths compare fingerprints/pointers instead and most nodes never
+  /// render their key at all.
   const std::string& key() const;
 
  private:
-  mutable std::string key_;
+  mutable std::atomic<const std::string*> key_{nullptr};
 };
+
+/// Structural equality. With the interner on (the default) interned
+/// structurally-equal nodes are pointer-identical, so this is a pointer
+/// compare; the fingerprint-gated key comparison only runs when
+/// interning is disabled (NFACTOR_SYMEX_INTERN=0) — a fingerprint
+/// mismatch answers "not equal" in O(1), and a fingerprint match is
+/// confirmed against the canonical key, never trusted alone.
+inline bool struct_eq(const SymExpr* a, const SymExpr* b) {
+  if (a == b) return true;
+  if (a == nullptr || b == nullptr || a->fp != b->fp) return false;
+  return a->key() == b->key();
+}
+inline bool struct_eq(const SymRef& a, const SymRef& b) {
+  return struct_eq(a.get(), b.get());
+}
 
 // ---- Builders (with eager constant folding) -------------------------------
 
@@ -104,14 +140,17 @@ inline bool is_const_bool(const SymRef& e) {
 std::string to_string(const SymExpr& e);
 inline std::string to_string(const SymRef& e) { return to_string(*e); }
 
-/// All kVar nodes in the DAG, grouped by class.
+/// All kVar nodes in the DAG, grouped by class. Memoized on node
+/// identity, so heavily shared DAGs (deep map-store chains) are walked
+/// in time linear in the number of unique nodes.
 void collect_vars(const SymRef& e,
                   std::map<std::string, VarClass>& out);
 
 /// Substitute named symbols (kVar and kMapBase, matched by name) with
 /// replacement expressions, rebuilding through the folding builders.
 /// Used by chain composition: NF2's packet-field symbols become NF1's
-/// output expressions.
+/// output expressions. Memoized on node identity per call, so shared
+/// subtrees are rewritten once.
 SymRef substitute(const SymRef& e, const std::map<std::string, SymRef>& subst);
 
 }  // namespace nfactor::symex

@@ -7,10 +7,19 @@
 #include <optional>
 #include <set>
 #include <string>
+#include <unordered_set>
+#include <utility>
 
 #include "obs/obs.h"
 
 namespace nfactor::symex {
+
+bool expr_less(const SymRef& a, const SymRef& b) {
+  if (a.get() == b.get()) return false;
+  if (a->fp != b->fp) return a->fp < b->fp;
+  if (struct_eq(a, b)) return false;
+  return a->key() < b->key();  // fingerprint collision: rare, exact
+}
 
 namespace {
 
@@ -18,6 +27,29 @@ using lang::BinOp;
 
 constexpr Int kMin = std::numeric_limits<Int>::min();
 constexpr Int kMax = std::numeric_limits<Int>::max();
+
+/// Sorted, deduplicated view of a conjunction (expr_less order). Shared
+/// by the checker and the cache key so the verdict is a pure function of
+/// the constraint *set*: the solver's split budget (kMaxSplits) is
+/// consumed in ingestion order, so without a canonical order `a && b`
+/// and `b && a` could degrade differently.
+std::vector<SymRef> canonicalize(const std::vector<SymRef>& constraints) {
+  std::vector<SymRef> sorted = constraints;
+  std::sort(sorted.begin(), sorted.end(), expr_less);
+  sorted.erase(std::unique(sorted.begin(), sorted.end(),
+                           [](const SymRef& a, const SymRef& b) {
+                             return struct_eq(a, b);
+                           }),
+               sorted.end());
+  return sorted;
+}
+
+std::vector<std::uint64_t> fps_of(const std::vector<SymRef>& canon) {
+  std::vector<std::uint64_t> fps;
+  fps.reserve(canon.size());
+  for (const auto& c : canon) fps.push_back(c->fp);
+  return fps;
+}
 
 struct TermState {
   Int lo = kMin;
@@ -54,27 +86,34 @@ class Checker {
     return false;
   }
   // ---- term table / union-find ----
-  int term_id(const std::string& key) {
-    const auto it = ids_.find(key);
+
+  /// Terms are identified by node: hashed by fingerprint, confirmed with
+  /// struct_eq (a pointer compare under the interner), and the map holds
+  /// the SymRef itself so every term a Linear view ever produced —
+  /// including expressions the tuple decomposition builds on the fly —
+  /// stays alive for the checker's lifetime.
+  int term_id(const SymRef& e) {
+    const auto it = ids_.find(e);
     if (it != ids_.end()) return it->second;
     const int id = static_cast<int>(terms_.size());
-    ids_.emplace(key, id);
+    ids_.emplace(e, id);
     terms_.push_back({});
     terms_.back().uf_parent = id;
-    seed_width_bounds(key, id);
+    seed_width_bounds(e, id);
     return id;
   }
 
   /// Intrinsic bounds a fresh term carries: packet header fields have
   /// known widths (pkt.dport > 70000 is unsatisfiable), independent of
   /// any explicit constraint.
-  void seed_width_bounds(const std::string& key, int id) {
-    // Canonical keys render variables as "v<name>"; packet fields as
-    // "vpkt.<field>" (or "vpktN.<field>" in multi-packet sequences).
-    if (key.size() < 2 || key[0] != 'v') return;
-    const auto dot = key.find('.');
-    if (dot == std::string::npos || key.compare(1, 3, "pkt") != 0) return;
-    const std::string field = key.substr(dot + 1);
+  void seed_width_bounds(const SymRef& e, int id) {
+    // Packet fields are kVar terms named "pkt.<field>" (or
+    // "pktN.<field>" in multi-packet sequences).
+    if (e->kind != SymKind::kVar) return;
+    const std::string& name = e->str_val;
+    const auto dot = name.find('.');
+    if (dot == std::string::npos || name.compare(0, 3, "pkt") != 0) return;
+    const std::string field = name.substr(dot + 1);
     TermState& ts = terms_[static_cast<std::size_t>(id)];
     auto bound = [&ts](Int lo, Int hi) {
       ts.lo = lo;
@@ -171,10 +210,11 @@ class Checker {
     }
 
     // Opaque boolean atom (Contains, uninterpreted call, residual Or...).
-    const std::string& k = e->key();
-    const auto it = bool_atoms_.find(k);
+    // Polarity conflicts are detected on node identity: same atom under
+    // both polarities is unsatisfiable.
+    const auto it = bool_atoms_.find(e);
     if (it != bool_atoms_.end() && it->second != polarity) return false;
-    bool_atoms_.emplace(k, polarity);
+    bool_atoms_.emplace(e, polarity);
     return true;
   }
 
@@ -192,14 +232,14 @@ class Checker {
   }
 
   /// (term, offset) view of an int expression: expr = term + offset, or
-  /// pure constant (term = nullopt).
+  /// pure constant (term = nullptr).
   struct Linear {
-    std::optional<std::string> term;  // canonical key of the term part
+    SymRef term;  // the term node itself; null for pure constants
     Int offset = 0;
   };
 
   Linear linearize(const SymRef& e) {
-    if (is_const_int(e)) return {std::nullopt, e->int_val};
+    if (is_const_int(e)) return {nullptr, e->int_val};
     if (e->kind == SymKind::kBin &&
         (e->bin_op == BinOp::kAdd || e->bin_op == BinOp::kSub)) {
       const Linear a = linearize(e->operands[0]);
@@ -215,22 +255,22 @@ class Checker {
     // within [0, c-1] (DSL modulo is Python-style non-negative).
     if (e->kind == SymKind::kBin && e->bin_op == BinOp::kMod &&
         is_const_int(e->operands[1]) && e->operands[1]->int_val > 0) {
-      const int t = term_id(e->key());
+      const int t = term_id(e);
       narrow(t, 0, e->operands[1]->int_val - 1);
-      return {e->key(), 0};
+      return {e, 0};
     }
     // Bitwise AND with a constant mask is bounded by the mask.
     if (e->kind == SymKind::kBin && e->bin_op == BinOp::kBitAnd) {
       for (int side = 0; side < 2; ++side) {
         const SymRef& m = e->operands[static_cast<std::size_t>(side)];
         if (is_const_int(m) && m->int_val >= 0) {
-          const int t = term_id(e->key());
+          const int t = term_id(e);
           narrow(t, 0, m->int_val);
           break;
         }
       }
     }
-    return {e->key(), 0};
+    return {e, 0};
   }
 
   bool add_cmp(const SymRef& e, bool polarity) {
@@ -279,9 +319,9 @@ class Checker {
     }
 
     if (a.term && b.term) {
-      const int ta = term_id(*a.term);
-      const int tb = term_id(*b.term);
-      if (*a.term == *b.term) {
+      const int ta = term_id(a.term);
+      const int tb = term_id(b.term);
+      if (struct_eq(a.term, b.term)) {
         // Same term: the relation is decided by the offsets alone.
         switch (op) {
           case BinOp::kEq: return a.offset == b.offset;
@@ -294,11 +334,11 @@ class Checker {
         }
       }
       if (op == BinOp::kEq && a.offset == b.offset) {
-        return unite(ta, tb) && constrain_pair(*a.term, *b.term, kEqMask);
+        return unite(ta, tb) && constrain_pair(a.term, b.term, kEqMask);
       }
       if (op == BinOp::kNe && a.offset == b.offset) {
         diseq_.emplace_back(ta, tb);
-        return constrain_pair(*a.term, *b.term, kLtMask | kGtMask);
+        return constrain_pair(a.term, b.term, kLtMask | kGtMask);
       }
       if (a.offset == b.offset) {
         // Ordering between two distinct terms: track the allowed
@@ -312,13 +352,13 @@ class Checker {
           case BinOp::kGe: mask = kGtMask | kEqMask; break;
           default: break;
         }
-        return constrain_pair(*a.term, *b.term, mask);
+        return constrain_pair(a.term, b.term, mask);
       }
       return true;  // differing offsets: undecided, assume satisfiable
     }
 
     // term + off OP const
-    const std::string& term = a.term ? *a.term : *b.term;
+    const SymRef& term = a.term ? a.term : b.term;
     Int c = a.term ? b.offset - a.offset : a.offset - b.offset;
     BinOp eff = op;
     if (!a.term) {
@@ -376,22 +416,37 @@ class Checker {
   static constexpr std::uint8_t kEqMask = 2;
   static constexpr std::uint8_t kGtMask = 4;
 
+  struct PairHash {
+    std::size_t operator()(const std::pair<SymRef, SymRef>& p) const {
+      // Mixed asymmetrically so (a, b) and (b, a) hash apart.
+      const std::uint64_t a = p.first->fp;
+      const std::uint64_t b = p.second->fp;
+      return static_cast<std::size_t>(a * 0x9e3779b97f4a7c15ULL + b);
+    }
+  };
+  struct PairEq {
+    bool operator()(const std::pair<SymRef, SymRef>& x,
+                    const std::pair<SymRef, SymRef>& y) const {
+      return struct_eq(x.first, y.first) && struct_eq(x.second, y.second);
+    }
+  };
+
   /// Intersect the allowed {<, =, >} relations of the (a, b) pair with
-  /// `mask`; false when the pair's relation set becomes empty.
-  bool constrain_pair(const std::string& a, const std::string& b,
-                      std::uint8_t mask) {
-    std::string lo = a;
-    std::string hi = b;
-    if (lo > hi) {
-      std::swap(lo, hi);
-      // Flip the relation direction for the canonical order.
+  /// `mask`; false when the pair's relation set becomes empty. Pairs are
+  /// stored in expr_less orientation so both argument orders land on the
+  /// same record.
+  bool constrain_pair(SymRef a, SymRef b, std::uint8_t mask) {
+    if (expr_less(b, a)) {
+      std::swap(a, b);
+      // Flip the relation direction for the canonical orientation.
       std::uint8_t flipped = mask & kEqMask;
       if (mask & kLtMask) flipped |= kGtMask;
       if (mask & kGtMask) flipped |= kLtMask;
       mask = flipped;
     }
     auto [it, inserted] = pair_relations_.try_emplace(
-        std::make_pair(lo, hi), static_cast<std::uint8_t>(kLtMask | kEqMask | kGtMask));
+        std::make_pair(std::move(a), std::move(b)),
+        static_cast<std::uint8_t>(kLtMask | kEqMask | kGtMask));
     (void)inserted;
     it->second &= mask;
     return it->second != 0;
@@ -404,56 +459,49 @@ class Checker {
   };
   static constexpr std::size_t kMaxSplits = 12;
 
-  std::map<std::string, int> ids_;
+  std::unordered_map<SymRef, int, RefHash, RefEq> ids_;
   std::vector<TermState> terms_;
   std::vector<std::pair<int, int>> diseq_;
-  std::map<std::string, bool> bool_atoms_;
-  std::map<std::pair<std::string, std::string>, std::uint8_t> pair_relations_;
+  std::unordered_map<SymRef, bool, RefHash, RefEq> bool_atoms_;
+  std::unordered_map<std::pair<SymRef, SymRef>, std::uint8_t, PairHash, PairEq>
+      pair_relations_;
   std::vector<Split> splits_;
   std::size_t split_depth_ = 0;
 };
 
-/// Sorted-by-key, deduplicated view of a conjunction. Shared by the
-/// checker and the cache key so the verdict is a pure function of the
-/// constraint *set*: the solver's split budget (kMaxSplits) is consumed
-/// in ingestion order, so without a canonical order `a && b` and
-/// `b && a` could degrade differently.
-std::vector<SymRef> canonicalize(const std::vector<SymRef>& constraints) {
-  std::vector<SymRef> sorted = constraints;
-  std::sort(sorted.begin(), sorted.end(),
-            [](const SymRef& a, const SymRef& b) { return a->key() < b->key(); });
-  sorted.erase(std::unique(sorted.begin(), sorted.end(),
-                           [](const SymRef& a, const SymRef& b) {
-                             return a->key() == b->key();
-                           }),
-               sorted.end());
-  return sorted;
-}
-
 /// Symbols through which a conjunct can interact with other conjuncts:
-/// named variables, map bases, and whole uninterpreted-call terms. The
-/// checker's theories propagate only through shared terms — intervals
-/// and forbidden sets are per term, union-find chains need a shared
-/// term, and opaque-atom polarity conflicts need the identical atom —
-/// so conjuncts sharing none of these cannot join in a conflict.
-void collect_symbols(const SymRef& e, std::set<std::string>& out) {
+/// named variables, map bases, and whole uninterpreted-call terms,
+/// identified by their structural fingerprints. The checker's theories
+/// propagate only through struct_eq-identical terms — intervals and
+/// forbidden sets are per term, union-find chains need a shared term,
+/// and opaque-atom polarity conflicts need the identical atom — and
+/// struct_eq implies equal fingerprints, so fingerprint-grouped
+/// conjuncts can only *over*-merge (on a collision), never split a
+/// real interaction across components. Over-merging is sound: the
+/// component just gets checked as one bigger set. Memoized on node
+/// identity so shared subtrees are visited once.
+void collect_symbols(const SymRef& e, std::set<std::uint64_t>& out,
+                     std::unordered_set<const SymExpr*>& visited) {
+  if (!visited.insert(e.get()).second) return;
   switch (e->kind) {
     case SymKind::kVar:
-      out.insert("v:" + e->str_val);
-      break;
     case SymKind::kMapBase:
-      out.insert("m:" + e->str_val);
-      break;
     case SymKind::kCall:
-      // The call term itself: links e.g. hash((1,2))==x with
-      // hash((1,2))==5 even when the arguments carry no variables.
-      out.insert("c:" + e->key());
+      // The node fingerprint encodes the kind, so a var, a map base and
+      // a call can never alias each other's symbol (short of a 64-bit
+      // collision, which only over-merges). For kCall the whole call
+      // term is the symbol: links e.g. hash((1,2))==x with hash((1,2))==5
+      // even when the arguments carry no variables.
+      out.insert(e->fp);
       break;
     default:
       break;
   }
-  for (const auto& c : e->operands) collect_symbols(c, out);
-  for (const auto& [f, v] : e->fields) collect_symbols(v, out);
+  for (const auto& c : e->operands) collect_symbols(c, out, visited);
+  for (const auto& [f, v] : e->fields) {
+    (void)f;
+    collect_symbols(v, out, visited);
+  }
 }
 
 /// KLEE-style constraint independence: split a canonicalized conjunction
@@ -476,12 +524,13 @@ std::vector<std::vector<SymRef>> independence_components(
     return x;
   };
 
-  std::map<std::string, int> owner;  // symbol -> first conjunct seen with it
+  std::unordered_map<std::uint64_t, int> owner;  // symbol -> first conjunct
   for (std::size_t i = 0; i < canon.size(); ++i) {
-    std::set<std::string> syms;
-    collect_symbols(canon[i], syms);
-    if (syms.empty()) syms.insert("$const");  // symbol-free conjuncts group
-    for (const auto& s : syms) {
+    std::set<std::uint64_t> syms;
+    std::unordered_set<const SymExpr*> conjunct_visited;
+    collect_symbols(canon[i], syms, conjunct_visited);
+    if (syms.empty()) syms.insert(0);  // symbol-free conjuncts group
+    for (const std::uint64_t s : syms) {
       const auto [it, inserted] = owner.emplace(s, static_cast<int>(i));
       if (!inserted) parent[find(static_cast<int>(i))] = find(it->second);
     }
@@ -506,25 +555,53 @@ std::vector<std::vector<SymRef>> independence_components(
 SolverCache::SolverCache(std::size_t max_entries)
     : max_per_shard_(std::max<std::size_t>(1, max_entries / kShards)) {}
 
-SolverCache::Shard& SolverCache::shard_for(const std::string& key) {
-  return shards_[std::hash<std::string>{}(key) % kShards];
+std::size_t SolverCache::KeyHash::operator()(
+    const std::vector<std::uint64_t>& key) const {
+  std::uint64_t h = 0xcbf29ce484222325ULL ^ key.size();
+  for (const std::uint64_t fp : key) {
+    h ^= fp;
+    h *= 0x100000001b3ULL;
+  }
+  return static_cast<std::size_t>(h);
 }
 
-std::optional<SatResult> SolverCache::lookup(const std::string& key) {
+SolverCache::Shard& SolverCache::shard_for(
+    const std::vector<std::uint64_t>& key) {
+  return shards_[KeyHash{}(key) % kShards];
+}
+
+std::optional<SatResult> SolverCache::lookup(
+    const std::vector<SymRef>& constraints) {
+  const std::vector<SymRef> canon = canonicalize(constraints);
+  const std::vector<std::uint64_t> key = fps_of(canon);
   Shard& s = shard_for(key);
   const std::lock_guard<std::mutex> lock(s.mu);
   const auto it = s.map.find(key);
-  if (it == s.map.end()) {
+  // Confirm a fingerprint-key hit elementwise before trusting the
+  // verdict: a collision (equal fps, different constraints) is a miss.
+  bool confirmed = it != s.map.end() && it->second.conj.size() == canon.size();
+  if (confirmed) {
+    for (std::size_t i = 0; i < canon.size(); ++i) {
+      if (!struct_eq(canon[i], it->second.conj[i])) {
+        confirmed = false;
+        break;
+      }
+    }
+  }
+  if (!confirmed) {
     misses_.fetch_add(1, std::memory_order_relaxed);
     OBS_COUNT("symex.solver.cache.misses");
     return std::nullopt;
   }
   hits_.fetch_add(1, std::memory_order_relaxed);
   OBS_COUNT("symex.solver.cache.hits");
-  return it->second;
+  return it->second.verdict;
 }
 
-void SolverCache::insert(const std::string& key, SatResult verdict) {
+void SolverCache::insert(const std::vector<SymRef>& constraints,
+                         SatResult verdict) {
+  std::vector<SymRef> canon = canonicalize(constraints);
+  const std::vector<std::uint64_t> key = fps_of(canon);
   Shard& s = shard_for(key);
   const std::lock_guard<std::mutex> lock(s.mu);
   if (s.map.size() >= max_per_shard_ && s.map.find(key) == s.map.end()) {
@@ -535,17 +612,12 @@ void SolverCache::insert(const std::string& key, SatResult verdict) {
     evictions_.fetch_add(dropped, std::memory_order_relaxed);
     OBS_COUNT_N("symex.solver.cache.evictions", dropped);
   }
-  s.map.emplace(key, verdict);
+  s.map.emplace(key, Entry{std::move(canon), verdict});
 }
 
-std::string SolverCache::canonical_key(const std::vector<SymRef>& constraints) {
-  const std::vector<SymRef> sorted = canonicalize(constraints);
-  std::string key;
-  for (const auto& c : sorted) {
-    key += c->key();
-    key += '&';
-  }
-  return key;
+std::vector<std::uint64_t> SolverCache::canonical_key(
+    const std::vector<SymRef>& constraints) {
+  return fps_of(canonicalize(constraints));
 }
 
 std::size_t SolverCache::size() const {
@@ -585,18 +657,11 @@ SatResult Solver::check(const std::vector<SymRef>& constraints) {
   bool all_from_cache = true;
   for (const auto& comp : independence_components(canon)) {
     std::optional<SatResult> verdict;
-    std::string comp_key;
-    if (cache_ != nullptr) {
-      for (const auto& c : comp) {
-        comp_key += c->key();
-        comp_key += '&';
-      }
-      verdict = cache_->lookup(comp_key);
-    }
+    if (cache_ != nullptr) verdict = cache_->lookup(comp);
     if (!verdict) {
       all_from_cache = false;
       verdict = Checker().run(comp) ? SatResult::kSat : SatResult::kUnsat;
-      if (cache_ != nullptr) cache_->insert(comp_key, *verdict);
+      if (cache_ != nullptr) cache_->insert(comp, *verdict);
     }
     if (*verdict == SatResult::kUnsat) {
       sat = false;

@@ -8,15 +8,21 @@
 // conflict; anything it cannot decide is kSat (explore the path). This is
 // the same posture KLEE takes with incomplete theory combinations.
 //
-// Queries are canonicalized (conjuncts sorted by key, deduplicated)
-// before checking, which makes the verdict a pure function of the
-// constraint *set* — the property the memoizing SolverCache below relies
-// on, and what keeps parallel executor runs schedule-independent. Each
-// query is then split into KLEE-style independence components (connected
-// components of the share-a-symbol graph) and checked — and memoized —
-// per component: whole path conditions are nearly always novel, but
-// their components recur constantly, which is where cache hits come
-// from.
+// Queries are canonicalized (conjuncts sorted by structural fingerprint,
+// deduplicated by struct_eq) before checking, which makes the verdict a
+// pure function of the constraint *set* — the property the memoizing
+// SolverCache below relies on, and what keeps parallel executor runs
+// schedule-independent. Each query is then split into KLEE-style
+// independence components (connected components of the share-a-symbol
+// graph) and checked — and memoized — per component: whole path
+// conditions are nearly always novel, but their components recur
+// constantly, which is where cache hits come from.
+//
+// Since PR 4 every internal identity is pointer/fingerprint-based
+// (hash-consed expressions, docs/symex_interning.md): term tables and
+// opaque atoms hash by node fingerprint and confirm with struct_eq — a
+// pointer compare when the interner is on — and cache keys are sorted
+// fingerprint vectors instead of '&'-joined key strings.
 #pragma once
 
 #include <array>
@@ -24,7 +30,6 @@
 #include <cstdint>
 #include <mutex>
 #include <optional>
-#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -34,18 +39,48 @@ namespace nfactor::symex {
 
 enum class SatResult : std::uint8_t { kSat, kUnsat };
 
+/// Hash/equality functors for fingerprint-gated node maps: hash by the
+/// precomputed structural fingerprint, confirm with struct_eq. A
+/// fingerprint collision lands two distinct structures in one bucket and
+/// is told apart by the equality functor — fingerprints gate, struct_eq
+/// decides.
+struct RefHash {
+  std::size_t operator()(const SymRef& e) const {
+    return static_cast<std::size_t>(e->fp);
+  }
+};
+struct RefEq {
+  bool operator()(const SymRef& a, const SymRef& b) const {
+    return struct_eq(a, b);
+  }
+};
+
+/// Deterministic strict weak order on expressions: fingerprint first,
+/// canonical key only to break (rare) fingerprint collisions between
+/// structurally distinct nodes. This is the order canonicalized
+/// conjunctions are sorted in — stable across runs (fingerprints carry
+/// no pointer bits), O(1) per comparison on the common path.
+bool expr_less(const SymRef& a, const SymRef& b);
+
 struct SolverCacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
   std::uint64_t evictions = 0;
 };
 
-/// Sharded memoization table from a canonical constraint-conjunct key to
+/// Sharded memoization table from a canonical constraint conjunction to
 /// the solver's verdict. Thread-safe: one mutex per shard, so concurrent
 /// executor workers (and the orig/slice SE runs of one pipeline) share
 /// verdicts with little contention. Bounded: when a shard fills up it is
 /// bulk-evicted (the cache is a pure accelerator — eviction only costs
 /// recomputation, never correctness).
+///
+/// Keys are sorted fingerprint vectors (see canonical_key) — O(n) words
+/// to form instead of O(total subtree bytes) of string concatenation.
+/// Each entry also stores the conjunct expressions themselves; a lookup
+/// whose fingerprint key matches is confirmed elementwise with struct_eq
+/// before the verdict is trusted, and treated as a miss otherwise, so a
+/// fingerprint collision can never flip a verdict.
 ///
 /// Metrics (src/obs): `symex.solver.cache.hits` / `.misses` /
 /// `.evictions` counters accumulate across all cache instances.
@@ -55,26 +90,35 @@ class SolverCache {
 
   explicit SolverCache(std::size_t max_entries = 1 << 20);
 
-  /// Verdict for `key`, if present.
-  std::optional<SatResult> lookup(const std::string& key);
-  void insert(const std::string& key, SatResult verdict);
+  /// Verdict for the conjunction `constraints` (canonicalized
+  /// internally), if present and confirmed.
+  std::optional<SatResult> lookup(const std::vector<SymRef>& constraints);
+  void insert(const std::vector<SymRef>& constraints, SatResult verdict);
 
-  /// Canonical cache key of a constraint conjunction: the sorted,
-  /// deduplicated expression keys joined with '&' — order-insensitive,
-  /// so `a && b` and `b && a` share one entry.
-  static std::string canonical_key(const std::vector<SymRef>& constraints);
+  /// Canonical cache key of a constraint conjunction: the structural
+  /// fingerprints of the sorted, deduplicated conjuncts —
+  /// order-insensitive, so `a && b` and `b && a` share one entry.
+  static std::vector<std::uint64_t> canonical_key(
+      const std::vector<SymRef>& constraints);
 
   std::size_t size() const;
   SolverCacheStats stats() const;
   void clear();
 
  private:
+  struct Entry {
+    std::vector<SymRef> conj;  // canonical conjuncts, for hit confirmation
+    SatResult verdict = SatResult::kSat;
+  };
+  struct KeyHash {
+    std::size_t operator()(const std::vector<std::uint64_t>& key) const;
+  };
   struct Shard {
     mutable std::mutex mu;
-    std::unordered_map<std::string, SatResult> map;
+    std::unordered_map<std::vector<std::uint64_t>, Entry, KeyHash> map;
   };
 
-  Shard& shard_for(const std::string& key);
+  Shard& shard_for(const std::vector<std::uint64_t>& key);
 
   std::array<Shard, kShards> shards_;
   std::size_t max_per_shard_;

@@ -138,8 +138,9 @@ TEST(SolverCache, EvictionBoundsFootprintWithoutChangingVerdicts) {
   // max_entries=16 over 16 shards: one entry per shard, so nearly every
   // insert bulk-evicts its shard.
   SolverCache cache(16);
+  const SymRef x = make_var("x", VarClass::kPkt);
   for (int i = 0; i < 100; ++i) {
-    cache.insert("key" + std::to_string(i), SatResult::kSat);
+    cache.insert({make_bin(BinOp::kEq, x, make_int(i))}, SatResult::kSat);
   }
   EXPECT_LE(cache.size(), SolverCache::kShards);
   EXPECT_GT(cache.stats().evictions, 0u);
