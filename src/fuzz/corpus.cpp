@@ -1,0 +1,111 @@
+#include "fuzz/corpus.h"
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace nfactor::fuzz {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string today_utc() {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t t = std::chrono::system_clock::to_time_t(now);
+  std::tm tm{};
+  gmtime_r(&t, &tm);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", tm.tm_year + 1900,
+                tm.tm_mon + 1, tm.tm_mday);
+  return buf;
+}
+
+std::vector<std::string> split_tabs(const std::string& line) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (const char c : line) {
+    if (c == '\t') {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+}  // namespace
+
+CorpusManager::CorpusManager(std::string dir) : dir_(std::move(dir)) {}
+
+std::string CorpusManager::manifest_path() const {
+  return (fs::path(dir_) / "MANIFEST.tsv").string();
+}
+
+std::vector<CorpusEntry> CorpusManager::load() const {
+  std::vector<CorpusEntry> entries;
+  std::ifstream manifest(manifest_path());
+  if (!manifest) return entries;  // empty corpus is a valid corpus
+
+  std::string line;
+  while (std::getline(manifest, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const auto cols = split_tabs(line);
+    if (cols.size() != 4) {
+      throw std::runtime_error("corpus manifest: malformed row: " + line);
+    }
+    CorpusEntry e;
+    e.file = cols[0];
+    e.seed = std::stoull(cols[1]);
+    e.classification = cols[2];
+    e.first_seen = cols[3];
+
+    const fs::path p = fs::path(dir_) / e.file;
+    std::ifstream in(p);
+    if (!in) {
+      throw std::runtime_error("corpus manifest lists missing file: " +
+                               p.string());
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    e.source = ss.str();
+    entries.push_back(std::move(e));
+  }
+  return entries;
+}
+
+std::string CorpusManager::add(const std::string& stem, std::uint64_t seed,
+                               const std::string& classification,
+                               const std::string& source,
+                               std::string first_seen) {
+  if (first_seen.empty()) first_seen = today_utc();
+  fs::create_directories(dir_);
+
+  const std::string file = stem + ".nf";
+  {
+    std::ofstream out(fs::path(dir_) / file);
+    if (!out) {
+      throw std::runtime_error("corpus: cannot write " + file + " in " + dir_);
+    }
+    out << source;
+  }
+
+  const bool fresh = !fs::exists(manifest_path());
+  std::ofstream manifest(manifest_path(), std::ios::app);
+  if (!manifest) {
+    throw std::runtime_error("corpus: cannot append manifest in " + dir_);
+  }
+  if (fresh) {
+    manifest << "# nf-fuzz regression corpus: name\tseed\tclassification\t"
+                "first-seen (docs/fuzzing.md)\n";
+  }
+  manifest << file << '\t' << seed << '\t' << classification << '\t'
+           << first_seen << '\n';
+  return file;
+}
+
+}  // namespace nfactor::fuzz

@@ -1,0 +1,47 @@
+// Replayable regression corpus (docs/fuzzing.md). Shrunk reproducers —
+// and hand-picked seed programs covering the §3.2 structural variants —
+// live as `.nf` files under tests/fixtures/fuzz/ next to a line-oriented
+// manifest (MANIFEST.tsv: name, seed, classification, first-seen date).
+// tests/fuzz_regression_test.cpp replays every entry through the full
+// oracle matrix on each CI run; `nf-fuzz --replay` does the same from
+// the command line.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nfactor::fuzz {
+
+struct CorpusEntry {
+  std::string file;            ///< file name within the corpus directory
+  std::uint64_t seed = 0;      ///< generator seed that first produced it
+  std::string classification;  ///< "seed" or a FailureClass string
+  std::string first_seen;      ///< ISO date the entry was committed
+  std::string source;          ///< the program text
+};
+
+class CorpusManager {
+ public:
+  explicit CorpusManager(std::string dir);
+
+  /// Parse MANIFEST.tsv and read every listed program. Throws
+  /// std::runtime_error on a manifest row whose file is missing —
+  /// a corpus that lies about its contents should fail loudly.
+  std::vector<CorpusEntry> load() const;
+
+  /// Persist a reproducer: writes `<stem>.nf` (creating the directory
+  /// if needed), appends a manifest row, and returns the file name.
+  /// `first_seen` defaults to today's date (UTC).
+  std::string add(const std::string& stem, std::uint64_t seed,
+                  const std::string& classification, const std::string& source,
+                  std::string first_seen = "");
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  std::string manifest_path() const;
+  std::string dir_;
+};
+
+}  // namespace nfactor::fuzz

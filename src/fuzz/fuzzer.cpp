@@ -1,0 +1,106 @@
+#include "fuzz/fuzzer.h"
+
+#include <cstdio>
+#include <set>
+#include <sstream>
+
+#include "fuzz/corpus.h"
+#include "fuzz/shrinker.h"
+#include "obs/obs.h"
+
+namespace nfactor::fuzz {
+
+std::string FuzzSummary::to_string() const {
+  std::ostringstream os;
+  os << "programs=" << programs << " rejects=" << frontend_rejects
+     << " degraded=" << degraded << " divergences=" << divergences
+     << " crashes=" << crashes << " nondet=" << nondeterminism
+     << " unique_signatures=" << unique_signatures;
+  return os.str();
+}
+
+Fuzzer::Fuzzer(FuzzOptions opts) : opts_(std::move(opts)) {}
+
+FuzzSummary Fuzzer::run() {
+  OBS_SPAN("fuzz.run");
+  FuzzSummary sum;
+  ProgramGen gen(opts_.seed, opts_.gen);
+  DifferentialOracle oracle(opts_.oracle);
+  std::set<std::string> seen_signatures;
+
+  for (int i = 0; i < opts_.budget; ++i) {
+    const GeneratedProgram prog = gen.generate();
+    ++sum.programs;
+    OBS_COUNT("fuzz.programs");
+
+    const OracleReport report = oracle.run(prog.source);
+    if (report.degraded) {
+      ++sum.degraded;
+      OBS_COUNT("fuzz.degraded");
+    }
+
+    // Coverage feedback: count signatures this program saw first.
+    std::size_t fresh = 0;
+    for (const auto& sig : report.path_signatures) {
+      if (seen_signatures.insert(sig).second) ++fresh;
+    }
+    gen.note_coverage(prog.structure, fresh);
+    OBS_COUNT_N("fuzz.signatures.fresh", fresh);
+
+    if (opts_.verbose) {
+      std::fprintf(stderr, "nf-fuzz: #%d seed=%llu %s %s%s\n", i,
+                   static_cast<unsigned long long>(prog.seed),
+                   transform::to_string(prog.structure).c_str(),
+                   to_string(report.cls).c_str(),
+                   report.degraded ? " (degraded)" : "");
+    }
+
+    if (report.cls == FailureClass::kFrontendReject) {
+      // A generator bug, not a pipeline bug: the grammar promised valid
+      // programs. Count it; a nonzero rate shows up in the summary.
+      ++sum.frontend_rejects;
+      OBS_COUNT("fuzz.frontend_rejects");
+      continue;
+    }
+    if (!report.failed()) continue;
+
+    switch (report.cls) {
+      case FailureClass::kDivergence: ++sum.divergences; break;
+      case FailureClass::kCrash: ++sum.crashes; break;
+      case FailureClass::kNondeterminism: ++sum.nondeterminism; break;
+      default: break;
+    }
+    OBS_COUNT("fuzz.failures");
+
+    FuzzFinding f;
+    f.seed = prog.seed;
+    f.structure = prog.structure;
+    f.cls = report.cls;
+    f.leg = report.leg;
+    f.detail = report.detail;
+    f.source = prog.source;
+    f.shrunk_source = prog.source;
+
+    if (opts_.shrink) {
+      const Shrinker shrinker = Shrinker::for_oracle(oracle, report.cls);
+      const ShrinkResult sr = shrinker.shrink(prog.source);
+      f.shrunk_source = sr.source;
+      OBS_HIST("fuzz.shrink.rounds", sr.rounds);
+    }
+
+    if (!opts_.corpus_dir.empty()) {
+      CorpusManager corpus(opts_.corpus_dir);
+      std::ostringstream stem;
+      stem << "repro_" << to_string(report.cls) << "_" << std::hex << f.seed;
+      f.corpus_file = corpus.add(stem.str(), f.seed, to_string(report.cls),
+                                 f.shrunk_source);
+    }
+    sum.findings.push_back(std::move(f));
+  }
+
+  sum.unique_signatures = seen_signatures.size();
+  OBS_GAUGE("fuzz.signatures.unique", sum.unique_signatures);
+  return sum;
+}
+
+}  // namespace nfactor::fuzz

@@ -1,0 +1,66 @@
+// The fuzzing loop (docs/fuzzing.md): generate — judge — shrink —
+// persist. Couples fuzz::ProgramGen to fuzz::DifferentialOracle with
+// path-signature coverage feedback (structures that keep producing
+// unseen branch histories are generated more often), minimizes every
+// failure with fuzz::Shrinker, and optionally persists reproducers via
+// fuzz::CorpusManager. Publishes fuzz.* metrics into the default obs
+// registry (docs/observability.md).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fuzz/oracle.h"
+#include "fuzz/program_gen.h"
+
+namespace nfactor::fuzz {
+
+struct FuzzOptions {
+  std::uint64_t seed = 1;
+  int budget = 200;  ///< programs to generate and judge
+  GenOptions gen;
+  OracleOptions oracle;
+  bool shrink = true;
+  std::string corpus_dir;  ///< when set, persist shrunk reproducers here
+  bool verbose = false;    ///< per-program progress on stderr
+};
+
+struct FuzzFinding {
+  std::uint64_t seed = 0;  ///< ProgramGen per-call seed of the program
+  transform::Structure structure = transform::Structure::kCanonicalLoop;
+  FailureClass cls = FailureClass::kNone;
+  std::string leg;
+  std::string detail;
+  std::string source;         ///< the original failing program
+  std::string shrunk_source;  ///< minimized reproducer (== source if unshrunk)
+  std::string corpus_file;    ///< file name when persisted, else empty
+};
+
+struct FuzzSummary {
+  int programs = 0;
+  int frontend_rejects = 0;
+  int degraded = 0;  ///< programs whose SE degraded (equivalence waived)
+  int divergences = 0;
+  int crashes = 0;
+  int nondeterminism = 0;
+  std::size_t unique_signatures = 0;  ///< distinct path signatures seen
+  std::vector<FuzzFinding> findings;
+
+  bool ok() const { return divergences + crashes + nondeterminism == 0; }
+  std::string to_string() const;  ///< one-line digest
+};
+
+class Fuzzer {
+ public:
+  explicit Fuzzer(FuzzOptions opts = {});
+
+  /// Run the whole budget. Deterministic in the options (modulo
+  /// first-seen dates written to the corpus manifest).
+  FuzzSummary run();
+
+ private:
+  FuzzOptions opts_;
+};
+
+}  // namespace nfactor::fuzz

@@ -1,0 +1,245 @@
+#include "fuzz/oracle.h"
+
+#include <map>
+#include <optional>
+#include <span>
+#include <sstream>
+#include <stdexcept>
+
+#include "lang/diagnostics.h"
+#include "model/interp.h"
+#include "model/model.h"
+#include "netsim/packet_gen.h"
+#include "nfactor/pipeline.h"
+#include "obs/obs.h"
+#include "runtime/interp.h"
+#include "runtime/value.h"
+#include "symex/concrete_eval.h"
+#include "verify/equivalence.h"
+
+namespace nfactor::fuzz {
+
+std::string to_string(FailureClass c) {
+  switch (c) {
+    case FailureClass::kNone: return "ok";
+    case FailureClass::kFrontendReject: return "frontend-reject";
+    case FailureClass::kCrash: return "crash";
+    case FailureClass::kDivergence: return "divergence";
+    case FailureClass::kNondeterminism: return "nondeterminism";
+  }
+  return "?";
+}
+
+namespace {
+
+struct LegSpec {
+  bool simplify = false;
+  int jobs = 1;
+
+  std::string name() const {
+    return std::string("simplify=") + (simplify ? "on" : "off") +
+           " jobs=" + std::to_string(jobs);
+  }
+};
+
+/// The partition check from the original property suite: every concrete
+/// (packet, initial state) valuation must satisfy the constraints of
+/// exactly one non-truncated symbolic path, and that path's send count
+/// must predict the runtime's. Returns an error description or nullopt.
+std::optional<std::string> check_partition(
+    const pipeline::PipelineResult& r,
+    std::span<const netsim::Packet> packets, int limit) {
+  symex::SymbolicExecutor se(*r.module, r.cats);
+  symex::ExecOptions opts;
+  opts.jobs = 1;
+  symex::ExecStats stats;
+  const auto paths = se.run(opts, &stats);
+  // A degraded whole-program run may genuinely miss regions of the input
+  // space; exactness is only required of a complete path set.
+  const bool complete = !pipeline::PipelineResult::se_degraded(stats);
+
+  const auto store = model::initial_store(*r.module);
+  int n = 0;
+  for (const auto& pkt : packets) {
+    if (++n > limit) break;
+    symex::ConcreteEnv env;
+    env.input_packet = &pkt;
+    env.var = [&](const std::string& name) -> runtime::Value {
+      if (name.starts_with("pkt.")) {
+        const std::string f = name.substr(4);
+        if (f == "__payload") return runtime::Value(runtime::Int{0});
+        if (f == "in_port") return runtime::Value(runtime::Int{pkt.in_port});
+        return runtime::Value(runtime::get_packet_field(pkt, f));
+      }
+      const auto it = store.find(name);
+      if (it == store.end()) throw std::out_of_range(name);
+      return it->second;
+    };
+    env.map_base = [&](const std::string& name) -> const runtime::MapV* {
+      const auto it = store.find(name);
+      if (it == store.end() || !it->second.is_map()) return nullptr;
+      return &it->second.as_map();
+    };
+
+    int sat_paths = 0;
+    std::size_t sat_sends = 0;
+    for (const auto& p : paths) {
+      if (p.truncated) continue;
+      bool sat = true;
+      try {
+        for (const auto& c : p.constraints) {
+          if (!symex::eval_concrete_bool(c, env)) {
+            sat = false;
+            break;
+          }
+        }
+      } catch (const std::exception&) {
+        sat = false;
+      }
+      if (sat) {
+        ++sat_paths;
+        sat_sends = p.sends.size();
+      }
+    }
+    if (sat_paths > 1 || (complete && sat_paths != 1)) {
+      return "packet satisfies " + std::to_string(sat_paths) +
+             " paths (want 1): " + netsim::to_string(pkt);
+    }
+    if (sat_paths == 1) {
+      runtime::Interpreter interp(*r.module);
+      const auto out = interp.process(pkt);
+      if (out.sent.size() != sat_sends) {
+        return "satisfied path predicts " + std::to_string(sat_sends) +
+               " sends, runtime sent " + std::to_string(out.sent.size()) +
+               ": " + netsim::to_string(pkt);
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+DifferentialOracle::DifferentialOracle(OracleOptions opts)
+    : opts_(std::move(opts)) {}
+
+std::vector<netsim::Packet> DifferentialOracle::packet_batch() const {
+  netsim::GenConfig cfg;
+  cfg.udp_fraction = 0.3;
+  netsim::PacketGen pgen(opts_.packet_seed, cfg);
+  auto packets = pgen.batch(opts_.packets);
+  if (opts_.include_edge_packets) {
+    const auto edges = netsim::PacketGen::edge_cases();
+    packets.insert(packets.end(), edges.begin(), edges.end());
+  }
+  return packets;
+}
+
+OracleReport DifferentialOracle::run(const std::string& source) const {
+  OBS_SPAN("fuzz.oracle");
+  OracleReport report;
+  const auto packets = packet_batch();
+
+  std::vector<LegSpec> legs;
+  for (const bool simplify : {false, true}) {
+    for (const int jobs : opts_.jobs_legs) {
+      legs.push_back(LegSpec{simplify, jobs});
+    }
+  }
+
+  // Model renderings per (simplify, jobs) — legs that differ only in
+  // jobs promise byte-identical models (src/symex/executor.h).
+  std::map<std::pair<bool, int>, std::string> model_text;
+  std::optional<pipeline::PipelineResult> baseline;  // simplify=off, jobs=1
+
+  for (const LegSpec& leg : legs) {
+    pipeline::PipelineOptions popts;
+    popts.simplify.enabled = leg.simplify;
+    popts.simplify.fold_config = leg.simplify;
+    popts.jobs = leg.jobs;
+
+    pipeline::PipelineResult r;
+    try {
+      r = pipeline::run_source(source, "fuzz", popts);
+    } catch (const lang::FrontendError& e) {
+      // Parse/sema/transform run before any leg option applies, so a
+      // reject is leg-independent: classify and stop.
+      report.cls = FailureClass::kFrontendReject;
+      report.leg = leg.name();
+      report.detail = e.what();
+      return report;
+    } catch (const std::exception& e) {
+      report.cls = FailureClass::kCrash;
+      report.leg = leg.name();
+      report.detail = std::string("pipeline: ") + e.what();
+      return report;
+    }
+
+    const bool leg_degraded = r.degraded();
+    report.degraded = report.degraded || leg_degraded;
+
+    if (!leg_degraded) {
+      try {
+        const auto diff =
+            verify::differential_test(*r.module, r.cats, r.model, packets);
+        if (diff.mismatches != 0) {
+          report.cls = FailureClass::kDivergence;
+          report.leg = leg.name();
+          report.detail = diff.details.empty()
+                              ? std::to_string(diff.mismatches) + " mismatches"
+                              : diff.details[0];
+          return report;
+        }
+      } catch (const std::exception& e) {
+        report.cls = FailureClass::kCrash;
+        report.leg = leg.name();
+        report.detail = std::string("interpreter: ") + e.what();
+        return report;
+      }
+    }
+
+    model_text[{leg.simplify, leg.jobs}] = model::to_text(r.model);
+    if (!leg.simplify && leg.jobs == 1) baseline = std::move(r);
+  }
+
+  // Parallel SE must not change the model at either simplify setting.
+  for (const bool simplify : {false, true}) {
+    const auto first = model_text.find({simplify, opts_.jobs_legs.front()});
+    for (const int jobs : opts_.jobs_legs) {
+      const auto it = model_text.find({simplify, jobs});
+      if (it != model_text.end() && first != model_text.end() &&
+          it->second != first->second) {
+        report.cls = FailureClass::kNondeterminism;
+        report.leg = LegSpec{simplify, jobs}.name();
+        report.detail = "model differs from jobs=" +
+                        std::to_string(opts_.jobs_legs.front()) + " leg";
+        return report;
+      }
+    }
+  }
+
+  if (baseline) {
+    for (const auto& p : baseline->slice_paths) {
+      report.path_signatures.push_back(p.signature());
+    }
+    if (opts_.check_partition) {
+      try {
+        if (auto err = check_partition(*baseline, packets,
+                                       opts_.partition_packets)) {
+          report.cls = FailureClass::kDivergence;
+          report.leg = "partition";
+          report.detail = *err;
+          return report;
+        }
+      } catch (const std::exception& e) {
+        report.cls = FailureClass::kCrash;
+        report.leg = "partition";
+        report.detail = e.what();
+        return report;
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace nfactor::fuzz

@@ -1,0 +1,377 @@
+#include "fuzz/program_gen.h"
+
+#include <algorithm>
+
+namespace nfactor::fuzz {
+
+using transform::Structure;
+
+GenOptions GenOptions::legacy() {
+  GenOptions o;
+  o.w_canonical = 1;
+  o.w_callback = 0;
+  o.w_consumer_producer = 0;
+  o.w_socket = 0;
+  o.config_scalars = 2;
+  o.state_scalars = 2;
+  o.state_maps = 1;
+  o.send_ports = 3;
+  o.allow_map_reads = false;
+  o.allow_compound_conds = false;
+  o.allow_for_loops = false;
+  return o;
+}
+
+ProgramGen::ProgramGen(std::uint64_t seed, GenOptions opts)
+    : rng_(seed), opts_(opts), next_seed_(seed) {}
+
+int ProgramGen::rnd(int n) { return static_cast<int>(rng_() % static_cast<std::uint64_t>(n)); }
+
+int ProgramGen::pick(std::initializer_list<int> xs) {
+  auto it = xs.begin();
+  std::advance(it, static_cast<long>(rnd(static_cast<int>(xs.size()))));
+  return *it;
+}
+
+int ProgramGen::shape_weight(Structure s) const {
+  int base = 0;
+  switch (s) {
+    case Structure::kCanonicalLoop: base = opts_.w_canonical; break;
+    case Structure::kCallback: base = opts_.w_callback; break;
+    case Structure::kConsumerProducer: base = opts_.w_consumer_producer; break;
+    case Structure::kNestedLoop: base = opts_.w_socket; break;
+  }
+  if (base <= 0) return 0;
+  const double bonus = yield_bonus_[static_cast<std::size_t>(s)];
+  return std::max(1, static_cast<int>(base * (1.0 + bonus)));
+}
+
+Structure ProgramGen::pick_structure() {
+  static constexpr Structure kShapes[] = {
+      Structure::kCanonicalLoop, Structure::kCallback,
+      Structure::kConsumerProducer, Structure::kNestedLoop};
+  int total = 0;
+  for (const Structure s : kShapes) total += shape_weight(s);
+  if (total == 0) return Structure::kCanonicalLoop;
+  int roll = rnd(total);
+  for (const Structure s : kShapes) {
+    roll -= shape_weight(s);
+    if (roll < 0) return s;
+  }
+  return Structure::kCanonicalLoop;
+}
+
+void ProgramGen::note_coverage(Structure structure, std::size_t fresh) {
+  // Bounded multiplicative bandit: structures that keep surfacing new
+  // path signatures drift up to 3x their base weight; dry ones decay.
+  double& b = yield_bonus_[static_cast<std::size_t>(structure)];
+  if (fresh > 0) {
+    b = std::min(2.0, b + 0.25 * static_cast<double>(std::min<std::size_t>(fresh, 4)));
+  } else {
+    b = std::max(0.0, b - 0.25);
+  }
+}
+
+std::string ProgramGen::field(bool writable_only) {
+  // Readable fields and their plausible comparison constants live in
+  // atom_cond(); here only the name. `len`/`in_port` are read-only.
+  static const char* kReadable[] = {"dport",    "sport",  "ip_proto",
+                                    "ip_ttl",   "len",    "tcp_flags",
+                                    "ip_tos",   "tcp_win"};
+  static const char* kWritable[] = {"ip_ttl", "ip_tos", "dport", "sport",
+                                    "tcp_win"};
+  if (writable_only) return kWritable[rnd(5)];
+  return kReadable[rnd(8)];
+}
+
+std::string ProgramGen::map_key(int map_idx, const std::string& pkt) {
+  // Each map has a fixed key shape so key types stay consistent across
+  // all reads/writes of one program.
+  switch (map_idx % 3) {
+    case 0: return pkt + ".ip_src";
+    case 1: return "(" + pkt + ".ip_src, " + pkt + ".sport)";
+    default: return "(" + pkt + ".ip_src, " + pkt + ".ip_dst, " + pkt + ".ip_proto)";
+  }
+}
+
+std::string ProgramGen::atom_cond(const std::string& pkt) {
+  switch (rnd(7)) {
+    case 0: {  // field vs per-field plausible constant
+      const std::string f = field();
+      if (f == "dport" || f == "sport") {
+        return pkt + "." + f + (rnd(2) ? " == " : " != ") +
+               std::to_string(pick({0, 23, 80, 443, 65535}));
+      }
+      if (f == "ip_proto") {
+        return pkt + ".ip_proto == " + std::to_string(pick({6, 17}));
+      }
+      if (f == "ip_ttl") {
+        return pkt + ".ip_ttl " + (rnd(2) ? "< " : ">= ") +
+               std::to_string(pick({1, 64, 255}));
+      }
+      if (f == "len") {
+        return pkt + ".len " + (rnd(2) ? "< " : ">= ") +
+               std::to_string(pick({0, 16, 64, 512}));
+      }
+      if (f == "tcp_flags") {
+        return pkt + ".tcp_flags == " + std::to_string(pick({0, 2, 16, 18}));
+      }
+      if (f == "ip_tos") return pkt + ".ip_tos == " + std::to_string(rnd(2));
+      return pkt + ".tcp_win " + (rnd(2) ? "< " : ">= ") +
+             std::to_string(pick({1024, 65535}));
+    }
+    case 1:
+      return pkt + ".dport == CFG" + std::to_string(rnd(opts_.config_scalars));
+    case 2:
+      return "CFG" + std::to_string(rnd(opts_.config_scalars)) + " == " +
+             std::to_string(pick({0, 1, 2, 80}));
+    case 3:
+      return "st" + std::to_string(rnd(opts_.state_scalars)) + " > " +
+             std::to_string(pick({0, 2, 5}));
+    case 4: {
+      const int m = rnd(opts_.state_maps);
+      return map_key(m, pkt) + " in m" + std::to_string(m);
+    }
+    case 5:
+      return "(" + pkt + ".tcp_flags & " + std::to_string(pick({2, 4, 16})) +
+             ") != 0";
+    default: {
+      const int m = rnd(opts_.state_maps);
+      return "!(" + map_key(m, pkt) + " in m" + std::to_string(m) + ")";
+    }
+  }
+}
+
+std::string ProgramGen::cond(const std::string& pkt, int depth) {
+  if (!opts_.allow_compound_conds || depth > 0 || rnd(3) != 0) {
+    return atom_cond(pkt);
+  }
+  switch (rnd(3)) {
+    case 0: return atom_cond(pkt) + " && " + atom_cond(pkt);
+    case 1: return atom_cond(pkt) + " || " + atom_cond(pkt);
+    default: return "!(" + atom_cond(pkt) + ")";
+  }
+}
+
+std::string ProgramGen::value_expr(const std::string& pkt) {
+  switch (rnd(4)) {
+    case 0: return std::to_string(1 + rnd(4));
+    case 1: return "st" + std::to_string(rnd(opts_.state_scalars));
+    case 2: return pkt + ".len";
+    default: return "CFG" + std::to_string(rnd(opts_.config_scalars));
+  }
+}
+
+void ProgramGen::emit_stmts(std::ostringstream& os, const std::string& pkt,
+                            int n, int depth) {
+  const std::string pad(static_cast<std::size_t>(4 + depth * 2), ' ');
+  for (int i = 0; i < n; ++i) {
+    switch (rnd(12)) {
+      case 0:
+        os << pad << "st" << rnd(opts_.state_scalars) << " = st"
+           << rnd(opts_.state_scalars) << " + " << (1 + rnd(3)) << ";\n";
+        break;
+      case 1:
+        os << pad << "st" << rnd(opts_.state_scalars) << " = st"
+           << rnd(opts_.state_scalars) << " + " << pkt << ".len;\n";
+        break;
+      case 2: {  // map write (a weak update when depth > 0)
+        const int m = rnd(opts_.state_maps);
+        os << pad << "m" << m << "[" << map_key(m, pkt)
+           << "] = " << value_expr(pkt) << ";\n";
+        break;
+      }
+      case 3:
+        if (opts_.allow_header_rewrites) {
+          const std::string f = field(/*writable_only=*/true);
+          os << pad << pkt << "." << f << " = "
+             << (rnd(3) == 0
+                     ? "CFG" + std::to_string(rnd(opts_.config_scalars))
+                     : std::to_string(1 + rnd(64)))
+             << ";\n";
+        } else {
+          os << pad << pkt << ".ip_ttl = " << (1 + rnd(64)) << ";\n";
+        }
+        break;
+      case 4:
+        os << pad << "send(" << pkt << ", " << rnd(opts_.send_ports) << ");\n";
+        break;
+      case 5:
+        if (depth > 0) {
+          os << pad << "return;\n";
+          return;  // statements after return are unreachable
+        }
+        os << pad << "st0 = st0 + 1;\n";
+        break;
+      case 6: {  // membership-guarded map read
+        if (!opts_.allow_map_reads) {
+          os << pad << "st1 = st1 + 1;\n";
+          break;
+        }
+        const int m = rnd(opts_.state_maps);
+        const std::string key = map_key(m, pkt);
+        os << pad << "if (" << key << " in m" << m << ") {\n";
+        os << pad << "  st" << rnd(opts_.state_scalars) << " = st"
+           << rnd(opts_.state_scalars) << " + m" << m << "[" << key << "];\n";
+        os << pad << "}\n";
+        break;
+      }
+      case 7: {  // concrete-bound for loop
+        if (!opts_.allow_for_loops || depth >= opts_.max_depth) {
+          os << pad << "st" << rnd(opts_.state_scalars) << " = 0;\n";
+          break;
+        }
+        const int hi = 2 + rnd(2);
+        os << pad << "for i in 0.." << hi << " {\n";
+        os << pad << "  st" << rnd(opts_.state_scalars) << " = st"
+           << rnd(opts_.state_scalars) << " + i;\n";
+        os << pad << "}\n";
+        break;
+      }
+      case 8:
+        os << pad << "st" << rnd(opts_.state_scalars) << " = 0;\n";
+        break;
+      default: {
+        if (depth >= opts_.max_depth) {
+          os << pad << "st0 = st0 + 2;\n";
+          break;
+        }
+        os << pad << "if (" << cond(pkt, depth) << ") {\n";
+        emit_stmts(os, pkt, 1 + rnd(2), depth + 1);
+        if (rnd(2)) {
+          os << pad << "} else {\n";
+          emit_stmts(os, pkt, 1 + rnd(2), depth + 1);
+        }
+        os << pad << "}\n";
+        break;
+      }
+    }
+  }
+}
+
+std::string ProgramGen::globals_section() {
+  std::ostringstream g;
+  for (int i = 0; i < opts_.config_scalars; ++i) {
+    g << "var CFG" << i << " = " << pick({0, 1, 2, 23, 80, 443}) << ";\n";
+  }
+  for (int i = 0; i < opts_.state_scalars; ++i) {
+    g << "var st" << i << " = 0;\n";
+  }
+  for (int i = 0; i < opts_.state_maps; ++i) {
+    g << "var m" << i << " = {};\n";
+  }
+  return g.str();
+}
+
+std::string ProgramGen::body_section(const std::string& pkt) {
+  std::ostringstream body;
+  emit_stmts(body, pkt,
+             opts_.min_stmts + rnd(opts_.max_stmts - opts_.min_stmts + 1), 0);
+  // Guarantee at least one reachable send.
+  body << "    send(" << pkt << ", 1);\n";
+  return body.str();
+}
+
+std::string ProgramGen::gen_canonical() {
+  std::ostringstream out;
+  out << globals_section();
+  out << "def main() {\n  while (true) {\n    pkt = recv(0);\n"
+      << body_section("pkt") << "  }\n}\n";
+  return out.str();
+}
+
+std::string ProgramGen::gen_callback() {
+  std::ostringstream out;
+  out << globals_section();
+  out << "def handle(p) {\n" << body_section("p") << "}\n";
+  out << "def main() {\n  sniff(" << rnd(2) << ", handle);\n}\n";
+  return out.str();
+}
+
+std::string ProgramGen::gen_consumer_producer() {
+  std::ostringstream out;
+  out << globals_section();
+  out << "var queue = [];\n";
+  out << "def read_loop() {\n  while (true) {\n    p = recv(0);\n"
+      << "    push(queue, p);\n  }\n}\n";
+  out << "def proc_loop() {\n  while (true) {\n    p = pop(queue);\n"
+      << body_section("p") << "  }\n}\n";
+  out << "def main() {\n  spawn(read_loop);\n  spawn(proc_loop);\n}\n";
+  return out.str();
+}
+
+std::string ProgramGen::gen_socket() {
+  // The stylized Fig. 3 / Fig. 4d shape transform::unfold_sockets
+  // recognizes, with randomized backend pool, selection policy, port,
+  // and log-counter accounting between accept and fork.
+  const int nservers = 2 + rnd(2);
+  const int port = pick({80, 443, 8080});
+  const bool round_robin = rnd(2) != 0;
+  const int thresh = pick({100, 500, 1000});
+
+  std::ostringstream out;
+  out << "var MODE_RR = 1;\n";
+  out << "var mode = " << (round_robin ? 1 : 2) << ";\n";
+  out << "var BAL_PORT = " << port << ";\n";
+  out << "var servers = [";
+  for (int i = 0; i < nservers; ++i) {
+    if (i) out << ", ";
+    out << "(" << (i + 1) << "." << (i + 1) << "." << (i + 1) << "." << (i + 1)
+        << ", " << pick({80, 8000}) << ")";
+  }
+  out << "];\n";
+  out << "var idx = 0;\n";
+  out << "var conn_stat = 0;\nvar busy_stat = 0;\n";
+  out << "def main() {\n";
+  out << "  lfd = sock_listen(BAL_PORT);\n";
+  out << "  while (true) {\n";
+  out << "    cfd = sock_accept(lfd);\n";
+  out << "    if (mode == MODE_RR) {\n";
+  out << "      server = servers[idx];\n";
+  out << "      idx = (idx + 1) % len(servers);\n";
+  out << "    } else {\n";
+  out << "      server = servers[hash(cfd) % len(servers)];\n";
+  out << "    }\n";
+  out << "    conn_stat = conn_stat + 1;\n";
+  out << "    if (conn_stat > " << thresh << ") {\n";
+  out << "      busy_stat = busy_stat + 1;\n";
+  out << "    }\n";
+  out << "    child = fork();\n";
+  out << "    if (child == 0) {\n";
+  out << "      sfd = sock_connect(server[0], server[1]);\n";
+  out << "      while (true) {\n";
+  out << "        buf = sock_recv(cfd);\n";
+  out << "        sock_send(sfd, buf);\n";
+  out << "        buf2 = sock_recv(sfd);\n";
+  out << "        sock_send(cfd, buf2);\n";
+  out << "      }\n";
+  out << "    }\n";
+  out << "  }\n";
+  out << "}\n";
+  return out.str();
+}
+
+GeneratedProgram ProgramGen::generate() {
+  GeneratedProgram out;
+  // Reseed per call with a splitmix64 step over (seed, call index): the
+  // program body is a pure function of out.seed and the structure choice,
+  // so a finding's program can be regenerated without replaying the whole
+  // fuzzing run's RNG stream.
+  std::uint64_t z = next_seed_ += 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  out.seed = z ^ (z >> 31);
+  rng_.seed(out.seed);
+  out.structure = pick_structure();
+  switch (out.structure) {
+    case Structure::kCanonicalLoop: out.source = gen_canonical(); break;
+    case Structure::kCallback: out.source = gen_callback(); break;
+    case Structure::kConsumerProducer:
+      out.source = gen_consumer_producer();
+      break;
+    case Structure::kNestedLoop: out.source = gen_socket(); break;
+  }
+  return out;
+}
+
+}  // namespace nfactor::fuzz

@@ -1,0 +1,99 @@
+// Grammar-based NF program generator — the input half of the
+// differential fuzzing subsystem (docs/fuzzing.md). Grown out of the
+// private ProgramGen that used to live in tests/property_random_test.cpp:
+// same seeded-determinism contract (one seed -> one program, forever),
+// but with a much wider grammar — multiple config/state scalars and maps,
+// nested and compound conditionals, guarded map reads, weak updates,
+// header rewrites, several send ports — and the §3.2 structural variants
+// (callback, consumer-producer, socket/TCP nested-loop) so
+// transform::normalize and transform::unfold_sockets sit inside the
+// fuzzed surface too.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <random>
+#include <sstream>
+#include <string>
+
+#include "transform/normalize.h"
+
+namespace nfactor::fuzz {
+
+/// Grammar knobs. Defaults generate the full mix; the structure weights
+/// pick between the paper's Fig. 4 shapes (a weight of 0 disables a
+/// shape). The Fuzzer nudges these weights with path-signature feedback.
+struct GenOptions {
+  // Structure weights (Fig. 4a-d).
+  int w_canonical = 8;
+  int w_callback = 3;
+  int w_consumer_producer = 2;
+  int w_socket = 2;
+
+  int min_stmts = 2;       ///< top-level statements in the packet body
+  int max_stmts = 6;
+  int max_depth = 3;       ///< conditional nesting
+  int config_scalars = 3;  ///< CFG0..CFGn-1
+  int state_scalars = 3;   ///< st0..stn-1
+  int state_maps = 2;      ///< m0..mn-1, each with a fixed key shape
+  int send_ports = 4;      ///< send(pkt, 0..n-1)
+
+  bool allow_header_rewrites = true;  ///< pkt.F = ... statements
+  bool allow_map_reads = true;        ///< membership-guarded map lookups
+  bool allow_compound_conds = true;   ///< &&, ||, ! conditions
+  bool allow_for_loops = true;        ///< concrete-bound for loops
+
+  /// The grammar the old tests/property_random_test.cpp generator spoke:
+  /// canonical loop only, 2 configs, 2 state scalars, 1 map, 3 ports,
+  /// no compound conditions / map reads / for loops.
+  static GenOptions legacy();
+};
+
+struct GeneratedProgram {
+  std::string source;
+  transform::Structure structure = transform::Structure::kCanonicalLoop;
+  std::uint64_t seed = 0;
+};
+
+class ProgramGen {
+ public:
+  explicit ProgramGen(std::uint64_t seed, GenOptions opts = {});
+
+  /// The next program. Deterministic in (seed, opts, call index).
+  GeneratedProgram generate();
+
+  /// Coverage feedback: `fresh` is how many previously-unseen path
+  /// signatures the last program of `structure` produced. Structures
+  /// that keep yielding new behavior get their weight boosted (bounded),
+  /// steering generation toward unexplored branch histories.
+  void note_coverage(transform::Structure structure, std::size_t fresh);
+
+ private:
+  int shape_weight(transform::Structure s) const;
+  transform::Structure pick_structure();
+
+  int rnd(int n);                    // uniform in [0, n)
+  int pick(std::initializer_list<int> xs);
+  std::string field(bool writable_only = false);
+  std::string map_key(int map_idx, const std::string& pkt);
+  std::string cond(const std::string& pkt, int depth);
+  std::string atom_cond(const std::string& pkt);
+  std::string value_expr(const std::string& pkt);
+  void emit_stmts(std::ostringstream& os, const std::string& pkt, int n,
+                  int depth);
+  std::string globals_section();
+  std::string body_section(const std::string& pkt);
+
+  std::string gen_canonical();
+  std::string gen_callback();
+  std::string gen_consumer_producer();
+  std::string gen_socket();
+
+  std::mt19937_64 rng_;
+  GenOptions opts_;
+  std::uint64_t next_seed_ = 0;  // splitmix64 walk; advanced per generate()
+  // Feedback bonus per structure, indexed by Structure enum value.
+  std::array<double, 4> yield_bonus_{};
+};
+
+}  // namespace nfactor::fuzz

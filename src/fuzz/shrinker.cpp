@@ -1,0 +1,218 @@
+#include "fuzz/shrinker.h"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "lang/parser.h"
+#include "lang/sema.h"
+#include "obs/obs.h"
+
+namespace nfactor::fuzz {
+
+namespace {
+
+std::vector<std::string> split_lines(const std::string& s) {
+  std::vector<std::string> lines;
+  std::string cur;
+  for (const char c : s) {
+    if (c == '\n') {
+      lines.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) lines.push_back(cur);
+  return lines;
+}
+
+std::string join_lines(const std::vector<std::string>& lines) {
+  std::string out;
+  for (const auto& l : lines) {
+    out += l;
+    out += '\n';
+  }
+  return out;
+}
+
+std::string trimmed(const std::string& s) {
+  const auto b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  const auto e = s.find_last_not_of(" \t");
+  return s.substr(b, e - b + 1);
+}
+
+int brace_delta(const std::string& line) {
+  int d = 0;
+  bool in_str = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_str) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_str = false;
+      }
+      continue;
+    }
+    if (c == '"') in_str = true;
+    if (c == '#') break;  // line comment
+    if (c == '{') ++d;
+    if (c == '}') --d;
+  }
+  return d;
+}
+
+/// One removable region of the program, in lines.
+struct Unit {
+  std::size_t begin = 0;  // inclusive
+  std::size_t end = 0;    // inclusive
+  /// For `if`/`for` blocks: replace the whole unit with these interior
+  /// lines instead of deleting it outright (the "unwrap" move). Empty
+  /// means plain removal only.
+  std::vector<std::vector<std::string>> unwraps;
+
+  std::size_t size() const { return end - begin + 1; }
+};
+
+/// Statement lines and brace-balanced blocks, largest-first so whole
+/// subtrees vanish before their leaves are nibbled.
+std::vector<Unit> find_units(const std::vector<std::string>& lines) {
+  std::vector<Unit> units;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string t = trimmed(lines[i]);
+    if (t.empty() || t[0] == '#') continue;
+
+    // Single-line statement (`x = ...;`, `send(...);`, `var ... ;`).
+    if (t.back() == ';' && brace_delta(lines[i]) == 0) {
+      units.push_back(Unit{i, i, {}});
+      continue;
+    }
+
+    // A block opener: `if (...) {`, `for ... {`, `while (...) {`. Track
+    // to its matching close, folding `} else {` continuations into one
+    // unit. (`def`/`while (true)` skeleton lines are left alone — taking
+    // those out rarely yields a parseable program.)
+    const bool opener = (t.rfind("if ", 0) == 0 || t.rfind("if(", 0) == 0 ||
+                         t.rfind("for ", 0) == 0) &&
+                        brace_delta(lines[i]) > 0;
+    if (!opener) continue;
+
+    int depth = 0;
+    std::size_t j = i;
+    std::vector<std::pair<std::size_t, std::size_t>> arms;  // interior spans
+    std::size_t arm_begin = i + 1;
+    bool ok = false;
+    for (; j < lines.size(); ++j) {
+      depth += brace_delta(lines[j]);
+      const std::string tj = trimmed(lines[j]);
+      if (depth == 1 && j > i && tj.rfind("} else", 0) == 0) {
+        arms.emplace_back(arm_begin, j - 1);
+        arm_begin = j + 1;
+      }
+      if (depth == 0 && j > i) {
+        arms.emplace_back(arm_begin, j - 1);
+        ok = true;
+        break;
+      }
+    }
+    if (!ok) continue;
+
+    Unit u{i, j, {}};
+    for (const auto& [b, e] : arms) {
+      if (b > e) continue;
+      std::vector<std::string> interior(lines.begin() + static_cast<long>(b),
+                                        lines.begin() + static_cast<long>(e) + 1);
+      // Outdent by two spaces so the unwrapped arm sits at its parent's
+      // depth (cosmetic; the parser does not care).
+      for (auto& l : interior) {
+        if (l.rfind("  ", 0) == 0) l.erase(0, 2);
+      }
+      u.unwraps.push_back(std::move(interior));
+    }
+    units.push_back(std::move(u));
+  }
+  std::stable_sort(units.begin(), units.end(),
+                   [](const Unit& a, const Unit& b) { return a.size() > b.size(); });
+  return units;
+}
+
+bool parses(const std::string& source) {
+  try {
+    lang::Program p = lang::parse(source, "<shrink>");
+    lang::analyze(p);
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+std::vector<std::string> apply(const std::vector<std::string>& lines,
+                               const Unit& u,
+                               const std::vector<std::string>* replacement) {
+  std::vector<std::string> out(lines.begin(),
+                               lines.begin() + static_cast<long>(u.begin));
+  if (replacement != nullptr) {
+    out.insert(out.end(), replacement->begin(), replacement->end());
+  }
+  out.insert(out.end(), lines.begin() + static_cast<long>(u.end) + 1,
+             lines.end());
+  return out;
+}
+
+}  // namespace
+
+Shrinker::Shrinker(FailPredicate still_fails)
+    : still_fails_(std::move(still_fails)) {}
+
+Shrinker Shrinker::for_oracle(const DifferentialOracle& oracle,
+                              FailureClass cls) {
+  return Shrinker([&oracle, cls](const std::string& src) {
+    return oracle.run(src).cls == cls;
+  });
+}
+
+ShrinkResult Shrinker::shrink(const std::string& source) const {
+  OBS_SPAN("fuzz.shrink");
+  ShrinkResult res;
+  res.source = source;
+  if (!parses(source)) return res;  // not ours to minimize
+
+  std::vector<std::string> lines = split_lines(source);
+  bool progress = true;
+  // The fixed point arrives in a handful of passes on generator-sized
+  // programs; the bound is a safety valve, not a tuning knob.
+  while (progress && res.rounds < 64) {
+    progress = false;
+    ++res.rounds;
+    const auto units = find_units(lines);
+    for (const Unit& u : units) {
+      if (u.end >= lines.size()) continue;  // stale against current lines
+
+      std::vector<const std::vector<std::string>*> replacements;
+      replacements.push_back(nullptr);  // plain removal first: biggest win
+      for (const auto& arm : u.unwraps) replacements.push_back(&arm);
+
+      for (const auto* repl : replacements) {
+        const auto candidate_lines = apply(lines, u, repl);
+        const std::string candidate = join_lines(candidate_lines);
+        if (candidate.size() >= join_lines(lines).size()) continue;
+        if (!parses(candidate)) continue;
+        ++res.candidates_tried;
+        OBS_COUNT("fuzz.shrink.candidates");
+        if (!still_fails_(candidate)) continue;
+        lines = candidate_lines;
+        ++res.candidates_kept;
+        OBS_COUNT("fuzz.shrink.kept");
+        progress = true;
+        break;  // units are stale now; rescan
+      }
+      if (progress) break;
+    }
+  }
+  res.source = join_lines(lines);
+  return res;
+}
+
+}  // namespace nfactor::fuzz

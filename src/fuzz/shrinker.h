@@ -1,0 +1,46 @@
+// Delta-debugging reproducer minimizer (docs/fuzzing.md). Given a
+// failing program and a predicate that re-judges candidates, repeatedly
+// removes whole statements and conditional blocks (and unwraps
+// conditionals into their arms) while the predicate keeps failing,
+// converging on a minimal `.nf` reproducer. Candidates that no longer
+// parse/analyze are discarded before the predicate ever sees them, so
+// the output always parses; only size-reducing edits are attempted, so
+// the output is never larger than the input.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "fuzz/oracle.h"
+
+namespace nfactor::fuzz {
+
+/// Returns true when `source` still exhibits the failure being shrunk.
+/// This is the fault-injection hook: tests substitute arbitrary
+/// predicates for the real oracle.
+using FailPredicate = std::function<bool(const std::string& source)>;
+
+struct ShrinkResult {
+  std::string source;        ///< minimized program (== input when stuck)
+  int rounds = 0;            ///< fixed-point passes run
+  int candidates_tried = 0;  ///< candidate programs judged
+  int candidates_kept = 0;   ///< size-reducing edits accepted
+};
+
+class Shrinker {
+ public:
+  explicit Shrinker(FailPredicate still_fails);
+
+  /// A shrinker whose predicate is "the oracle still reports exactly
+  /// failure class `cls`" — same-bug preservation, so minimization never
+  /// wanders onto a different defect.
+  static Shrinker for_oracle(const DifferentialOracle& oracle,
+                             FailureClass cls);
+
+  ShrinkResult shrink(const std::string& source) const;
+
+ private:
+  FailPredicate still_fails_;
+};
+
+}  // namespace nfactor::fuzz

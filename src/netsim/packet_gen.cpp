@@ -67,6 +67,69 @@ std::vector<Packet> PacketGen::batch(int n) {
   return out;
 }
 
+std::vector<Packet> PacketGen::edge_cases() {
+  // A fixed template client packet; each edge case perturbs one axis.
+  Packet base;
+  base.ip_src = 0x0A000001;  // 10.0.0.1
+  base.ip_dst = 0x03030303;  // 3.3.3.3
+  base.sport = 1024;
+  base.dport = 80;
+  base.tcp_flags = kAck;
+  base.eth_src = mac_from(0xAA0000000001ULL);
+  base.eth_dst = mac_from(0xBB0000000000ULL);
+
+  std::vector<Packet> out;
+  {
+    Packet p = base;  // source port 0
+    p.sport = 0;
+    out.push_back(p);
+  }
+  {
+    Packet p = base;  // destination port 0
+    p.dport = 0;
+    out.push_back(p);
+  }
+  {
+    Packet p = base;  // both ports at the top of the range
+    p.sport = 65535;
+    p.dport = 65535;
+    out.push_back(p);
+  }
+  {
+    Packet p = base;  // zero-length payload (pkt.len == 0)
+    p.payload.clear();
+    out.push_back(p);
+  }
+  {
+    Packet p = base;  // large payload
+    p.payload.assign(1400, 0x5A);
+    out.push_back(p);
+  }
+  {
+    Packet p = base;  // TTL at the floor routers still forward
+    p.ip_ttl = 1;
+    out.push_back(p);
+  }
+  {
+    Packet p = base;  // maximum TTL
+    p.ip_ttl = 255;
+    out.push_back(p);
+  }
+  {
+    Packet p = base;  // every TCP flag at once
+    p.tcp_flags = kFin | kSyn | kRst | kPsh | kAck | kUrg;
+    out.push_back(p);
+  }
+  {
+    Packet p = base;  // flagless UDP with an edge port
+    p.ip_proto = static_cast<std::uint8_t>(IpProto::kUdp);
+    p.tcp_flags = 0;
+    p.dport = 0;
+    out.push_back(p);
+  }
+  return out;
+}
+
 std::vector<Packet> PacketGen::handshake_flow(int data_segments) {
   Packet syn = base_client_packet();
   syn.sport = next_client_port_++;

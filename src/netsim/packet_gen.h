@@ -43,6 +43,13 @@ class PacketGen {
   /// stateful NFs end to end.
   std::vector<Packet> handshake_flow(int data_segments);
 
+  /// Deterministic boundary-value packets the random mix only grazes:
+  /// ports 0 and 65535, zero-length payload, maximum payload, TTL 1 and
+  /// 255, all-flags TCP, flagless UDP. The fuzzing oracle appends these
+  /// to every batch; netsim_packet_edge_test pins their semantics in
+  /// both interpreters.
+  static std::vector<Packet> edge_cases();
+
  private:
   Packet base_client_packet();
   std::mt19937_64 rng_;

@@ -78,6 +78,50 @@ Result analyze(const ir::Module& m, const analysis::Pdg& pdg) {
     for (const auto& d : n.defs()) touch(base_of(d)).output_impacting = true;
   }
 
+  // ---- Transitive closure over loop-carried state flow. The per-packet
+  // slice sees one iteration, so a persistent var that only feeds an
+  // output-impacting var *across* packets (st = f(m[...]) this packet,
+  // `st` gates a send on the next) is invisible to it — yet the model's
+  // match conditions will mention it, so the model must also maintain
+  // it. Found by differential fuzzing (tests/fixtures/fuzz/
+  // repro_transitive_ois.nf): a map written this packet and read into a
+  // send-gating scalar was classified logVar, leaving the synthesized
+  // model matching on state it never updated. Fix: anything in the
+  // backward slice of an update of output-impacting persistent state is
+  // output-impacting too, to a fixed point.
+  bool closure_grew = true;
+  while (closure_grew) {
+    closure_grew = false;
+    std::set<int> ois_updates;
+    for (const auto& n : body.nodes) {
+      for (const auto& d : n->defs()) {
+        const VarFeatures& f = touch(base_of(d));
+        if (f.persistent && f.updateable && f.output_impacting &&
+            !f.is_packet) {
+          ois_updates.insert(n->id);
+          break;
+        }
+      }
+    }
+    for (const int id : pdg.backward_slice(ois_updates)) {
+      const ir::Instr& n = body.node(id);
+      for (const auto& u : n.uses()) {
+        VarFeatures& f = touch(base_of(u));
+        if (!f.output_impacting) {
+          f.output_impacting = true;
+          closure_grew = true;
+        }
+      }
+      for (const auto& d : n.defs()) {
+        VarFeatures& f = touch(base_of(d));
+        if (!f.output_impacting) {
+          f.output_impacting = true;
+          closure_grew = true;
+        }
+      }
+    }
+  }
+
   // ---- Categorize (Table 1).
   for (auto& [name, f] : feats) {
     if (name.starts_with("__t")) {

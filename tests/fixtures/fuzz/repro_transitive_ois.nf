@@ -1,0 +1,26 @@
+# Shrunk by fuzz::Shrinker from nf-fuzz seed 0xbcf35b6db5f3ba40
+# (divergence, first found 2026-08-06, fixed in the same PR).
+#
+# The map m1 only influences forwarding *across* packets: this packet
+# stores into it and folds it into st1, and st1 gates the send on the
+# next packet. The per-iteration packet slice cannot see that loop
+# -carried flow, so StateAlyzer classified m1 as logVar — the synthesized
+# model then matched on `(...) in m1` but never updated m1, diverging
+# from the runtime on the second packet of any flow. Fixed by the
+# transitive output-impacting closure in statealyzer.cpp.
+var st1 = 0;
+var st2 = 0;
+var m1 = {};
+def main() {
+  while (true) {
+    pkt = recv(0);
+    if (st1 > 5) {
+      send(pkt, 3);
+    } else {
+      m1[(pkt.ip_src, pkt.sport)] = pkt.len;
+    }
+    if ((pkt.ip_src, pkt.sport) in m1) {
+      st1 = st2 + m1[(pkt.ip_src, pkt.sport)];
+    }
+  }
+}

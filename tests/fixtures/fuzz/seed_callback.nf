@@ -1,0 +1,27 @@
+# Seed fixture: callback structure (Fig. 4b), in the shape
+# fuzz::ProgramGen emits it — keeps transform::normalize_callback inside
+# the replayed oracle matrix even when random draws skip the shape.
+var CFG0 = 80;
+var CFG1 = 2;
+var st0 = 0;
+var st1 = 0;
+var m0 = {};
+def handle(p) {
+    if (p.dport == CFG0 && p.ip_proto == 6) {
+      m0[p.ip_src] = p.len;
+      st0 = st0 + 1;
+    } else {
+      st1 = st1 + p.len;
+    }
+    if (p.ip_src in m0) {
+      st1 = st1 + m0[p.ip_src];
+    }
+    if (st1 > 5) {
+      send(p, 2);
+      return;
+    }
+    send(p, 1);
+}
+def main() {
+  sniff(0, handle);
+}

@@ -1,0 +1,36 @@
+# Seed fixture: consumer-producer structure (Fig. 4c), in the shape
+# fuzz::ProgramGen emits it — keeps transform::normalize_consumer_producer
+# inside the replayed oracle matrix.
+var CFG0 = 23;
+var st0 = 0;
+var st1 = 0;
+var m0 = {};
+var m1 = {};
+var queue = [];
+def read_loop() {
+  while (true) {
+    p = recv(0);
+    push(queue, p);
+  }
+}
+def proc_loop() {
+  while (true) {
+    p = pop(queue);
+    if ((p.tcp_flags & 2) != 0) {
+      m1[(p.ip_src, p.sport)] = 1;
+    }
+    if ((p.ip_src, p.sport) in m1) {
+      st0 = st0 + p.len;
+    }
+    if (st0 > 2 || p.dport == CFG0) {
+      p.ip_ttl = 32;
+      send(p, 2);
+      return;
+    }
+    send(p, 1);
+  }
+}
+def main() {
+  spawn(read_loop);
+  spawn(proc_loop);
+}

@@ -1,0 +1,36 @@
+# Seed fixture: nested-loop socket structure (Fig. 3 / 4d), in the shape
+# fuzz::ProgramGen emits it — keeps transform::unfold_sockets (hidden TCP
+# state, NAT legs) inside the replayed oracle matrix.
+var MODE_RR = 1;
+var mode = 2;
+var BAL_PORT = 443;
+var servers = [(1.1.1.1, 8000), (2.2.2.2, 80), (3.3.3.3, 80)];
+var idx = 0;
+var conn_stat = 0;
+var busy_stat = 0;
+def main() {
+  lfd = sock_listen(BAL_PORT);
+  while (true) {
+    cfd = sock_accept(lfd);
+    if (mode == MODE_RR) {
+      server = servers[idx];
+      idx = (idx + 1) % len(servers);
+    } else {
+      server = servers[hash(cfd) % len(servers)];
+    }
+    conn_stat = conn_stat + 1;
+    if (conn_stat > 500) {
+      busy_stat = busy_stat + 1;
+    }
+    child = fork();
+    if (child == 0) {
+      sfd = sock_connect(server[0], server[1]);
+      while (true) {
+        buf = sock_recv(cfd);
+        sock_send(sfd, buf);
+        buf2 = sock_recv(sfd);
+        sock_send(cfd, buf2);
+      }
+    }
+  }
+}

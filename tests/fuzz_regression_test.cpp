@@ -1,0 +1,107 @@
+// Replays the committed fuzz corpus (tests/fixtures/fuzz/) through the
+// full oracle matrix on every CI run: once a reproducer is shrunk and
+// committed, the bug it caught can never silently come back. Also pins
+// the corpus contract itself — the manifest stays in sync with the
+// files, and the seed fixtures keep every §3.2 structural variant
+// (callback, consumer-producer, socket) inside the replayed surface.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <set>
+#include <string>
+
+#include "fuzz/corpus.h"
+#include "fuzz/oracle.h"
+#include "lang/parser.h"
+#include "transform/normalize.h"
+
+namespace nfactor {
+namespace {
+
+std::string corpus_dir() {
+  return std::string(NFACTOR_SOURCE_DIR) + "/tests/fixtures/fuzz";
+}
+
+TEST(FuzzCorpus, EveryEntryPassesTheFullOracleMatrix) {
+  const auto entries = fuzz::CorpusManager(corpus_dir()).load();
+  ASSERT_GE(entries.size(), 4u);
+  const fuzz::DifferentialOracle oracle;  // default = full matrix
+  for (const auto& e : entries) {
+    SCOPED_TRACE(e.file + " (" + e.classification + ", first seen " +
+                 e.first_seen + ")");
+    const auto report = oracle.run(e.source);
+    EXPECT_FALSE(report.failed())
+        << to_string(report.cls) << " [" << report.leg << "] "
+        << report.detail;
+    EXPECT_NE(report.cls, fuzz::FailureClass::kFrontendReject)
+        << "a committed reproducer stopped parsing";
+  }
+}
+
+TEST(FuzzCorpus, SeedFixturesCoverTheStructuralVariants) {
+  const auto entries = fuzz::CorpusManager(corpus_dir()).load();
+  std::set<transform::Structure> seen;
+  int seed_fixtures = 0;
+  for (const auto& e : entries) {
+    if (e.classification != "seed") continue;
+    ++seed_fixtures;
+    const auto prog = lang::parse(e.source, e.file);
+    seen.insert(transform::detect_structure(prog));
+  }
+  EXPECT_GE(seed_fixtures, 3);
+  EXPECT_TRUE(seen.count(transform::Structure::kCallback))
+      << "no callback-style seed fixture";
+  EXPECT_TRUE(seen.count(transform::Structure::kNestedLoop))
+      << "no socket-shape seed fixture";
+  EXPECT_TRUE(seen.count(transform::Structure::kConsumerProducer))
+      << "no consumer-producer seed fixture";
+}
+
+TEST(FuzzCorpus, ReproducersRecordTheSeedThatFoundThem) {
+  const auto entries = fuzz::CorpusManager(corpus_dir()).load();
+  for (const auto& e : entries) {
+    if (e.classification == "seed") continue;
+    EXPECT_NE(e.seed, 0u) << e.file;
+    EXPECT_FALSE(e.first_seen.empty()) << e.file;
+  }
+}
+
+TEST(FuzzCorpus, ManagerRoundTripsThroughAddAndLoad) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("nfactor_corpus_test_" + std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+  fuzz::CorpusManager mgr(dir.string());
+  const std::string src = "def main() {\n  while (true) {\n"
+                          "    pkt = recv(0);\n    send(pkt, 1);\n  }\n}\n";
+  const auto file =
+      mgr.add("repro_roundtrip", 0xDEADBEEFu, "divergence", src, "2026-08-06");
+  const auto entries = mgr.load();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].file, file);
+  EXPECT_EQ(entries[0].seed, 0xDEADBEEFu);
+  EXPECT_EQ(entries[0].classification, "divergence");
+  EXPECT_EQ(entries[0].first_seen, "2026-08-06");
+  EXPECT_EQ(entries[0].source, src);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(FuzzCorpus, LoadThrowsOnManifestRowWithMissingFile) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("nfactor_corpus_lies_" + std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  {
+    std::FILE* f = std::fopen((dir / "MANIFEST.tsv").c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("ghost.nf\t1\tdivergence\t2026-08-06\n", f);
+    std::fclose(f);
+  }
+  EXPECT_THROW(fuzz::CorpusManager(dir.string()).load(), std::runtime_error);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace nfactor

@@ -1,192 +1,80 @@
-// Property-based testing over *generated* NF programs: for random
-// programs and random packets,
+// Property-based testing over *generated* NF programs, now built on the
+// reusable fuzzing subsystem (src/fuzz/): the grammar lives in
+// fuzz::ProgramGen and the judgments in fuzz::DifferentialOracle, so the
+// same properties the old private generator checked —
 //   (1) the synthesized model and the original program agree
 //       (differential equivalence, §5 generalized to arbitrary programs);
 //   (2) the symbolic execution paths of the program partition the
 //       concrete input space: exactly one non-truncated path's
 //       constraints are satisfied by any concrete (packet, initial
-//       state) valuation.
+//       state) valuation
+// — are exercised here per-seed, and continuously by `nf-fuzz`.
 #include <gtest/gtest.h>
 
-#include <random>
-#include <sstream>
-
-#include "model/interp.h"
-#include "netsim/packet_gen.h"
-#include "nfactor/pipeline.h"
-#include "runtime/interp.h"
-#include "symex/concrete_eval.h"
-#include "verify/equivalence.h"
+#include "fuzz/oracle.h"
+#include "fuzz/program_gen.h"
 
 namespace nfactor {
 namespace {
 
-/// Seeded random NF-program generator. Produces canonical-loop programs
-/// over packet fields, config scalars, state scalars and one state map.
-class ProgramGen {
- public:
-  explicit ProgramGen(std::uint64_t seed) : rng_(seed) {}
-
-  std::string generate() {
-    std::ostringstream g;
-    g << "var CFG0 = " << pick({0, 1, 2, 80}) << ";\n";
-    g << "var CFG1 = " << pick({23, 80, 443}) << ";\n";
-    g << "var st0 = 0;\nvar st1 = 0;\nvar m0 = {};\n";
-    std::ostringstream body;
-    emit_stmts(body, 2 + static_cast<int>(rng_() % 4), 0);
-    // Guarantee at least one reachable send.
-    body << "    send(pkt, 1);\n";
-    std::ostringstream out;
-    out << g.str() << "def main() {\n  while (true) {\n    pkt = recv(0);\n"
-        << body.str() << "  }\n}\n";
-    return out.str();
-  }
-
- private:
-  int pick(std::initializer_list<int> xs) {
-    auto it = xs.begin();
-    std::advance(it, static_cast<long>(rng_() % xs.size()));
-    return *it;
-  }
-
-  std::string field() {
-    static const char* kFields[] = {"dport", "sport", "ip_proto",
-                                    "ip_ttl", "len", "tcp_flags"};
-    return std::string("pkt.") + kFields[rng_() % 6];
-  }
-
-  std::string cond() {
-    switch (rng_() % 5) {
-      case 0: return field() + " == " + std::to_string(pick({6, 23, 80, 64}));
-      case 1: return field() + " < " + std::to_string(pick({16, 64, 512}));
-      case 2: return "CFG0 == " + std::to_string(pick({0, 1, 2}));
-      case 3: return "st0 > " + std::to_string(pick({0, 2, 5}));
-      default: return "(pkt.ip_src, pkt.sport) in m0";
-    }
-  }
-
-  void emit_stmts(std::ostringstream& os, int n, int depth) {
-    const std::string pad(static_cast<std::size_t>(4 + depth * 2), ' ');
-    for (int i = 0; i < n; ++i) {
-      switch (rng_() % 8) {
-        case 0:
-          os << pad << "st0 = st0 + " << (1 + rng_() % 3) << ";\n";
-          break;
-        case 1:
-          os << pad << "st1 = st1 + pkt.len;\n";
-          break;
-        case 2:
-          os << pad << "m0[(pkt.ip_src, pkt.sport)] = "
-             << (rng_() % 2 ? "1" : "st0") << ";\n";
-          break;
-        case 3:
-          os << pad << "pkt.ip_ttl = " << (1 + rng_() % 64) << ";\n";
-          break;
-        case 4:
-          os << pad << "send(pkt, " << rng_() % 3 << ");\n";
-          break;
-        case 5:
-          if (depth > 0) {
-            os << pad << "return;\n";
-            return;  // statements after return are unreachable
-          }
-          os << pad << "st0 = st0 + 1;\n";
-          break;
-        default: {
-          os << pad << "if (" << cond() << ") {\n";
-          emit_stmts(os, 1 + static_cast<int>(rng_() % 2),
-                     depth + 1);
-          if (rng_() % 2) {
-            os << pad << "} else {\n";
-            emit_stmts(os, 1 + static_cast<int>(rng_() % 2), depth + 1);
-          }
-          os << pad << "}\n";
-          break;
-        }
-      }
-    }
-  }
-
-  std::mt19937_64 rng_;
-};
-
 class RandomPrograms : public ::testing::TestWithParam<int> {};
 
+// The historical equivalence property: legacy grammar (the shape the old
+// in-test generator spoke), differential test on 300 packets. The seed
+// formula is unchanged so the same program population stays green.
 TEST_P(RandomPrograms, ModelEquivalentToProgram) {
-  ProgramGen gen(static_cast<std::uint64_t>(GetParam()) * 0x9E3779B9u + 1);
-  const std::string src = gen.generate();
-  SCOPED_TRACE(src);
+  fuzz::ProgramGen gen(static_cast<std::uint64_t>(GetParam()) * 0x9E3779B9u + 1,
+                       fuzz::GenOptions::legacy());
+  const auto prog = gen.generate();
+  SCOPED_TRACE(prog.source);
 
-  const auto r = pipeline::run_source(src, "random");
-  netsim::GenConfig cfg;
-  cfg.udp_fraction = 0.3;
-  netsim::PacketGen pgen(static_cast<std::uint64_t>(GetParam()) + 99, cfg);
-  const auto packets = pgen.batch(300);
-  const auto diff =
-      verify::differential_test(*r.module, r.cats, r.model, packets);
-  EXPECT_EQ(diff.mismatches, 0)
-      << (diff.details.empty() ? "" : diff.details[0]);
+  fuzz::OracleOptions opts;
+  opts.packets = 300;
+  opts.packet_seed = static_cast<std::uint64_t>(GetParam()) + 99;
+  opts.check_partition = false;  // covered by PathsPartitionTheInputSpace
+  const auto report = fuzz::DifferentialOracle(opts).run(prog.source);
+  EXPECT_FALSE(report.failed())
+      << to_string(report.cls) << " [" << report.leg << "] " << report.detail;
+  // The legacy grammar is small enough that SE must never degrade.
+  EXPECT_FALSE(report.degraded);
 }
 
+// The historical partition property, same seed formula as before.
 TEST_P(RandomPrograms, PathsPartitionTheInputSpace) {
-  ProgramGen gen(static_cast<std::uint64_t>(GetParam()) * 0x51ED2701u + 7);
-  const std::string src = gen.generate();
-  SCOPED_TRACE(src);
+  fuzz::ProgramGen gen(static_cast<std::uint64_t>(GetParam()) * 0x51ED2701u + 7,
+                       fuzz::GenOptions::legacy());
+  const auto prog = gen.generate();
+  SCOPED_TRACE(prog.source);
 
-  const auto r = pipeline::run_source(src, "random");
-  // Paths of the *whole* program (no slice filter).
-  symex::SymbolicExecutor se(*r.module, r.cats);
-  symex::ExecOptions opts;
-  const auto paths = se.run(opts);
+  fuzz::OracleOptions opts;
+  opts.packets = 100;
+  opts.packet_seed = static_cast<std::uint64_t>(GetParam()) * 31 + 5;
+  opts.check_partition = true;
+  opts.partition_packets = 100;
+  const auto report = fuzz::DifferentialOracle(opts).run(prog.source);
+  EXPECT_FALSE(report.failed())
+      << to_string(report.cls) << " [" << report.leg << "] " << report.detail;
+  EXPECT_FALSE(report.path_signatures.empty());
+}
 
-  const auto store = model::initial_store(*r.module);
-  netsim::PacketGen pgen(static_cast<std::uint64_t>(GetParam()) * 31 + 5);
-  for (const auto& pkt : pgen.batch(100)) {
-    symex::ConcreteEnv env;
-    env.input_packet = &pkt;
-    env.var = [&](const std::string& name) -> runtime::Value {
-      if (name.starts_with("pkt.")) {
-        const std::string f = name.substr(4);
-        if (f == "__payload") return runtime::Value(runtime::Int{0});
-        if (f == "in_port") return runtime::Value(runtime::Int{pkt.in_port});
-        return runtime::Value(runtime::get_packet_field(pkt, f));
-      }
-      const auto it = store.find(name);
-      if (it == store.end()) throw std::out_of_range(name);
-      return it->second;
-    };
-    env.map_base = [&](const std::string& name) -> const runtime::MapV* {
-      const auto it = store.find(name);
-      if (it == store.end() || !it->second.is_map()) return nullptr;
-      return &it->second.as_map();
-    };
-
-    int sat_paths = 0;
-    std::size_t sat_sends = 0;
-    for (const auto& p : paths) {
-      if (p.truncated) continue;
-      bool sat = true;
-      try {
-        for (const auto& c : p.constraints) {
-          if (!symex::eval_concrete_bool(c, env)) {
-            sat = false;
-            break;
-          }
-        }
-      } catch (const std::exception&) {
-        sat = false;
-      }
-      if (sat) {
-        ++sat_paths;
-        sat_sends = p.sends.size();
-      }
-    }
-    EXPECT_EQ(sat_paths, 1) << netsim::to_string(pkt);
-
-    // The satisfied path predicts the concrete output count.
-    runtime::Interpreter interp(*r.module);
-    const auto out = interp.process(pkt);
-    EXPECT_EQ(out.sent.size(), sat_sends) << netsim::to_string(pkt);
+// The same properties over the *full* grammar — nested/compound
+// conditionals, several maps and ports, and the §3.2 structural variants
+// (callback, consumer-producer, socket), so transform:: sits inside the
+// per-PR property surface too, not just inside nf-fuzz runs.
+TEST_P(RandomPrograms, FullGrammarOracleMatrix) {
+  fuzz::ProgramGen gen(static_cast<std::uint64_t>(GetParam()) * 0xD1B54A33u +
+                       11);
+  fuzz::OracleOptions opts;
+  opts.packets = 150;
+  opts.packet_seed = static_cast<std::uint64_t>(GetParam()) * 7 + 3;
+  const fuzz::DifferentialOracle oracle(opts);
+  for (int i = 0; i < 3; ++i) {
+    const auto prog = gen.generate();
+    SCOPED_TRACE("structure=" + transform::to_string(prog.structure) + "\n" +
+                 prog.source);
+    const auto report = oracle.run(prog.source);
+    EXPECT_FALSE(report.failed())
+        << to_string(report.cls) << " [" << report.leg << "] " << report.detail;
   }
 }
 
