@@ -15,12 +15,24 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <sstream>
 #include <string>
+#include <thread>
 
 #include "lang/parser.h"
 #include "nfactor/pipeline.h"
 #include "nfs/corpus.h"
+#include "obs/json.h"
 #include "obs/obs.h"
+
+// Build provenance stamped by bench/CMakeLists.txt; fall back gracefully
+// when a bench TU is compiled outside that scope.
+#ifndef NFACTOR_GIT_SHA
+#define NFACTOR_GIT_SHA "unknown"
+#endif
+#ifndef NFACTOR_BUILD_TYPE
+#define NFACTOR_BUILD_TYPE "unknown"
+#endif
 
 namespace nfactor::benchutil {
 
@@ -35,11 +47,33 @@ inline void rule(char c = '-') {
   std::putchar('\n');
 }
 
-/// Write the default registry's JSON to `path`; returns success.
+/// Run metadata stamped into every metrics JSON under the "meta" key:
+/// git SHA and build type (configure-time), the NFACTOR_OBS and
+/// NFACTOR_SYMEX_INTERN switches, and the default SE worker width.
+/// check_perf_baseline.py prints this on a gate failure so a regression
+/// report always names the build that produced the numbers.
+inline std::string meta_json() {
+  const char* intern_env = std::getenv("NFACTOR_SYMEX_INTERN");
+  const bool intern_on = intern_env == nullptr || std::strcmp(intern_env, "0") != 0;
+  std::ostringstream os;
+  os << "{\"git_sha\":\"" << obs::json_escape(NFACTOR_GIT_SHA)
+     << "\",\"build_type\":\"" << obs::json_escape(NFACTOR_BUILD_TYPE)
+     << "\",\"obs\":" << (NFACTOR_OBS_ENABLED ? "true" : "false")
+     << ",\"symex_intern\":" << (intern_on ? "true" : "false")
+     << ",\"jobs\":" << std::thread::hardware_concurrency() << "}";
+  return os.str();
+}
+
+/// Write the default registry's JSON to `path`, with run metadata
+/// spliced in as the leading "meta" key; returns success.
 inline bool write_metrics_json(const std::string& path) {
   std::ofstream out(path);
   if (!out) return false;
-  out << obs::default_registry().to_json() << "\n";
+  std::string doc = obs::default_registry().to_json();
+  if (!doc.empty() && doc.front() == '{') {
+    doc.insert(1, "\"meta\":" + meta_json() + ",");
+  }
+  out << doc << "\n";
   return static_cast<bool>(out);
 }
 

@@ -7,6 +7,7 @@
 //
 //   nf-fuzz [--seed N] [--budget N] [--packets N] [--no-shrink]
 //           [--corpus-out DIR] [--verbose] [--metrics-out FILE]
+//           [--provenance]
 //   nf-fuzz --replay DIR            (re-judge a committed corpus)
 #include <cstdio>
 #include <cstring>
@@ -26,12 +27,16 @@ int usage() {
       stderr,
       "usage: nf-fuzz [--seed N] [--budget N] [--packets N] [--no-shrink]\n"
       "               [--corpus-out DIR] [--verbose] [--metrics-out FILE]\n"
+      "               [--provenance]\n"
       "       nf-fuzz --replay DIR\n"
       "Generates random NF programs and differentially tests the synthesis\n"
       "pipeline (docs/fuzzing.md). Exits 1 on any divergence, crash, or\n"
       "nondeterminism; shrunk reproducers are printed (and persisted with\n"
       "--corpus-out). --replay re-judges every program in a corpus\n"
-      "directory and fails if any entry no longer passes the oracle.\n");
+      "directory and fails if any entry no longer passes the oracle.\n"
+      "--provenance attaches synthesis provenance to divergence reports\n"
+      "(implicated model entry + source lines) and records\n"
+      "fuzz.provenance.* metrics.\n");
   return 2;
 }
 
@@ -107,6 +112,8 @@ int main(int argc, char** argv) {
       opts.oracle.packets = static_cast<int>(n);
     } else if (a == "--no-shrink") {
       opts.shrink = false;
+    } else if (a == "--provenance") {
+      opts.oracle.attach_provenance = true;
     } else if (a == "--corpus-out") {
       if (!value(opts.corpus_dir)) return usage();
     } else if (a == "--replay") {
@@ -133,6 +140,9 @@ int main(int argc, char** argv) {
                   transform::to_string(f.structure).c_str(),
                   static_cast<unsigned long long>(f.seed));
       std::printf("  detail: %s\n", f.detail.c_str());
+      if (!f.implicated_summary.empty()) {
+        std::printf("  %s\n", f.implicated_summary.c_str());
+      }
       if (!f.corpus_file.empty()) {
         std::printf("  persisted: %s\n", f.corpus_file.c_str());
       }

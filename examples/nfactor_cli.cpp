@@ -8,9 +8,17 @@
 //   nfactor_cli --write-corpus <dir>
 //
 // Observability (docs/observability.md; may appear anywhere in argv):
-//   --trace-out FILE    write the Chrome trace_event JSON of the run
-//   --metrics-out FILE  write the metrics registry JSON
-//   --obs-summary       print the one-line metrics digest to stderr
+//   --trace-out FILE       write the Chrome trace_event JSON of the run
+//   --metrics-out FILE     write the metrics registry JSON
+//   --obs-summary          print the one-line metrics digest to stderr
+//   --provenance-out FILE  write per-rule provenance JSON (deterministic:
+//                          byte-identical at any --jobs width)
+//   --folded-out FILE      write the collapsed-stack "path flamegraph"
+//   --explain [RULE|L<n>]  rule <-> source cross-reference with per-rule
+//                          solver-time attribution (an output mode)
+//
+// This source builds as both `nfactor_cli` and `nf-synth` (the name the
+// docs use for the synthesis front-end); they are the same binary.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -37,7 +45,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: nfactor_cli <file.nf> [--table|--json|--text|--slices|"
                "--vars|--stats|--validate|--sefl|--fsm <statevar>|--dot-cfg|"
-               "--dot-pdg|--lint|--lint-json]\n"
+               "--dot-pdg|--lint|--lint-json|--explain [RULE|L<line>]]\n"
                "       nfactor_cli --corpus <name> [flags]   (bundled NFs: ");
   for (const auto& e : nfactor::nfs::corpus()) {
     std::fprintf(stderr, "%s ", std::string(e.name).c_str());
@@ -47,7 +55,10 @@ int usage() {
                "bundled corpus)\n"
                "       nfactor_cli --write-corpus <dir>\n"
                "observability flags (any position): --trace-out FILE, "
-               "--metrics-out FILE, --obs-summary\n"
+               "--metrics-out FILE, --obs-summary,\n"
+               "  --provenance-out FILE (per-rule provenance JSON, "
+               "deterministic), --folded-out FILE\n"
+               "  (collapsed-stack path flamegraph for standard renderers)\n"
                "execution flags (any position): --jobs N (symbolic-execution "
                "worker threads;\n"
                "  0 = one per core, 1 = serial; the model is byte-identical "
@@ -133,6 +144,23 @@ bool extract_jobs_flag(std::vector<std::string>& args, int& jobs) {
   return true;
 }
 
+/// Remove `FLAG VALUE` (anywhere in args). Returns false on a flag
+/// missing its value; leaves `value` untouched when the flag is absent.
+bool extract_value_flag(std::vector<std::string>& args, const std::string& flag,
+                        std::string& value) {
+  for (auto it = args.begin(); it != args.end();) {
+    if (*it != flag) {
+      ++it;
+      continue;
+    }
+    it = args.erase(it);
+    if (it == args.end()) return false;
+    value = *it;
+    it = args.erase(it);
+  }
+  return true;
+}
+
 /// Remove a boolean flag (anywhere in args); returns whether it was seen.
 bool extract_flag(std::vector<std::string>& args, const std::string& flag) {
   bool seen = false;
@@ -179,6 +207,12 @@ int main(int argc, char** argv) {
   if (!extract_obs_flags(args, obs)) return usage();
   int jobs = 0;  // 0 = leave ExecOptions defaults in charge
   if (!extract_jobs_flag(args, jobs)) return usage();
+  std::string provenance_out;
+  std::string folded_out;
+  if (!extract_value_flag(args, "--provenance-out", provenance_out)) {
+    return usage();
+  }
+  if (!extract_value_flag(args, "--folded-out", folded_out)) return usage();
   const bool no_simplify = extract_flag(args, "--no-simplify");
   const bool werror = extract_flag(args, "--Werror");
   if (args.empty()) return usage();
@@ -299,6 +333,10 @@ int main(int argc, char** argv) {
       }
       const auto fsm = model::extract_fsm(r.model, args[flag_start + 1]);
       std::printf("%s\n%s", fsm.to_text().c_str(), fsm.to_dot().c_str());
+    } else if (mode == "--explain") {
+      std::string query;
+      if (args.size() > flag_start + 1) query = args[flag_start + 1];
+      std::printf("%s", obs::explain(r.provenance, query).c_str());
     } else if (mode == "--dot-cfg") {
       std::printf("%s", ir::to_dot(r.module->body, unit, r.union_slice).c_str());
     } else if (mode == "--dot-pdg") {
@@ -318,6 +356,25 @@ int main(int argc, char** argv) {
       std::printf("intern: %s\n", symex::intern_summary().c_str());
     } else {
       return usage();
+    }
+
+    // Provenance exports work in any output mode: the record is built by
+    // the pipeline unconditionally (aggregation is cheap bookkeeping).
+    if (!provenance_out.empty()) {
+      std::ofstream out(provenance_out);
+      if (!out) {
+        std::fprintf(stderr, "error: cannot write %s\n", provenance_out.c_str());
+        return 1;
+      }
+      out << obs::to_json(r.provenance);
+    }
+    if (!folded_out.empty()) {
+      std::ofstream out(folded_out);
+      if (!out) {
+        std::fprintf(stderr, "error: cannot write %s\n", folded_out.c_str());
+        return 1;
+      }
+      out << obs::to_folded(r.provenance);
     }
 
     // A degraded SE run means the printed model may be incomplete —

@@ -80,6 +80,14 @@ FuzzSummary Fuzzer::run() {
     f.detail = report.detail;
     f.source = prog.source;
     f.shrunk_source = prog.source;
+    f.implicated_entry = report.implicated_entry;
+    f.implicated_lines = report.implicated_lines;
+    f.implicated_summary = report.implicated_summary;
+    if (!f.implicated_summary.empty()) {
+      OBS_COUNT("fuzz.provenance.attributed");
+      OBS_COUNT_N("fuzz.provenance.implicated_lines",
+                  f.implicated_lines.size());
+    }
 
     if (opts_.shrink) {
       const Shrinker shrinker = Shrinker::for_oracle(oracle, report.cls);

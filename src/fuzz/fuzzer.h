@@ -35,6 +35,13 @@ struct FuzzFinding {
   std::string source;         ///< the original failing program
   std::string shrunk_source;  ///< minimized reproducer (== source if unshrunk)
   std::string corpus_file;    ///< file name when persisted, else empty
+
+  /// Provenance attachment (OracleOptions::attach_provenance): the
+  /// implicated model entry / source lines / summary of a divergence,
+  /// straight from the OracleReport. Empty otherwise.
+  int implicated_entry = -1;
+  std::vector<int> implicated_lines;
+  std::string implicated_summary;
 };
 
 struct FuzzSummary {

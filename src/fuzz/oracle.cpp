@@ -12,6 +12,7 @@
 #include "netsim/packet_gen.h"
 #include "nfactor/pipeline.h"
 #include "obs/obs.h"
+#include "obs/provenance.h"
 #include "runtime/interp.h"
 #include "runtime/value.h"
 #include "symex/concrete_eval.h"
@@ -42,11 +43,42 @@ struct LegSpec {
   }
 };
 
+/// Fill a report's implicated_* fields from the provenance of the model
+/// entry that matched the diverging packet (-1 = default drop).
+void attach_entry_provenance(OracleReport& report,
+                             const obs::ModelProvenance& prov, int entry) {
+  report.implicated_entry = entry;
+  if (entry < 0 || static_cast<std::size_t>(entry) >= prov.rules.size()) {
+    report.implicated_summary =
+        "implicated: default drop (no model entry matched)";
+    return;
+  }
+  const obs::RuleProvenance& rule = prov.rules[static_cast<std::size_t>(entry)];
+  report.implicated_lines = rule.lines;
+  std::ostringstream os;
+  os << "implicated: rule " << entry << " (" << rule.action
+     << ") from source lines ";
+  for (std::size_t i = 0; i < rule.intervals.size(); ++i) {
+    if (i) os << ",";
+    os << rule.intervals[i].first;
+    if (rule.intervals[i].second != rule.intervals[i].first) {
+      os << "-" << rule.intervals[i].second;
+    }
+  }
+  if (rule.intervals.empty()) os << "(none)";
+  report.implicated_summary = os.str();
+}
+
+struct PartitionError {
+  std::string msg;
+  int packet_index = -1;  ///< index into the shared batch
+};
+
 /// The partition check from the original property suite: every concrete
 /// (packet, initial state) valuation must satisfy the constraints of
 /// exactly one non-truncated symbolic path, and that path's send count
 /// must predict the runtime's. Returns an error description or nullopt.
-std::optional<std::string> check_partition(
+std::optional<PartitionError> check_partition(
     const pipeline::PipelineResult& r,
     std::span<const netsim::Packet> packets, int limit) {
   symex::SymbolicExecutor se(*r.module, r.cats);
@@ -102,16 +134,19 @@ std::optional<std::string> check_partition(
       }
     }
     if (sat_paths > 1 || (complete && sat_paths != 1)) {
-      return "packet satisfies " + std::to_string(sat_paths) +
-             " paths (want 1): " + netsim::to_string(pkt);
+      return PartitionError{"packet satisfies " + std::to_string(sat_paths) +
+                                " paths (want 1): " + netsim::to_string(pkt),
+                            n - 1};
     }
     if (sat_paths == 1) {
       runtime::Interpreter interp(*r.module);
       const auto out = interp.process(pkt);
       if (out.sent.size() != sat_sends) {
-        return "satisfied path predicts " + std::to_string(sat_sends) +
-               " sends, runtime sent " + std::to_string(out.sent.size()) +
-               ": " + netsim::to_string(pkt);
+        return PartitionError{
+            "satisfied path predicts " + std::to_string(sat_sends) +
+                " sends, runtime sent " + std::to_string(out.sent.size()) +
+                ": " + netsim::to_string(pkt),
+            n - 1};
       }
     }
   }
@@ -188,6 +223,10 @@ OracleReport DifferentialOracle::run(const std::string& source) const {
           report.detail = diff.details.empty()
                               ? std::to_string(diff.mismatches) + " mismatches"
                               : diff.details[0];
+          if (opts_.attach_provenance && diff.has_first_mismatch) {
+            attach_entry_provenance(report, r.provenance,
+                                    diff.first_mismatch_entry);
+          }
           return report;
         }
       } catch (const std::exception& e) {
@@ -228,7 +267,25 @@ OracleReport DifferentialOracle::run(const std::string& source) const {
                                        opts_.partition_packets)) {
           report.cls = FailureClass::kDivergence;
           report.leg = "partition";
-          report.detail = *err;
+          report.detail = err->msg;
+          if (opts_.attach_provenance && err->packet_index >= 0) {
+            // Replay the (stateful) model interpreter up to the
+            // offending packet to learn which rule it lands on.
+            try {
+              model::ModelInterpreter mi(baseline->model,
+                                         model::initial_store(*baseline->module));
+              model::ModelOutput mo;
+              for (int k = 0; k <= err->packet_index &&
+                              k < static_cast<int>(packets.size());
+                   ++k) {
+                mo = mi.process(packets[static_cast<std::size_t>(k)]);
+              }
+              attach_entry_provenance(report, baseline->provenance,
+                                      mo.matched_entry);
+            } catch (const std::exception&) {
+              // Attribution is best-effort; the divergence verdict stands.
+            }
+          }
           return report;
         }
       } catch (const std::exception& e) {

@@ -37,6 +37,11 @@ struct OracleOptions {
   std::vector<int> jobs_legs = {1, 4};  ///< SE worker widths to cross-check
   bool check_partition = true;
   int partition_packets = 50;      ///< packets sampled for the partition check
+  /// Attach synthesis provenance to divergence reports: the implicated
+  /// model entry and the source lines that produced it (nf-fuzz
+  /// --provenance). Off by default — attribution replays the model
+  /// interpreter on partition failures.
+  bool attach_provenance = false;
 };
 
 struct OracleReport {
@@ -51,6 +56,14 @@ struct OracleReport {
   /// ExecPath::signature() of every baseline-leg slice path — the
   /// branch-history coverage feedback the fuzzer steers generation with.
   std::vector<std::string> path_signatures;
+
+  /// Provenance attachment (OracleOptions::attach_provenance, divergence
+  /// reports only): the model entry whose rule the diverging packet
+  /// matched (-1 = default drop), the source lines of the path that
+  /// produced that rule, and a one-line summary naming them.
+  int implicated_entry = -1;
+  std::vector<int> implicated_lines;
+  std::string implicated_summary;
 
   /// A verdict the fuzzer must act on (shrink + report).
   bool failed() const {

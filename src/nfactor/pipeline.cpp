@@ -109,6 +109,11 @@ PipelineResult run(const lang::Program& prog, const PipelineOptions& opts) {
     r.times.model_ms = sp.close_ms();
   }
 
+  // Provenance aggregation rides on data the stages above already
+  // computed (paths, model, CFG) — pure bookkeeping, no solver work.
+  r.provenance = obs::build_model_provenance(*r.module, r.slice_paths, r.model,
+                                             &r.slice_stats);
+
   // ---- Optional: SE on the original program (Table 2 baseline) ----------
   if (opts.run_orig_se) {
     obs::Span sp(tracer, "pipeline.se_orig");

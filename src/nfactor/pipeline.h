@@ -20,6 +20,7 @@
 #include "lang/ast.h"
 #include "lint/simplify.h"
 #include "model/model.h"
+#include "obs/provenance.h"
 #include "statealyzer/statealyzer.h"
 #include "symex/executor.h"
 
@@ -70,6 +71,11 @@ struct PipelineResult {
   symex::ExecStats orig_stats;
 
   model::Model model;
+  /// Per-rule provenance (source lines, decision keys, solver effort),
+  /// built from slice_paths right after the model stage. The
+  /// deterministic core is populated in every build; timing fields are
+  /// nonzero only when NFACTOR_OBS is compiled in.
+  obs::ModelProvenance provenance;
   lint::SimplifyStats simplify_stats;  // all-zero unless simplify ran
   StageTimes times;
 

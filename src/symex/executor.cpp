@@ -393,6 +393,24 @@ std::vector<ExecPath> SymbolicExecutor::run(const ExecOptions& opts,
     std::size_t local_pruned = 0;
     std::size_t local_states = 0;
 
+#if NFACTOR_OBS_ENABLED
+    // Per-continuation profile accumulators (provenance collection hot
+    // path — compiled out with the obs kill switch). A continuation is
+    // one pop -> finalize run; finalize() moves these into the completed
+    // path's PathProfile, which is what makes per-path profiles an exact
+    // partition of the worker's measured solver/exec time.
+    std::uint64_t cont_queries = 0;
+    std::uint64_t cont_solver_ns = 0;
+    std::uint64_t local_solver_ns = 0;
+    std::vector<std::pair<int, std::uint64_t>> cont_branch_ns;
+    std::int64_t cont_t0 = 0;
+    const auto prof_now = [] {
+      return std::chrono::duration_cast<std::chrono::nanoseconds>(
+                 std::chrono::steady_clock::now().time_since_epoch())
+          .count();
+    };
+#endif
+
     auto finalize = [&](State& st, bool truncated) {
       ExecPath p;
       p.branches = std::move(st.branches);
@@ -407,6 +425,13 @@ std::vector<ExecPath> SymbolicExecutor::run(const ExecOptions& opts,
       }
       p.nodes = std::move(st.nodes);
       p.truncated = truncated;
+#if NFACTOR_OBS_ENABLED
+      p.profile.solver_queries = cont_queries;
+      p.profile.solver_ns = cont_solver_ns;
+      p.profile.exec_ns = static_cast<std::uint64_t>(prof_now() - cont_t0);
+      p.profile.branch_solver_ns = std::move(cont_branch_ns);
+      cont_branch_ns.clear();
+#endif
       const std::lock_guard<std::mutex> lock(sh.mu);
       sh.done.push_back({std::move(st.key), std::move(p)});
       if (opts.max_paths > 0) {
@@ -452,6 +477,12 @@ std::vector<ExecPath> SymbolicExecutor::run(const ExecOptions& opts,
       if (!popped) break;
       State st = std::move(*popped);
       ++local_states;
+#if NFACTOR_OBS_ENABLED
+      cont_queries = 0;
+      cont_solver_ns = 0;
+      cont_branch_ns.clear();
+      cont_t0 = prof_now();
+#endif
 
     // One span per scheduled continuation: from the fork (or the root)
     // that created this state until it terminates or forks off children.
@@ -581,17 +612,30 @@ std::vector<ExecPath> SymbolicExecutor::run(const ExecOptions& opts,
           pc_true.push_back(cond);
           std::vector<SymRef> pc_false = st.pc;
           pc_false.push_back(negate(cond));
+#if NFACTOR_OBS_ENABLED
+          const std::int64_t q0 = prof_now();
+#endif
           const bool sat_t = opts.assume_all_feasible ||
                              solver.check(pc_true) == SatResult::kSat;
           const bool sat_f = opts.assume_all_feasible ||
                              solver.check(pc_false) == SatResult::kSat;
+#if NFACTOR_OBS_ENABLED
+          if (!opts.assume_all_feasible) {
+            const std::uint64_t qns =
+                static_cast<std::uint64_t>(prof_now() - q0);
+            cont_queries += 2;
+            cont_solver_ns += qns;
+            local_solver_ns += qns;
+            cont_branch_ns.emplace_back(n.id, qns);
+          }
+#endif
 
           if (sat_t && sat_f) {
             ++local_forks;
             State other = st;  // fork
             other.node = n.succs[1];
             other.pc = std::move(pc_false);
-            other.branches.push_back({n.id, cond, false});
+            other.branches.push_back({n.id, cond, false, true});
             other.key.push_back(n.id);
             other.key.push_back(1);  // false side: lex-after the true side
             {
@@ -602,7 +646,7 @@ std::vector<ExecPath> SymbolicExecutor::run(const ExecOptions& opts,
             }
 
             st.pc = std::move(pc_true);
-            st.branches.push_back({n.id, cond, true});
+            st.branches.push_back({n.id, cond, true, true});
             st.key.push_back(n.id);
             st.key.push_back(0);
             next = n.succs[0];
@@ -667,6 +711,9 @@ std::vector<ExecPath> SymbolicExecutor::run(const ExecOptions& opts,
       sh.agg.solver_queries += solver.query_count();
       sh.agg.cache_hits += solver.cache_hits();
       sh.agg.cache_misses += solver.cache_misses();
+#if NFACTOR_OBS_ENABLED
+      sh.agg.solver_ns += local_solver_ns;
+#endif
     }
   };
 
@@ -701,6 +748,7 @@ std::vector<ExecPath> SymbolicExecutor::run(const ExecOptions& opts,
     } else {
       ++stats.paths_completed;
     }
+    d.path.decision_key = std::move(d.key);
     paths.push_back(std::move(d.path));
   }
   stats.wall_ms = elapsed_ms();

@@ -31,9 +31,31 @@ struct BranchRecord {
   int node = -1;
   SymRef cond;   // condition as evaluated (before polarity)
   bool taken = false;
+  /// True when both sides were feasible here, i.e. a sibling state was
+  /// forked off (provenance: this is a fork site, not a forced branch).
+  bool forked = false;
 
   /// The condition with polarity applied.
   SymRef effective() const { return taken ? cond : negate(cond); }
+};
+
+/// Per-path execution profile — the timing half of the provenance record
+/// (src/obs/provenance.h). Collected on the executor hot path only when
+/// the NFACTOR_OBS kill switch is on; all-zero otherwise. Attribution
+/// rule: a scheduled continuation (pop -> finalize) charges its solver
+/// checks and wall time to the one path it finalizes, so per-path
+/// profiles exactly partition the run's measured totals, and the shared
+/// prefix before a fork is charged to the lex-least path through it —
+/// a deterministic rule, because the fork tree is schedule-independent.
+/// solver_queries is therefore byte-stable across `jobs` widths; the
+/// _ns fields are wall-clock and vary run to run (never export them
+/// into artifacts that must be byte-stable).
+struct PathProfile {
+  std::uint64_t solver_queries = 0;  ///< feasibility checks in this segment
+  std::uint64_t solver_ns = 0;       ///< wall ns spent inside those checks
+  std::uint64_t exec_ns = 0;         ///< wall ns of the finalizing continuation
+  /// Solver ns per branch site in this segment: (CFG node id, ns).
+  std::vector<std::pair<int, std::uint64_t>> branch_solver_ns;
 };
 
 struct ExecPath {
@@ -45,6 +67,12 @@ struct ExecPath {
   std::map<std::string, SymRef> final_state;
   std::set<int> nodes;  // executed CFG nodes
   bool truncated = false;
+  /// Canonical branch-decision key: (node, taken ? 0 : 1) pairs,
+  /// flattened — the scheduler's lex-least ordering key (see
+  /// State::key), surfaced as provenance. Schedule-independent.
+  std::vector<int> decision_key;
+  /// Per-path profile; zeros when NFACTOR_OBS is compiled out.
+  PathProfile profile;
 
   /// Canonical signature for path-set comparison (§5 accuracy).
   std::string signature() const;
@@ -97,6 +125,14 @@ struct ExecStats {
   /// compare these across runs.
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
+  /// Wall ns spent inside solver feasibility checks, summed across all
+  /// workers (zero when NFACTOR_OBS is compiled out). Wall-clock, so —
+  /// like cache_hits — not comparable across runs or widths. This is the
+  /// denominator of provenance solver-time accounting: the sum of
+  /// per-path PathProfile::solver_ns differs from it only by states
+  /// that never finalized (discarded by the path cap, infeasible, or cut
+  /// by stop/timeout).
+  std::uint64_t solver_ns = 0;
   std::uint64_t steps = 0;
   std::size_t jobs = 1;  // worker count actually used
   bool hit_path_cap = false;

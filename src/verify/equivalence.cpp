@@ -46,6 +46,11 @@ DiffResult differential_test(const ir::Module& module,
     }
     if (mismatch) {
       ++r.mismatches;
+      if (!r.has_first_mismatch) {
+        r.has_first_mismatch = true;
+        r.first_mismatch_entry = mo.matched_entry;
+        r.first_mismatch_packet = netsim::to_string(in);
+      }
       if (r.details.size() < 8) {
         std::ostringstream os;
         os << "in=" << netsim::to_string(in) << " original={";

@@ -28,6 +28,15 @@ struct DiffResult {
   int model_sent = 0;
   std::vector<std::string> details;  // first few mismatch descriptions
 
+  /// First output mismatch, for provenance attribution: the model entry
+  /// the interpreter matched on the diverging packet (-1 = the default
+  /// drop applied) and that packet's rendering. Only meaningful when
+  /// has_first_mismatch — end-of-stream state divergences bump
+  /// `mismatches` without setting it.
+  bool has_first_mismatch = false;
+  int first_mismatch_entry = -1;
+  std::string first_mismatch_packet;
+
   bool ok() const { return mismatches == 0; }
 };
 

@@ -210,6 +210,50 @@ TEST(Tracer, RingEvictsOldestAndCountsDropped) {
   EXPECT_EQ(spans.back().name, "s9");
 }
 
+TEST(Tracer, RingDroppedCountIsExactAcrossMultipleWraps) {
+  Tracer t(3);
+  EXPECT_EQ(t.dropped(), 0u);
+  // Fill exactly to capacity: nothing dropped yet.
+  for (int i = 0; i < 3; ++i) {
+    Span s(t, "fill" + std::to_string(i));
+  }
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_EQ(t.dropped(), 0u);
+  // Each further span evicts exactly one record; drive the ring through
+  // several full wraps and check the count at every step.
+  for (int i = 0; i < 3 * 4; ++i) {
+    { Span s(t, "wrap" + std::to_string(i)); }
+    EXPECT_EQ(t.size(), 3u);
+    EXPECT_EQ(t.dropped(), static_cast<std::uint64_t>(i + 1));
+  }
+  // The survivors are exactly the newest `capacity` spans, in order.
+  const auto spans = t.spans();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[0].name, "wrap9");
+  EXPECT_EQ(spans[1].name, "wrap10");
+  EXPECT_EQ(spans[2].name, "wrap11");
+  // clear() resets the eviction count too.
+  t.clear();
+  EXPECT_EQ(t.dropped(), 0u);
+}
+
+TEST(Tracer, ChromeJsonStaysWellFormedAfterEviction) {
+  Tracer t(2);
+  for (int i = 0; i < 7; ++i) {
+    // Escaping-hostile names must survive the ring as well.
+    Span s(t, "evict\"me\\" + std::to_string(i));
+    s.attr("i", static_cast<std::int64_t>(i));
+  }
+  EXPECT_EQ(t.dropped(), 5u);
+  const std::string json = t.to_chrome_json();
+  EXPECT_TRUE(is_valid_json(json)) << json;
+  // Only the surviving spans are exported — no dangling comma or
+  // truncated record where the evicted ones used to be.
+  EXPECT_EQ(json.find("evict\\\"me\\\\4"), std::string::npos);
+  EXPECT_NE(json.find("evict\\\"me\\\\5"), std::string::npos);
+  EXPECT_NE(json.find("evict\\\"me\\\\6"), std::string::npos);
+}
+
 TEST(Tracer, AttrsAndCloseMs) {
   Tracer t;
   Span s(t, "work");
