@@ -1,0 +1,19 @@
+// Shared CLI conventions for the NFactor binaries (nf-synth, nf-fuzz,
+// nf-diff): an unrecognized flag is reported by name on stderr, followed
+// by the binary's usage text, and the process exits 2. Every binary
+// funnels through this helper so the behavior can't drift per-tool.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace nfcli {
+
+/// Report `arg` as unknown and show usage. `usage` is the binary's own
+/// usage printer (which returns 2); the result is the process exit code.
+inline int unknown_flag(const std::string& arg, int (*usage)()) {
+  std::fprintf(stderr, "error: unknown flag '%s'\n", arg.c_str());
+  return usage();
+}
+
+}  // namespace nfcli

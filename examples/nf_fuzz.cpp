@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "cli_common.h"
 #include "fuzz/corpus.h"
 #include "fuzz/fuzzer.h"
 #include "fuzz/oracle.h"
@@ -123,7 +124,7 @@ int main(int argc, char** argv) {
     } else if (a == "--metrics-out") {
       if (!value(metrics_out)) return usage();
     } else {
-      return usage();
+      return nfcli::unknown_flag(a, usage);
     }
   }
 

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "analysis/dot.h"
+#include "cli_common.h"
 #include "ir/dot.h"
 #include "lang/diagnostics.h"
 #include "lint/lint.h"
@@ -265,6 +266,9 @@ int main(int argc, char** argv) {
     }
     flag_start = 2;
   } else {
+    if (args[0].rfind("--", 0) == 0) {
+      return nfcli::unknown_flag(args[0], usage);
+    }
     std::ifstream in(args[0]);
     if (!in) {
       std::fprintf(stderr, "error: cannot open %s\n", args[0].c_str());
@@ -278,6 +282,13 @@ int main(int argc, char** argv) {
 
   std::string mode = "--table";
   if (args.size() > flag_start) mode = args[flag_start];
+  // Reject trailing arguments no mode consumes (previously silently
+  // ignored): only --fsm and --explain take one operand.
+  const std::size_t mode_args =
+      (mode == "--fsm" || mode == "--explain") ? 1 : 0;
+  if (args.size() > flag_start + 1 + mode_args) {
+    return nfcli::unknown_flag(args[flag_start + 1 + mode_args], usage);
+  }
 
   if (mode == "--lint" || mode == "--lint-json") {
     const int rc = run_lint(source, unit, mode == "--lint-json", werror);
@@ -355,7 +366,7 @@ int main(int argc, char** argv) {
       print_se_stats("SE(orig) ", r.orig_stats);
       std::printf("intern: %s\n", symex::intern_summary().c_str());
     } else {
-      return usage();
+      return nfcli::unknown_flag(mode, usage);
     }
 
     // Provenance exports work in any output mode: the record is built by

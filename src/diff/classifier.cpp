@@ -1,0 +1,187 @@
+#include "diff/classifier.h"
+
+#include <set>
+
+namespace nfactor::diff {
+
+namespace {
+
+bool is_true_const(const symex::SymRef& e) {
+  return e->kind == symex::SymKind::kConstBool && e->bool_val;
+}
+
+std::vector<symex::SymRef> guard_of(const model::ModelEntry& e) {
+  std::vector<symex::SymRef> g;
+  for (const auto& c : e.flow_match) {
+    if (!is_true_const(c)) g.push_back(c);
+  }
+  for (const auto& c : e.state_match) {
+    if (!is_true_const(c)) g.push_back(c);
+  }
+  return g;
+}
+
+/// Conjuncts of `a` with no struct_eq counterpart in `b`.
+std::vector<symex::SymRef> only_in(const std::vector<symex::SymRef>& a,
+                                   const std::vector<symex::SymRef>& b) {
+  std::vector<symex::SymRef> out;
+  for (const auto& ca : a) {
+    bool found = false;
+    for (const auto& cb : b) {
+      if (symex::struct_eq(ca, cb)) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      bool dup = false;
+      for (const auto& prev : out) {
+        if (symex::struct_eq(prev, ca)) {
+          dup = true;
+          break;
+        }
+      }
+      if (!dup) out.push_back(ca);
+    }
+  }
+  return out;
+}
+
+void append_terms(std::vector<symex::SymRef>& terms,
+                  const std::vector<symex::SymRef>& add) {
+  terms.insert(terms.end(), add.begin(), add.end());
+}
+
+/// Full guard + action term set of one entry (added/removed deltas).
+std::vector<symex::SymRef> all_terms(const model::ModelEntry& e) {
+  std::vector<symex::SymRef> t = guard_of(e);
+  for (const auto& send : e.flow_action) {
+    if (send.port) t.push_back(send.port);
+    for (const auto& [field, val] : send.rewrites) t.push_back(val);
+  }
+  for (const auto& [name, val] : e.state_action) t.push_back(val);
+  return t;
+}
+
+}  // namespace
+
+std::string to_string(DeltaKind k) {
+  switch (k) {
+    case DeltaKind::kAdded: return "added";
+    case DeltaKind::kRemoved: return "removed";
+    case DeltaKind::kGuardChanged: return "guard-changed";
+    case DeltaKind::kActionChanged: return "action-changed";
+    case DeltaKind::kStateChanged: return "state-update-changed";
+  }
+  return "?";
+}
+
+RuleDelta classify_pair(const model::Model& old_model, int old_entry,
+                        const model::Model& new_model, int new_entry) {
+  RuleDelta d;
+  d.old_entry = old_entry;
+  d.new_entry = new_entry;
+  const auto& oe = old_model.entries[static_cast<std::size_t>(old_entry)];
+  const auto& ne = new_model.entries[static_cast<std::size_t>(new_entry)];
+
+  // Guard: symmetric difference of conjuncts.
+  const auto og = guard_of(oe);
+  const auto ng = guard_of(ne);
+  d.old_only_guard = only_in(og, ng);
+  d.new_only_guard = only_in(ng, og);
+  d.guard_changed = !d.old_only_guard.empty() || !d.new_only_guard.empty();
+  append_terms(d.old_terms, d.old_only_guard);
+  append_terms(d.new_terms, d.new_only_guard);
+
+  // Forwarding action.
+  d.send_count_changed = oe.flow_action.size() != ne.flow_action.size();
+  const std::size_t sends =
+      std::min(oe.flow_action.size(), ne.flow_action.size());
+  for (std::size_t i = 0; i < sends; ++i) {
+    const auto& sa = oe.flow_action[i];
+    const auto& sb = ne.flow_action[i];
+    if (!symex::struct_eq(sa.port, sb.port)) {
+      d.port_changed = true;
+      if (sa.port) d.old_terms.push_back(sa.port);
+      if (sb.port) d.new_terms.push_back(sb.port);
+    }
+    std::set<std::string> fields;
+    for (const auto& [f, v] : sa.rewrites) fields.insert(f);
+    for (const auto& [f, v] : sb.rewrites) fields.insert(f);
+    for (const auto& f : fields) {
+      const auto ia = sa.rewrites.find(f);
+      const auto ib = sb.rewrites.find(f);
+      const bool both = ia != sa.rewrites.end() && ib != sb.rewrites.end();
+      if (both && symex::struct_eq(ia->second, ib->second)) continue;
+      d.changed_fields.push_back(f);
+      if (ia != sa.rewrites.end()) d.old_terms.push_back(ia->second);
+      if (ib != sb.rewrites.end()) d.new_terms.push_back(ib->second);
+    }
+  }
+  if (d.send_count_changed) {
+    for (std::size_t i = sends; i < oe.flow_action.size(); ++i) {
+      if (oe.flow_action[i].port) d.old_terms.push_back(oe.flow_action[i].port);
+      for (const auto& [f, v] : oe.flow_action[i].rewrites) {
+        d.old_terms.push_back(v);
+      }
+    }
+    for (std::size_t i = sends; i < ne.flow_action.size(); ++i) {
+      if (ne.flow_action[i].port) d.new_terms.push_back(ne.flow_action[i].port);
+      for (const auto& [f, v] : ne.flow_action[i].rewrites) {
+        d.new_terms.push_back(v);
+      }
+    }
+  }
+  d.action_changed = d.send_count_changed || d.port_changed ||
+                     !d.changed_fields.empty();
+
+  // State update.
+  std::set<std::string> state_vars;
+  for (const auto& [n, v] : oe.state_action) state_vars.insert(n);
+  for (const auto& [n, v] : ne.state_action) state_vars.insert(n);
+  for (const auto& n : state_vars) {
+    const auto ia = oe.state_action.find(n);
+    const auto ib = ne.state_action.find(n);
+    const bool both = ia != oe.state_action.end() && ib != ne.state_action.end();
+    if (both && symex::struct_eq(ia->second, ib->second)) continue;
+    d.changed_state.push_back(n);
+    if (ia != oe.state_action.end()) d.old_terms.push_back(ia->second);
+    if (ib != ne.state_action.end()) d.new_terms.push_back(ib->second);
+  }
+  d.state_changed = !d.changed_state.empty();
+
+  if (d.guard_changed) {
+    d.kind = DeltaKind::kGuardChanged;
+  } else if (d.action_changed) {
+    d.kind = DeltaKind::kActionChanged;
+  } else if (d.state_changed) {
+    d.kind = DeltaKind::kStateChanged;
+  } else {
+    // Defensive: a pair the matcher couldn't prove equivalent but whose
+    // parts all compare equal structurally — report as guard-changed
+    // rather than silently dropping it.
+    d.kind = DeltaKind::kGuardChanged;
+    d.guard_changed = true;
+  }
+  return d;
+}
+
+RuleDelta classify_added(const model::Model& new_model, int new_entry) {
+  RuleDelta d;
+  d.kind = DeltaKind::kAdded;
+  d.new_entry = new_entry;
+  d.new_terms =
+      all_terms(new_model.entries[static_cast<std::size_t>(new_entry)]);
+  return d;
+}
+
+RuleDelta classify_removed(const model::Model& old_model, int old_entry) {
+  RuleDelta d;
+  d.kind = DeltaKind::kRemoved;
+  d.old_entry = old_entry;
+  d.old_terms =
+      all_terms(old_model.entries[static_cast<std::size_t>(old_entry)]);
+  return d;
+}
+
+}  // namespace nfactor::diff

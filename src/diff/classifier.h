@@ -1,0 +1,77 @@
+// Delta classification for the semantic model differ (docs/diffing.md).
+// Once the matcher has paired rules across the two models, each
+// still-differing pair (and each unpaired rule) becomes one RuleDelta
+// with a primary kind and detail flags describing exactly which parts
+// of the rule moved: guard conjuncts, forwarding action, state update.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/model.h"
+#include "symex/expr.h"
+
+namespace nfactor::diff {
+
+enum class DeltaKind : std::uint8_t {
+  kAdded,          ///< rule exists only in the new model
+  kRemoved,        ///< rule exists only in the old model
+  kGuardChanged,   ///< paired rule, match condition differs
+  kActionChanged,  ///< paired rule, forwarding action differs
+  kStateChanged,   ///< paired rule, state update differs
+};
+
+std::string to_string(DeltaKind k);
+
+/// One localization suspect: a source line ranked by dependence
+/// distance to the delta's changed terms.
+struct Suspect {
+  int line = 0;
+  int distance = -1;  ///< min dependence-edge distance (-1 = no anchor path)
+  double score = 0;
+  std::string why;    ///< '+'-joined evidence tags
+};
+
+/// One reported difference between the two models.
+struct RuleDelta {
+  DeltaKind kind = DeltaKind::kAdded;
+  int old_entry = -1;  ///< index into the old model's entries (-1 = none)
+  int new_entry = -1;  ///< index into the new model's entries (-1 = none)
+
+  // Detail flags (a paired rule can differ in several parts at once;
+  // `kind` is the highest-precedence one: guard > action > state).
+  bool guard_changed = false;
+  bool action_changed = false;
+  bool state_changed = false;
+
+  /// Guard conjuncts present on only one side (symmetric difference of
+  /// flow/state-match fingerprint sets; const-true conjuncts ignored).
+  std::vector<symex::SymRef> old_only_guard;
+  std::vector<symex::SymRef> new_only_guard;
+  /// Packet fields whose rewrite expressions differ (or sends/ports).
+  std::vector<std::string> changed_fields;
+  /// State variables whose update expressions differ.
+  std::vector<std::string> changed_state;
+  bool port_changed = false;
+  bool send_count_changed = false;
+
+  /// Every differing expression, per side — the changed terms the
+  /// localizer anchors on and the repair stage harvests constants from.
+  /// For added/removed rules this is the single side's full guard+action.
+  std::vector<symex::SymRef> old_terms;
+  std::vector<symex::SymRef> new_terms;
+
+  /// Ranked fault-localization output (filled by diff::localize).
+  std::vector<Suspect> suspects;
+};
+
+/// Classify a paired (old, new) rule that the matcher found
+/// non-equivalent. Fills kind, flags, changed-term lists.
+RuleDelta classify_pair(const model::Model& old_model, int old_entry,
+                        const model::Model& new_model, int new_entry);
+
+/// Deltas for unpaired rules.
+RuleDelta classify_added(const model::Model& new_model, int new_entry);
+RuleDelta classify_removed(const model::Model& old_model, int old_entry);
+
+}  // namespace nfactor::diff

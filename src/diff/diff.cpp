@@ -1,0 +1,275 @@
+#include "diff/diff.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+
+#include "diff/localizer.h"
+#include "obs/json.h"
+
+namespace nfactor::diff {
+
+namespace {
+
+std::vector<std::string> set_minus(const std::set<std::string>& a,
+                                   const std::set<std::string>& b) {
+  std::vector<std::string> out;
+  for (const auto& x : a) {
+    if (b.count(x) == 0) out.push_back(x);
+  }
+  return out;
+}
+
+std::string fmt_score(double s) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.4f", s);
+  return buf;
+}
+
+void json_str_array(std::string& out, const std::vector<std::string>& items) {
+  out += "[";
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i != 0) out += ",";
+    out += "\"" + obs::json_escape(items[i]) + "\"";
+  }
+  out += "]";
+}
+
+std::vector<std::string> render_terms(const std::vector<symex::SymRef>& terms) {
+  std::vector<std::string> out;
+  out.reserve(terms.size());
+  for (const auto& t : terms) out.push_back(symex::to_string(t));
+  return out;
+}
+
+}  // namespace
+
+ModelDiff diff_models(const model::Model& old_model,
+                      const model::Model& new_model,
+                      const obs::ModelProvenance* old_prov,
+                      const obs::ModelProvenance* new_prov) {
+  const ModelMatch match = match_models(old_model, new_model, old_prov,
+                                        new_prov);
+  ModelDiff out;
+  out.equivalent_pairs = match.equivalent_pairs;
+  out.solver_queries = match.solver_queries;
+  out.ois_only_old = set_minus(old_model.ois_vars, new_model.ois_vars);
+  out.ois_only_new = set_minus(new_model.ois_vars, old_model.ois_vars);
+  out.cfg_only_old = set_minus(old_model.cfg_vars, new_model.cfg_vars);
+  out.cfg_only_new = set_minus(new_model.cfg_vars, old_model.cfg_vars);
+
+  for (const auto& tm : match.tables) {
+    if (tm.changed.empty() && tm.removed.empty() && tm.added.empty()) continue;
+    TableDiff td;
+    td.config = tm.config_label;
+    td.equivalent_pairs = tm.equivalent.size();
+    for (const auto& pair : tm.changed) {
+      td.deltas.push_back(classify_pair(old_model, pair.old_entry, new_model,
+                                        pair.new_entry));
+    }
+    for (const int oe : tm.removed) {
+      td.deltas.push_back(classify_removed(old_model, oe));
+    }
+    for (const int ne : tm.added) {
+      td.deltas.push_back(classify_added(new_model, ne));
+    }
+    out.tables.push_back(std::move(td));
+  }
+  return out;
+}
+
+DiffResult diff_sources(const std::string& old_source,
+                        const std::string& old_name,
+                        const std::string& new_source,
+                        const std::string& new_name,
+                        const DiffOptions& opts) {
+  DiffResult r;
+  r.old_name = old_name;
+  r.new_name = new_name;
+  r.old_res = pipeline::run_source(old_source, old_name, opts.pipeline);
+  r.new_res = pipeline::run_source(new_source, new_name, opts.pipeline);
+  r.diff = diff_models(r.old_res.model, r.new_res.model, &r.old_res.provenance,
+                       &r.new_res.provenance);
+
+  if (opts.localize) {
+    for (auto& table : r.diff.tables) {
+      for (auto& delta : table.deltas) {
+        delta.suspects = localize(delta, r.old_res, r.new_res,
+                                  opts.max_suspects);
+      }
+    }
+  }
+
+  if (opts.repair && !r.diff.equivalent()) {
+    std::vector<RuleDelta> deltas;
+    for (const auto& table : r.diff.tables) {
+      deltas.insert(deltas.end(), table.deltas.begin(), table.deltas.end());
+    }
+    RepairOptions ropts;
+    ropts.pipeline = opts.pipeline;
+    ropts.max_suspects = opts.max_suspects;
+    ropts.max_candidates = opts.repair_max_candidates;
+    ropts.oracle_packets = opts.oracle_packets;
+    ropts.packet_seed = opts.packet_seed;
+    r.repair = repair_search(r.old_res, old_source, new_source, new_name,
+                             deltas, ropts);
+  }
+  return r;
+}
+
+std::string to_text(const DiffResult& r) {
+  std::string out;
+  out += "nf-diff: old=" + r.old_name + " (" +
+         std::to_string(r.old_res.model.entries.size()) + " rules)  new=" +
+         r.new_name + " (" + std::to_string(r.new_res.model.entries.size()) +
+         " rules)\n";
+  if (r.degraded()) {
+    out += "warning: symbolic execution degraded on at least one side — the "
+           "diff may be partial\n";
+  }
+  if (r.diff.equivalent()) {
+    out += "models are semantically equivalent (" +
+           std::to_string(r.diff.equivalent_pairs) + " matched rules, " +
+           std::to_string(r.diff.solver_queries) + " solver queries)\n";
+    return out;
+  }
+  out += std::to_string(r.diff.delta_count()) + " difference(s) in " +
+         std::to_string(r.diff.tables.size()) + " table(s); " +
+         std::to_string(r.diff.equivalent_pairs) +
+         " rules matched as equivalent\n";
+  for (const auto& v : r.diff.ois_only_old) {
+    out += "  state variable only in old model: " + v + "\n";
+  }
+  for (const auto& v : r.diff.ois_only_new) {
+    out += "  state variable only in new model: " + v + "\n";
+  }
+  for (const auto& table : r.diff.tables) {
+    out += "[config " + (table.config.empty() ? "<any>" : table.config) + "]\n";
+    for (const auto& d : table.deltas) {
+      out += "  " + to_string(d.kind) + ":";
+      if (d.old_entry >= 0) out += " old #" + std::to_string(d.old_entry);
+      if (d.old_entry >= 0 && d.new_entry >= 0) out += " <->";
+      if (d.new_entry >= 0) out += " new #" + std::to_string(d.new_entry);
+      out += "\n";
+      for (const auto& g : d.old_only_guard) {
+        out += "    guard only in old: " + symex::to_string(g) + "\n";
+      }
+      for (const auto& g : d.new_only_guard) {
+        out += "    guard only in new: " + symex::to_string(g) + "\n";
+      }
+      for (const auto& f : d.changed_fields) {
+        out += "    rewrite changed: " + f + "\n";
+      }
+      for (const auto& s : d.changed_state) {
+        out += "    state update changed: " + s + "\n";
+      }
+      if (d.port_changed) out += "    output port changed\n";
+      if (d.send_count_changed) out += "    send count changed\n";
+      const std::string& file =
+          d.new_entry >= 0 ? r.new_name : r.old_name;
+      for (const auto& s : d.suspects) {
+        out += "    suspect " + file + ":" + std::to_string(s.line) +
+               " (score " + fmt_score(s.score) + ", " + s.why + ")\n";
+      }
+    }
+  }
+  if (r.repair.attempted) {
+    if (r.repair.repaired) {
+      out += "repair: " + std::string(fuzz::to_string(r.repair.cls)) + " — " +
+             r.repair.description + " (" +
+             std::to_string(r.repair.candidates_tried) +
+             " candidate(s) tried); patched model is equivalent to the "
+             "reference\n";
+    } else {
+      out += "repair: failed — " + r.repair.description + "\n";
+    }
+  }
+  return out;
+}
+
+std::string to_json(const DiffResult& r) {
+  std::string out;
+  out += "{\n";
+  out += "  \"schema\": \"nfactor-diff-v1\",\n";
+  out += "  \"old\": {\"name\": \"" + obs::json_escape(r.old_name) +
+         "\", \"rules\": " + std::to_string(r.old_res.model.entries.size()) +
+         ", \"degraded\": " + (r.old_res.degraded() ? "true" : "false") +
+         "},\n";
+  out += "  \"new\": {\"name\": \"" + obs::json_escape(r.new_name) +
+         "\", \"rules\": " + std::to_string(r.new_res.model.entries.size()) +
+         ", \"degraded\": " + (r.new_res.degraded() ? "true" : "false") +
+         "},\n";
+  out += "  \"equivalent\": " + std::string(r.equivalent() ? "true" : "false") +
+         ",\n";
+  out += "  \"equivalent_pairs\": " + std::to_string(r.diff.equivalent_pairs) +
+         ",\n";
+  out += "  \"ois_only_old\": ";
+  json_str_array(out, r.diff.ois_only_old);
+  out += ",\n  \"ois_only_new\": ";
+  json_str_array(out, r.diff.ois_only_new);
+  out += ",\n  \"cfg_only_old\": ";
+  json_str_array(out, r.diff.cfg_only_old);
+  out += ",\n  \"cfg_only_new\": ";
+  json_str_array(out, r.diff.cfg_only_new);
+  out += ",\n  \"tables\": [";
+  for (std::size_t t = 0; t < r.diff.tables.size(); ++t) {
+    const auto& table = r.diff.tables[t];
+    if (t != 0) out += ",";
+    out += "\n    {\"config\": \"" + obs::json_escape(table.config) +
+           "\", \"equivalent_pairs\": " +
+           std::to_string(table.equivalent_pairs) + ", \"deltas\": [";
+    for (std::size_t i = 0; i < table.deltas.size(); ++i) {
+      const auto& d = table.deltas[i];
+      if (i != 0) out += ",";
+      out += "\n      {\"kind\": \"" + to_string(d.kind) + "\"";
+      out += ", \"old_entry\": " + std::to_string(d.old_entry);
+      out += ", \"new_entry\": " + std::to_string(d.new_entry);
+      out += ", \"guard_changed\": " +
+             std::string(d.guard_changed ? "true" : "false");
+      out += ", \"action_changed\": " +
+             std::string(d.action_changed ? "true" : "false");
+      out += ", \"state_changed\": " +
+             std::string(d.state_changed ? "true" : "false");
+      out += ",\n       \"old_only_guard\": ";
+      json_str_array(out, render_terms(d.old_only_guard));
+      out += ", \"new_only_guard\": ";
+      json_str_array(out, render_terms(d.new_only_guard));
+      out += ",\n       \"changed_fields\": ";
+      json_str_array(out, d.changed_fields);
+      out += ", \"changed_state\": ";
+      json_str_array(out, d.changed_state);
+      out += ", \"port_changed\": " +
+             std::string(d.port_changed ? "true" : "false");
+      out += ", \"send_count_changed\": " +
+             std::string(d.send_count_changed ? "true" : "false");
+      out += ",\n       \"suspects\": [";
+      for (std::size_t s = 0; s < d.suspects.size(); ++s) {
+        const auto& sus = d.suspects[s];
+        if (s != 0) out += ", ";
+        out += "{\"line\": " + std::to_string(sus.line) +
+               ", \"distance\": " + std::to_string(sus.distance) +
+               ", \"score\": " + fmt_score(sus.score) + ", \"why\": \"" +
+               obs::json_escape(sus.why) + "\"}";
+      }
+      out += "]}";
+    }
+    out += "]}";
+  }
+  out += "\n  ]";
+  if (r.repair.attempted) {
+    out += ",\n  \"repair\": {\"attempted\": true, \"repaired\": " +
+           std::string(r.repair.repaired ? "true" : "false") +
+           ", \"candidates_tried\": " +
+           std::to_string(r.repair.candidates_tried);
+    if (r.repair.repaired) {
+      out += ", \"class\": \"" + fuzz::to_string(r.repair.cls) +
+             "\", \"line\": " + std::to_string(r.repair.line);
+    }
+    out += ", \"description\": \"" + obs::json_escape(r.repair.description) +
+           "\"}";
+  }
+  out += "\n}\n";
+  return out;
+}
+
+}  // namespace nfactor::diff

@@ -1,0 +1,95 @@
+// nf-diff driver (docs/diffing.md): synthesize both NF sources in one
+// process (sharing the expression interner, so structural fingerprints
+// are comparable across the two models), match rules per configuration
+// table, classify the surviving deltas, localize each one to suspect
+// source lines, and optionally search for an oracle-validated repair.
+//
+// The JSON export (`nfactor-diff-v1`) contains only deterministic data
+// — model structure, rendered expressions, provenance-derived suspect
+// lines — and is byte-identical across `--jobs` widths (the models and
+// provenance cores themselves are; the differ adds nothing
+// schedule-dependent).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "diff/classifier.h"
+#include "diff/matcher.h"
+#include "diff/repair.h"
+#include "nfactor/pipeline.h"
+
+namespace nfactor::diff {
+
+struct DiffOptions {
+  /// Pipeline options used for both sides. Defaults to CLI parity:
+  /// normalization + simplify with config folding on.
+  pipeline::PipelineOptions pipeline;
+  bool localize = true;
+  int max_suspects = 3;
+  bool repair = false;
+  int repair_max_candidates = 64;
+  int oracle_packets = 100;
+  std::uint64_t packet_seed = 1;
+
+  DiffOptions() {
+    pipeline.simplify.enabled = true;
+    pipeline.simplify.fold_config = true;
+  }
+};
+
+/// One configuration table's reported differences.
+struct TableDiff {
+  std::string config;  ///< rendered config_key ("" = any config)
+  std::size_t equivalent_pairs = 0;  ///< matched rules (not reported)
+  std::vector<RuleDelta> deltas;
+};
+
+struct ModelDiff {
+  std::vector<TableDiff> tables;  ///< only tables with deltas
+  std::size_t equivalent_pairs = 0;
+  std::size_t solver_queries = 0;
+  /// Variable-category drift between the two models.
+  std::vector<std::string> ois_only_old, ois_only_new;
+  std::vector<std::string> cfg_only_old, cfg_only_new;
+
+  bool equivalent() const { return tables.empty(); }
+  std::size_t delta_count() const {
+    std::size_t n = 0;
+    for (const auto& t : tables) n += t.deltas.size();
+    return n;
+  }
+};
+
+/// Pure model-level diff (no localization): match + classify.
+ModelDiff diff_models(const model::Model& old_model,
+                      const model::Model& new_model,
+                      const obs::ModelProvenance* old_prov = nullptr,
+                      const obs::ModelProvenance* new_prov = nullptr);
+
+struct DiffResult {
+  std::string old_name, new_name;
+  pipeline::PipelineResult old_res, new_res;
+  ModelDiff diff;
+  RepairOutcome repair;
+
+  bool equivalent() const { return diff.equivalent(); }
+  /// Either side's SE degraded — the diff may be partial.
+  bool degraded() const { return old_res.degraded() || new_res.degraded(); }
+};
+
+/// Full pipeline: synthesize old and new, diff, localize, (optionally)
+/// repair. Throws lang::FrontendError on parse/sema failure.
+DiffResult diff_sources(const std::string& old_source,
+                        const std::string& old_name,
+                        const std::string& new_source,
+                        const std::string& new_name,
+                        const DiffOptions& opts = {});
+
+/// Human-readable report.
+std::string to_text(const DiffResult& r);
+
+/// Deterministic `nfactor-diff-v1` JSON (schema in docs/diffing.md).
+std::string to_json(const DiffResult& r);
+
+}  // namespace nfactor::diff

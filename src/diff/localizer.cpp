@@ -1,0 +1,328 @@
+#include "diff/localizer.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+
+namespace nfactor::diff {
+
+namespace {
+
+void collect_const_ints(const symex::SymRef& e, std::set<std::int64_t>& out) {
+  if (!e) return;
+  if (e->kind == symex::SymKind::kConstInt) out.insert(e->int_val);
+  for (const auto& op : e->operands) collect_const_ints(op, out);
+  for (const auto& [name, f] : e->fields) collect_const_ints(f, out);
+}
+
+void collect_ast_ints(const lang::Expr& e, std::set<std::int64_t>& out) {
+  if (e.kind == lang::ExprKind::kIntLit) {
+    out.insert(static_cast<const lang::IntLit&>(e).value);
+  }
+  switch (e.kind) {
+    case lang::ExprKind::kUnary:
+      collect_ast_ints(*static_cast<const lang::Unary&>(e).operand, out);
+      break;
+    case lang::ExprKind::kBinary: {
+      const auto& b = static_cast<const lang::Binary&>(e);
+      collect_ast_ints(*b.lhs, out);
+      collect_ast_ints(*b.rhs, out);
+      break;
+    }
+    case lang::ExprKind::kCall:
+      for (const auto& a : static_cast<const lang::Call&>(e).args) {
+        collect_ast_ints(*a, out);
+      }
+      break;
+    case lang::ExprKind::kTupleLit:
+      for (const auto& x : static_cast<const lang::TupleLit&>(e).elems) {
+        collect_ast_ints(*x, out);
+      }
+      break;
+    case lang::ExprKind::kListLit:
+      for (const auto& x : static_cast<const lang::ListLit&>(e).elems) {
+        collect_ast_ints(*x, out);
+      }
+      break;
+    case lang::ExprKind::kIndex: {
+      const auto& ix = static_cast<const lang::Index&>(e);
+      collect_ast_ints(*ix.base, out);
+      collect_ast_ints(*ix.index, out);
+      break;
+    }
+    case lang::ExprKind::kField:
+      collect_ast_ints(*static_cast<const lang::FieldRef&>(e).base, out);
+      break;
+    default:
+      break;
+  }
+}
+
+/// Integer literals appearing anywhere in one IR instruction.
+std::set<std::int64_t> instr_ints(const ir::Instr& n) {
+  std::set<std::int64_t> out;
+  if (n.value) collect_ast_ints(*n.value, out);
+  if (n.index) collect_ast_ints(*n.index, out);
+  if (n.aux) collect_ast_ints(*n.aux, out);
+  for (const auto& a : n.args) collect_ast_ints(*a, out);
+  return out;
+}
+
+/// Locations a changed symbolic variable corresponds to in a module's
+/// IR: state/config symbols are named after the variable itself; packet
+/// field symbols are "pkt.<field>" while IR locations use the module's
+/// actual packet variable name.
+std::set<std::string> changed_locations(
+    const std::map<std::string, symex::VarClass>& vars,
+    const ir::Module& module) {
+  std::set<std::string> locs;
+  for (const auto& [name, cls] : vars) {
+    locs.insert(name);
+    if (name.rfind("pkt.", 0) == 0 && module.pkt_var != "pkt") {
+      locs.insert(module.pkt_var + name.substr(3));
+    }
+  }
+  return locs;
+}
+
+struct SideScore {
+  std::map<int, double> line_score;
+  std::map<int, int> line_dist;            // min dependence distance
+  std::map<int, std::set<std::string>> line_why;
+};
+
+/// Score candidate lines on one side's module/PDG: multi-source BFS from
+/// anchor nodes (statements mentioning a changed variable or constant),
+/// node score 1/(1+dist) plus kind-specific boosts, collapsed to lines.
+void score_side(const RuleDelta& delta, const pipeline::PipelineResult& res,
+                const std::set<int>& candidate_lines,
+                const std::set<std::string>& changed_locs,
+                const std::set<std::int64_t>& changed_consts,
+                const std::set<std::string>& changed_state,
+                SideScore& out) {
+  const ir::Cfg& cfg = res.module->body;
+  const auto nodes = cfg.real_nodes();
+
+  const auto mentions_changed = [&](const ir::Instr& n) {
+    for (const auto& u : n.uses()) {
+      if (changed_locs.count(u) != 0) return true;
+    }
+    for (const auto& d : n.defs()) {
+      if (changed_locs.count(d) != 0) return true;
+    }
+    return false;
+  };
+  const auto has_changed_const = [&](const ir::Instr& n) {
+    if (changed_consts.empty()) return false;
+    for (const auto v : instr_ints(n)) {
+      if (changed_consts.count(v) != 0) return true;
+    }
+    return false;
+  };
+
+  std::vector<int> anchors;
+  for (const int id : nodes) {
+    const auto& n = cfg.node(id);
+    if (n.loc.line <= 0 || candidate_lines.count(n.loc.line) == 0) continue;
+    if (mentions_changed(n) || has_changed_const(n)) anchors.push_back(id);
+  }
+  if (anchors.empty()) {
+    // Nothing mentions the changed terms directly (folded away): fall
+    // back to every statement on a candidate line.
+    for (const int id : nodes) {
+      if (cfg.node(id).loc.line > 0 &&
+          candidate_lines.count(cfg.node(id).loc.line) != 0) {
+        anchors.push_back(id);
+      }
+    }
+  }
+  if (anchors.empty()) return;
+
+  // Undirected dependence adjacency (data + control, both directions).
+  std::map<int, std::set<int>> adj;
+  for (const int id : nodes) {
+    for (const int d : res.pdg->data_deps(id)) {
+      adj[id].insert(d);
+      adj[d].insert(id);
+    }
+    for (const int d : res.pdg->control_deps(id)) {
+      adj[id].insert(d);
+      adj[d].insert(id);
+    }
+  }
+
+  constexpr int kMaxDist = 6;
+  std::map<int, int> dist;
+  std::deque<int> queue;
+  for (const int a : anchors) {
+    dist[a] = 0;
+    queue.push_back(a);
+  }
+  while (!queue.empty()) {
+    const int n = queue.front();
+    queue.pop_front();
+    const int d = dist[n];
+    if (d >= kMaxDist) continue;
+    const auto it = adj.find(n);
+    if (it == adj.end()) continue;
+    for (const int m : it->second) {
+      if (dist.count(m) == 0) {
+        dist[m] = d + 1;
+        queue.push_back(m);
+      }
+    }
+  }
+
+  for (const auto& [id, d] : dist) {
+    const auto& n = cfg.node(id);
+    if (n.loc.line <= 0 || candidate_lines.count(n.loc.line) == 0) continue;
+    double score = 1.0 / (1.0 + d);
+    std::set<std::string> why;
+    if (d == 0) {
+      why.insert("mentions-changed-term");
+    } else {
+      why.insert("dep-distance=" + std::to_string(d));
+    }
+    if (delta.guard_changed && n.kind == ir::InstrKind::kBranch) {
+      score += 0.5;
+      why.insert("guard-branch");
+    }
+    if (delta.state_changed) {
+      for (const auto& def : n.defs()) {
+        if (changed_state.count(def) != 0) {
+          score += 0.75;
+          why.insert("state-write");
+          break;
+        }
+      }
+    }
+    if (has_changed_const(n)) {
+      score += 1.0;
+      why.insert("changed-constant");
+    }
+    auto& best = out.line_score[n.loc.line];
+    if (score > best) best = score;
+    const auto dit = out.line_dist.find(n.loc.line);
+    if (dit == out.line_dist.end() || d < dit->second) {
+      out.line_dist[n.loc.line] = d;
+    }
+    out.line_why[n.loc.line].insert(why.begin(), why.end());
+  }
+}
+
+std::set<int> all_prov_lines(const obs::ModelProvenance& prov) {
+  std::set<int> lines;
+  for (const auto& r : prov.rules) lines.insert(r.lines.begin(), r.lines.end());
+  return lines;
+}
+
+}  // namespace
+
+std::vector<Suspect> localize(const RuleDelta& delta,
+                              const pipeline::PipelineResult& old_res,
+                              const pipeline::PipelineResult& new_res,
+                              int max_suspects) {
+  // Changed terms -> variables and constants.
+  std::map<std::string, symex::VarClass> vars;
+  std::set<std::int64_t> consts;
+  for (const auto& t : delta.old_terms) {
+    symex::collect_vars(t, vars);
+    collect_const_ints(t, consts);
+  }
+  for (const auto& t : delta.new_terms) {
+    symex::collect_vars(t, vars);
+    collect_const_ints(t, consts);
+  }
+  std::set<std::string> changed_state(delta.changed_state.begin(),
+                                      delta.changed_state.end());
+
+  // Candidate lines from provenance: lines both diverging rules
+  // executed, plus — the strongest signal — lines only one side did.
+  std::set<int> old_lines, new_lines;
+  if (delta.old_entry >= 0 &&
+      static_cast<std::size_t>(delta.old_entry) <
+          old_res.provenance.rules.size()) {
+    const auto& l = old_res.provenance.rules[
+        static_cast<std::size_t>(delta.old_entry)].lines;
+    old_lines.insert(l.begin(), l.end());
+  }
+  if (delta.new_entry >= 0 &&
+      static_cast<std::size_t>(delta.new_entry) <
+          new_res.provenance.rules.size()) {
+    const auto& l = new_res.provenance.rules[
+        static_cast<std::size_t>(delta.new_entry)].lines;
+    new_lines.insert(l.begin(), l.end());
+  }
+
+  std::set<int> candidates, diverging;
+  if (delta.old_entry >= 0 && delta.new_entry >= 0) {
+    candidates = old_lines;
+    candidates.insert(new_lines.begin(), new_lines.end());
+    for (const int l : candidates) {
+      if (old_lines.count(l) == 0 || new_lines.count(l) == 0) {
+        diverging.insert(l);
+      }
+    }
+  } else if (delta.new_entry >= 0) {
+    candidates = new_lines;
+    const auto seen = all_prov_lines(old_res.provenance);
+    for (const int l : candidates) {
+      if (seen.count(l) == 0) diverging.insert(l);
+    }
+  } else {
+    candidates = old_lines;
+    const auto seen = all_prov_lines(new_res.provenance);
+    for (const int l : candidates) {
+      if (seen.count(l) == 0) diverging.insert(l);
+    }
+  }
+  if (candidates.empty()) return {};
+
+  const auto changed_locs_old = changed_locations(vars, *old_res.module);
+  const auto changed_locs_new = changed_locations(vars, *new_res.module);
+
+  SideScore scores;
+  if (delta.old_entry >= 0) {
+    score_side(delta, old_res, candidates, changed_locs_old, consts,
+               changed_state, scores);
+  }
+  if (delta.new_entry >= 0) {
+    score_side(delta, new_res, candidates, changed_locs_new, consts,
+               changed_state, scores);
+  }
+
+  // Lines where the two paths diverged outrank dependence neighbors.
+  for (const int l : diverging) {
+    scores.line_score[l] += 1.0;
+    scores.line_why[l].insert("diverging-line");
+    if (scores.line_dist.count(l) == 0) scores.line_dist[l] = -1;
+  }
+
+  std::vector<Suspect> out;
+  for (const auto& [line, score] : scores.line_score) {
+    Suspect s;
+    s.line = line;
+    s.score = score;
+    const auto dit = scores.line_dist.find(line);
+    s.distance = dit == scores.line_dist.end() ? -1 : dit->second;
+    std::string why;
+    for (const auto& tag : scores.line_why[line]) {
+      if (!why.empty()) why += "+";
+      why += tag;
+    }
+    s.why = std::move(why);
+    out.push_back(std::move(s));
+  }
+  std::stable_sort(out.begin(), out.end(), [](const Suspect& a,
+                                              const Suspect& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.line < b.line;
+  });
+  if (max_suspects >= 0 && out.size() > static_cast<std::size_t>(max_suspects)) {
+    out.resize(static_cast<std::size_t>(max_suspects));
+  }
+  return out;
+}
+
+}  // namespace nfactor::diff

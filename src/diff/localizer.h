@@ -1,0 +1,28 @@
+// Dependence-based fault localization (docs/diffing.md). For one
+// RuleDelta, candidate source lines come from the synthesis provenance
+// of the diverging rules (lines both paths executed, plus the lines
+// only one side executed — exactly where the paths diverged). Candidates
+// are then ranked by PDG dependence-edge distance from "anchor"
+// statements that mention the delta's changed variables or constants,
+// with boosts for branch nodes under guard deltas, state-writing nodes
+// under state deltas, and statements containing a changed constant.
+#pragma once
+
+#include <vector>
+
+#include "diff/classifier.h"
+#include "nfactor/pipeline.h"
+
+namespace nfactor::diff {
+
+/// Rank suspect source lines for `delta`. `old_res`/`new_res` are the
+/// two synthesis runs the models came from (module + PDG + provenance).
+/// Suspect lines refer to the side a rule exists on — for paired deltas
+/// the union of both sides (line-aligned sources share numbering).
+/// Returns at most `max_suspects` suspects, best first; deterministic.
+std::vector<Suspect> localize(const RuleDelta& delta,
+                              const pipeline::PipelineResult& old_res,
+                              const pipeline::PipelineResult& new_res,
+                              int max_suspects = 3);
+
+}  // namespace nfactor::diff

@@ -1,0 +1,322 @@
+#include "diff/matcher.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace nfactor::diff {
+
+namespace {
+
+bool is_true_const(const symex::SymRef& e) {
+  return e->kind == symex::SymKind::kConstBool && e->bool_val;
+}
+
+/// Guard conjunction of an entry: flow + state match, const-true dropped.
+std::vector<symex::SymRef> guard_of(const model::ModelEntry& e) {
+  std::vector<symex::SymRef> g;
+  g.reserve(e.flow_match.size() + e.state_match.size());
+  for (const auto& c : e.flow_match) {
+    if (!is_true_const(c)) g.push_back(c);
+  }
+  for (const auto& c : e.state_match) {
+    if (!is_true_const(c)) g.push_back(c);
+  }
+  return g;
+}
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+constexpr std::uint64_t kSep = 0x9e3779b97f4a7c15ull;
+
+/// Phase-1 signature: guard fingerprints (sorted, deduplicated) plus the
+/// action rendered as a fingerprint sequence. Equal signatures mean the
+/// rules are structurally identical up to conjunct order.
+std::vector<std::uint64_t> exact_signature(const model::ModelEntry& e) {
+  std::vector<std::uint64_t> sig;
+  for (const auto& c : guard_of(e)) sig.push_back(c->fp);
+  std::sort(sig.begin(), sig.end());
+  sig.erase(std::unique(sig.begin(), sig.end()), sig.end());
+  sig.push_back(kSep);
+  for (const auto& send : e.flow_action) {
+    sig.push_back(send.port ? send.port->fp : 0);
+    for (const auto& [field, val] : send.rewrites) {
+      sig.push_back(fnv1a(field));
+      sig.push_back(val->fp);
+    }
+    sig.push_back(kSep);
+  }
+  sig.push_back(kSep);
+  for (const auto& [name, val] : e.state_action) {
+    sig.push_back(fnv1a(name));
+    sig.push_back(val->fp);
+  }
+  return sig;
+}
+
+double jaccard(const std::vector<int>& a, const std::vector<int>& b) {
+  if (a.empty() && b.empty()) return 0;
+  std::size_t inter = 0;
+  std::size_t i = 0, j = 0;  // both sorted (RuleProvenance::lines)
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      ++inter;
+      ++i;
+      ++j;
+    }
+  }
+  const std::size_t uni = a.size() + b.size() - inter;
+  return uni == 0 ? 0 : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+template <typename K, typename V>
+double key_overlap(const std::map<K, V>& a, const std::map<K, V>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  std::size_t inter = 0;
+  for (const auto& [k, v] : a) inter += b.count(k);
+  const std::size_t uni = a.size() + b.size() - inter;
+  return uni == 0 ? 1.0 : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+/// Phase-3 pairing similarity. Provenance-line overlap dominates: a
+/// single edited statement leaves the two paths executing nearly the
+/// same lines.
+double pair_score(const model::ModelEntry& a, const model::ModelEntry& b,
+                  const std::vector<int>* lines_a,
+                  const std::vector<int>* lines_b) {
+  double s = 0;
+  if (lines_a != nullptr && lines_b != nullptr) {
+    s += 4.0 * jaccard(*lines_a, *lines_b);
+  }
+  const auto ga = guard_of(a);
+  const auto gb = guard_of(b);
+  std::set<std::uint64_t> fps_a;
+  for (const auto& c : ga) fps_a.insert(c->fp);
+  std::size_t shared = 0;
+  std::set<std::uint64_t> fps_b;
+  for (const auto& c : gb) {
+    if (fps_b.insert(c->fp).second && fps_a.count(c->fp) != 0) ++shared;
+  }
+  const std::size_t denom = std::max<std::size_t>(
+      1, std::max(fps_a.size(), fps_b.size()));
+  s += 2.0 * static_cast<double>(shared) / static_cast<double>(denom);
+  if (a.flow_action.size() == b.flow_action.size()) {
+    s += 0.5;
+    for (std::size_t i = 0; i < a.flow_action.size(); ++i) {
+      if (symex::struct_eq(a.flow_action[i].port, b.flow_action[i].port)) {
+        s += 0.5;
+      }
+      s += 0.5 * key_overlap(a.flow_action[i].rewrites,
+                             b.flow_action[i].rewrites);
+    }
+  }
+  s += 0.5 * key_overlap(a.state_action, b.state_action);
+  return s;
+}
+
+const std::vector<int>* prov_lines(const obs::ModelProvenance* prov, int entry) {
+  if (prov == nullptr) return nullptr;
+  const auto idx = static_cast<std::size_t>(entry);
+  if (idx >= prov->rules.size()) return nullptr;
+  return &prov->rules[idx].lines;
+}
+
+}  // namespace
+
+bool guard_implies(symex::Solver& solver,
+                   const std::vector<symex::SymRef>& a,
+                   const std::vector<symex::SymRef>& b) {
+  for (const auto& conjunct : b) {
+    if (is_true_const(conjunct)) continue;
+    bool trivially = false;
+    for (const auto& have : a) {
+      if (symex::struct_eq(have, conjunct)) {
+        trivially = true;
+        break;
+      }
+    }
+    if (trivially) continue;
+    std::vector<symex::SymRef> query = a;
+    query.push_back(symex::negate(conjunct));
+    if (solver.check(query) != symex::SatResult::kUnsat) return false;
+  }
+  return true;
+}
+
+bool guards_equivalent(symex::Solver& solver,
+                       const std::vector<symex::SymRef>& a,
+                       const std::vector<symex::SymRef>& b) {
+  return guard_implies(solver, a, b) && guard_implies(solver, b, a);
+}
+
+bool actions_equal(const model::ModelEntry& a, const model::ModelEntry& b) {
+  if (a.flow_action.size() != b.flow_action.size()) return false;
+  for (std::size_t i = 0; i < a.flow_action.size(); ++i) {
+    const auto& sa = a.flow_action[i];
+    const auto& sb = b.flow_action[i];
+    if (!symex::struct_eq(sa.port, sb.port)) return false;
+    if (sa.rewrites.size() != sb.rewrites.size()) return false;
+    for (const auto& [field, val] : sa.rewrites) {
+      const auto it = sb.rewrites.find(field);
+      if (it == sb.rewrites.end() || !symex::struct_eq(val, it->second)) {
+        return false;
+      }
+    }
+  }
+  if (a.state_action.size() != b.state_action.size()) return false;
+  for (const auto& [name, val] : a.state_action) {
+    const auto it = b.state_action.find(name);
+    if (it == b.state_action.end() || !symex::struct_eq(val, it->second)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+ModelMatch match_models(const model::Model& old_model,
+                        const model::Model& new_model,
+                        const obs::ModelProvenance* old_prov,
+                        const obs::ModelProvenance* new_prov) {
+  ModelMatch out;
+
+  // Group both sides' entries per configuration table.
+  struct Group {
+    std::string label;
+    std::vector<int> old_entries, new_entries;
+  };
+  std::map<std::vector<std::uint64_t>, Group> groups;
+  for (std::size_t i = 0; i < old_model.entries.size(); ++i) {
+    auto& g = groups[old_model.entries[i].config_identity()];
+    if (g.label.empty()) g.label = old_model.entries[i].config_key();
+    g.old_entries.push_back(static_cast<int>(i));
+  }
+  for (std::size_t i = 0; i < new_model.entries.size(); ++i) {
+    auto& g = groups[new_model.entries[i].config_identity()];
+    if (g.label.empty()) g.label = new_model.entries[i].config_key();
+    g.new_entries.push_back(static_cast<int>(i));
+  }
+
+  symex::Solver solver;
+
+  for (auto& [identity, group] : groups) {
+    TableMatch tm;
+    tm.config_identity = identity;
+    tm.config_label = group.label;
+
+    std::vector<bool> old_used(group.old_entries.size(), false);
+    std::vector<bool> new_used(group.new_entries.size(), false);
+
+    // Phase 1: exact fingerprint signature, greedy in index order.
+    std::map<std::vector<std::uint64_t>, std::vector<std::size_t>> by_sig;
+    for (std::size_t j = 0; j < group.new_entries.size(); ++j) {
+      by_sig[exact_signature(new_model.entries[
+          static_cast<std::size_t>(group.new_entries[j])])].push_back(j);
+    }
+    for (std::size_t i = 0; i < group.old_entries.size(); ++i) {
+      const auto sig = exact_signature(old_model.entries[
+          static_cast<std::size_t>(group.old_entries[i])]);
+      auto it = by_sig.find(sig);
+      if (it == by_sig.end()) continue;
+      auto& slots = it->second;
+      std::size_t pick = slots.size();
+      for (std::size_t k = 0; k < slots.size(); ++k) {
+        if (!new_used[slots[k]]) {
+          pick = k;
+          break;
+        }
+      }
+      if (pick == slots.size()) continue;
+      const std::size_t j = slots[pick];
+      old_used[i] = true;
+      new_used[j] = true;
+      tm.equivalent.push_back(
+          {group.old_entries[i], group.new_entries[j], true});
+    }
+
+    // Phase 2: equal actions + solver-proven guard equivalence.
+    for (std::size_t i = 0; i < group.old_entries.size(); ++i) {
+      if (old_used[i]) continue;
+      const auto& oe = old_model.entries[
+          static_cast<std::size_t>(group.old_entries[i])];
+      for (std::size_t j = 0; j < group.new_entries.size(); ++j) {
+        if (new_used[j]) continue;
+        const auto& ne = new_model.entries[
+            static_cast<std::size_t>(group.new_entries[j])];
+        if (!actions_equal(oe, ne)) continue;
+        if (!guards_equivalent(solver, guard_of(oe), guard_of(ne))) continue;
+        old_used[i] = true;
+        new_used[j] = true;
+        tm.equivalent.push_back(
+            {group.old_entries[i], group.new_entries[j], false});
+        break;
+      }
+    }
+
+    // Phase 3: greedily pair what remains by similarity, so one edited
+    // rule reports as a single changed pair.
+    struct Cand {
+      double score;
+      std::size_t i, j;
+    };
+    std::vector<Cand> cands;
+    for (std::size_t i = 0; i < group.old_entries.size(); ++i) {
+      if (old_used[i]) continue;
+      const int oi = group.old_entries[i];
+      const auto& oe = old_model.entries[static_cast<std::size_t>(oi)];
+      for (std::size_t j = 0; j < group.new_entries.size(); ++j) {
+        if (new_used[j]) continue;
+        const int nj = group.new_entries[j];
+        const auto& ne = new_model.entries[static_cast<std::size_t>(nj)];
+        const double s = pair_score(oe, ne, prov_lines(old_prov, oi),
+                                    prov_lines(new_prov, nj));
+        if (s >= 0.75) cands.push_back({s, i, j});
+      }
+    }
+    std::stable_sort(cands.begin(), cands.end(),
+                     [](const Cand& a, const Cand& b) {
+                       if (a.score != b.score) return a.score > b.score;
+                       if (a.i != b.i) return a.i < b.i;
+                       return a.j < b.j;
+                     });
+    for (const auto& c : cands) {
+      if (old_used[c.i] || new_used[c.j]) continue;
+      old_used[c.i] = true;
+      new_used[c.j] = true;
+      tm.changed.push_back(
+          {group.old_entries[c.i], group.new_entries[c.j], false});
+    }
+
+    for (std::size_t i = 0; i < group.old_entries.size(); ++i) {
+      if (!old_used[i]) tm.removed.push_back(group.old_entries[i]);
+    }
+    for (std::size_t j = 0; j < group.new_entries.size(); ++j) {
+      if (!new_used[j]) tm.added.push_back(group.new_entries[j]);
+    }
+
+    out.equivalent_pairs += tm.equivalent.size();
+    out.tables.push_back(std::move(tm));
+  }
+
+  std::stable_sort(out.tables.begin(), out.tables.end(),
+                   [](const TableMatch& a, const TableMatch& b) {
+                     if (a.config_label != b.config_label) {
+                       return a.config_label < b.config_label;
+                     }
+                     return a.config_identity < b.config_identity;
+                   });
+  out.solver_queries = solver.query_count();
+  return out;
+}
+
+}  // namespace nfactor::diff

@@ -1,0 +1,82 @@
+// Rule matching for the semantic model differ (docs/diffing.md). Two
+// models' entries are grouped per configuration table
+// (ModelEntry::config_identity) and matched in three phases:
+//   1. exact    — sorted structural-fingerprint signature of
+//                 (guard conjuncts, forwarding action, state update);
+//                 interner fingerprints make this a word compare;
+//   2. semantic — equal actions + solver-proven guard equivalence
+//                 (mutual implication), so cosmetically different but
+//                 equivalent rules are matched, not reported;
+//   3. paired   — remaining rules are greedily paired by similarity
+//                 (provenance-line Jaccard, shared guard conjuncts,
+//                 action shape) so a single edited rule shows up as one
+//                 changed pair instead of an add + a remove.
+// Whatever survives unpaired is an added/removed rule.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/model.h"
+#include "obs/provenance.h"
+#include "symex/solver.h"
+
+namespace nfactor::diff {
+
+struct RulePair {
+  int old_entry = -1;
+  int new_entry = -1;
+  bool exact = false;  ///< phase-1 fingerprint match (else solver-proven)
+};
+
+/// Match outcome for one configuration table.
+struct TableMatch {
+  std::vector<std::uint64_t> config_identity;
+  std::string config_label;  ///< rendered config_key (empty = any config)
+  std::vector<RulePair> equivalent;  ///< matched, NOT reported in the diff
+  std::vector<RulePair> changed;     ///< phase-3 pairs that still differ
+  std::vector<int> removed;          ///< old-side entries left unpaired
+  std::vector<int> added;            ///< new-side entries left unpaired
+};
+
+struct ModelMatch {
+  std::vector<TableMatch> tables;  ///< sorted by config_label
+  std::size_t equivalent_pairs = 0;
+  std::size_t solver_queries = 0;  ///< feasibility checks spent matching
+
+  bool models_equivalent() const {
+    for (const auto& t : tables) {
+      if (!t.changed.empty() || !t.removed.empty() || !t.added.empty()) {
+        return false;
+      }
+    }
+    return true;
+  }
+};
+
+/// Match the two models' rules. Provenance pointers are optional; when
+/// given (rules parallel to entries) phase 3 uses source-line overlap as
+/// its primary pairing signal. Deterministic in its inputs.
+ModelMatch match_models(const model::Model& old_model,
+                        const model::Model& new_model,
+                        const obs::ModelProvenance* old_prov = nullptr,
+                        const obs::ModelProvenance* new_prov = nullptr);
+
+/// Solver-proven implication: `a` (a conjunction) implies every
+/// conjunct of `b`. Sound in one direction only — a `true` answer is a
+/// proof, a `false` answer may just be incompleteness (the feasibility
+/// checker treats undecided as sat).
+bool guard_implies(symex::Solver& solver,
+                   const std::vector<symex::SymRef>& a,
+                   const std::vector<symex::SymRef>& b);
+
+/// Mutual implication of the two guard conjunctions.
+bool guards_equivalent(symex::Solver& solver,
+                       const std::vector<symex::SymRef>& a,
+                       const std::vector<symex::SymRef>& b);
+
+/// Structural equality of forwarding + state actions.
+bool actions_equal(const model::ModelEntry& a, const model::ModelEntry& b);
+
+}  // namespace nfactor::diff

@@ -1,0 +1,237 @@
+#include "diff/repair.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "diff/matcher.h"
+#include "fuzz/oracle.h"
+#include "runtime/interp.h"
+#include "runtime/value.h"
+
+namespace nfactor::diff {
+
+namespace {
+
+void collect_const_ints(const symex::SymRef& e, std::set<std::int64_t>& out) {
+  if (!e) return;
+  if (e->kind == symex::SymKind::kConstInt) out.insert(e->int_val);
+  for (const auto& op : e->operands) collect_const_ints(op, out);
+  for (const auto& [name, f] : e->fields) collect_const_ints(f, out);
+}
+
+std::vector<std::string> split_lines(const std::string& s) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t nl = s.find('\n', start);
+    if (nl == std::string::npos) {
+      lines.push_back(s.substr(start));
+      break;
+    }
+    lines.push_back(s.substr(start, nl - start));
+    start = nl + 1;
+  }
+  return lines;
+}
+
+std::string join_lines(const std::vector<std::string>& lines) {
+  std::string out;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    out += lines[i];
+    if (i + 1 < lines.size()) out += "\n";
+  }
+  return out;
+}
+
+/// One candidate patch, in the order the search tries them.
+struct Candidate {
+  fuzz::FaultClass cls;
+  int line = 0;
+  std::string source;
+  std::string description;
+};
+
+/// Concrete differential validation: run both programs' runtimes over
+/// the oracle's packet batch; outputs and final output-impacting state
+/// must agree packet-for-packet.
+bool runtimes_agree(const pipeline::PipelineResult& ref,
+                    const pipeline::PipelineResult& cand,
+                    const std::vector<netsim::Packet>& packets) {
+  runtime::Interpreter ri(*ref.module);
+  runtime::Interpreter ci(*cand.module);
+  ri.reset();
+  ci.reset();
+  for (const auto& p : packets) {
+    runtime::Output ro, co;
+    try {
+      ro = ri.process(p);
+      co = ci.process(p);
+    } catch (const std::exception&) {
+      return false;
+    }
+    if (ro.sent != co.sent) return false;
+  }
+  std::set<std::string> ois = ref.cats.ois_vars;
+  ois.insert(cand.cats.ois_vars.begin(), cand.cats.ois_vars.end());
+  for (const auto& name : ois) {
+    const runtime::Value* rv = ri.global(name);
+    const runtime::Value* cv = ci.global(name);
+    if ((rv == nullptr) != (cv == nullptr)) return false;
+    if (rv != nullptr && runtime::to_string(*rv) != runtime::to_string(*cv)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+RepairOutcome repair_search(const pipeline::PipelineResult& ref_res,
+                            const std::string& ref_source,
+                            const std::string& buggy_source,
+                            const std::string& buggy_name,
+                            const std::vector<RuleDelta>& deltas,
+                            const RepairOptions& opts) {
+  RepairOutcome out;
+  out.attempted = true;
+
+  // Rank suspect lines across all deltas by their best score.
+  std::map<int, double> line_best;
+  for (const auto& d : deltas) {
+    for (const auto& s : d.suspects) {
+      auto& best = line_best[s.line];
+      if (s.score > best) best = s.score;
+    }
+  }
+  std::vector<std::pair<double, int>> ranked;
+  ranked.reserve(line_best.size());
+  for (const auto& [line, score] : line_best) ranked.push_back({score, line});
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const auto& a, const auto& b) {
+                     if (a.first != b.first) return a.first > b.first;
+                     return a.second < b.second;
+                   });
+  if (ranked.size() > static_cast<std::size_t>(std::max(0, opts.max_suspects))) {
+    ranked.resize(static_cast<std::size_t>(opts.max_suspects));
+  }
+  if (ranked.empty()) {
+    out.description = "no suspect lines to patch";
+    return out;
+  }
+
+  // Replacement constants harvested from the reference side of the diff.
+  std::set<std::int64_t> ref_consts;
+  for (const auto& d : deltas) {
+    for (const auto& t : d.old_terms) collect_const_ints(t, ref_consts);
+  }
+
+  const auto const_sites =
+      fuzz::mutation_sites(buggy_source, fuzz::FaultClass::kWrongConstant);
+  const auto guard_sites =
+      fuzz::mutation_sites(buggy_source, fuzz::FaultClass::kInvertedGuard);
+  const auto ref_const_sites =
+      fuzz::mutation_sites(ref_source, fuzz::FaultClass::kWrongConstant);
+
+  const auto buggy_lines = split_lines(buggy_source);
+  const auto ref_lines = split_lines(ref_source);
+  const bool line_aligned = buggy_lines.size() == ref_lines.size();
+
+  std::vector<Candidate> candidates;
+  const auto push = [&](fuzz::FaultClass cls, int line, std::string src,
+                        std::string desc) {
+    candidates.push_back({cls, line, std::move(src), std::move(desc)});
+  };
+
+  for (const auto& [score, line] : ranked) {
+    // 1. Wrong constant, reference-aligned: the Nth literal on this line
+    // replaced by the reference source's Nth literal on the same line.
+    std::vector<const fuzz::MutationSite*> here, ref_here;
+    for (const auto& s : const_sites) {
+      if (s.line == line) here.push_back(&s);
+    }
+    for (const auto& s : ref_const_sites) {
+      if (s.line == line) ref_here.push_back(&s);
+    }
+    if (here.size() == ref_here.size()) {
+      for (std::size_t i = 0; i < here.size(); ++i) {
+        if (here[i]->value == ref_here[i]->value) continue;
+        push(fuzz::FaultClass::kWrongConstant, line,
+             fuzz::replace_constant(buggy_source, *here[i],
+                                    ref_here[i]->value),
+             "replaced " + std::to_string(here[i]->value) + " with " +
+                 std::to_string(ref_here[i]->value) + " at line " +
+                 std::to_string(line));
+      }
+    }
+    // 2. Inverted guard: re-invert the if-condition on this line.
+    for (const auto& s : guard_sites) {
+      if (s.line != line) continue;
+      push(fuzz::FaultClass::kInvertedGuard, line,
+           fuzz::invert_guard(buggy_source, s),
+           "inverted the if-guard at line " + std::to_string(line));
+    }
+    // 3. Wrong constant, diff-harvested: constants appearing in the
+    // reference model's side of the changed terms.
+    for (const auto* s : here) {
+      for (const auto v : ref_consts) {
+        if (v == s->value) continue;
+        push(fuzz::FaultClass::kWrongConstant, line,
+             fuzz::replace_constant(buggy_source, *s, v),
+             "replaced " + std::to_string(s->value) + " with " +
+                 std::to_string(v) + " at line " + std::to_string(line));
+      }
+    }
+    // 4. Missing state update (last resort, needs line-aligned reference
+    // source): restore the reference's text on this line.
+    if (line_aligned && line >= 1 &&
+        static_cast<std::size_t>(line) <= buggy_lines.size() &&
+        buggy_lines[static_cast<std::size_t>(line - 1)] !=
+            ref_lines[static_cast<std::size_t>(line - 1)]) {
+      auto patched = buggy_lines;
+      patched[static_cast<std::size_t>(line - 1)] =
+          ref_lines[static_cast<std::size_t>(line - 1)];
+      push(fuzz::FaultClass::kMissingStateUpdate, line, join_lines(patched),
+           "restored the reference statement at line " + std::to_string(line));
+    }
+  }
+
+  // Oracle packet batch shared by every validation.
+  fuzz::OracleOptions oopts;
+  oopts.packets = opts.oracle_packets;
+  oopts.packet_seed = opts.packet_seed;
+  const fuzz::DifferentialOracle oracle(oopts);
+  const auto packets = oracle.packet_batch();
+
+  std::set<std::string> tried;
+  for (const auto& cand : candidates) {
+    if (out.candidates_tried >= opts.max_candidates) break;
+    if (cand.source == buggy_source) continue;
+    if (!tried.insert(cand.source).second) continue;
+    ++out.candidates_tried;
+
+    pipeline::PipelineResult res;
+    try {
+      res = pipeline::run_source(cand.source, buggy_name, opts.pipeline);
+    } catch (const std::exception&) {
+      continue;
+    }
+    if (res.degraded()) continue;
+    const auto match = match_models(ref_res.model, res.model,
+                                    &ref_res.provenance, &res.provenance);
+    if (!match.models_equivalent()) continue;
+    if (!runtimes_agree(ref_res, res, packets)) continue;
+
+    out.repaired = true;
+    out.cls = cand.cls;
+    out.line = cand.line;
+    out.description = cand.description;
+    out.patched_source = cand.source;
+    return out;
+  }
+  out.description = "no validated patch within budget (" +
+                    std::to_string(out.candidates_tried) + " tried)";
+  return out;
+}
+
+}  // namespace nfactor::diff

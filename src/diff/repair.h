@@ -1,0 +1,50 @@
+// Oracle-validated repair (docs/diffing.md). For the three
+// fuzz::mutate fault classes, enumerate candidate patches at the
+// top-ranked suspect lines of the semantic diff and validate each by
+// re-synthesizing the patched program: a patch is accepted only when
+// its model is semantically equivalent to the reference model (matcher
+// re-run) AND the patched program agrees with the reference program on
+// the differential oracle's concrete packet batch (outputs + final
+// output-impacting state). First validated patch wins; the search is
+// deterministic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "diff/classifier.h"
+#include "fuzz/mutate.h"
+#include "nfactor/pipeline.h"
+
+namespace nfactor::diff {
+
+struct RepairOptions {
+  pipeline::PipelineOptions pipeline;  ///< must mirror the diff's options
+  int max_suspects = 3;        ///< suspect lines to try, best first
+  int max_candidates = 64;     ///< total patch budget
+  int oracle_packets = 100;    ///< concrete packets for validation
+  std::uint64_t packet_seed = 1;
+};
+
+struct RepairOutcome {
+  bool attempted = false;
+  bool repaired = false;
+  int candidates_tried = 0;
+  fuzz::FaultClass cls = fuzz::FaultClass::kWrongConstant;  ///< of the fix
+  int line = 0;             ///< patched line
+  std::string description;  ///< human-readable account of the patch
+  std::string patched_source;  ///< full repaired source (when repaired)
+};
+
+/// Search for a patch that makes `buggy_source` equivalent to the
+/// reference. `ref_res` is the reference side's completed synthesis run;
+/// `deltas` are the diff's rule deltas (suspects already localized).
+RepairOutcome repair_search(const pipeline::PipelineResult& ref_res,
+                            const std::string& ref_source,
+                            const std::string& buggy_source,
+                            const std::string& buggy_name,
+                            const std::vector<RuleDelta>& deltas,
+                            const RepairOptions& opts);
+
+}  // namespace nfactor::diff

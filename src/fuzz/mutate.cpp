@@ -1,0 +1,392 @@
+#include "fuzz/mutate.h"
+
+#include <cctype>
+#include <functional>
+#include <set>
+#include <stdexcept>
+
+#include "lang/ast.h"
+#include "lang/parser.h"
+#include "lang/sema.h"
+
+namespace nfactor::fuzz {
+
+namespace {
+
+// Byte offsets of each line start, so a 1-based SourceLoc maps to a
+// position in the source string.
+std::vector<std::size_t> line_starts(const std::string& src) {
+  std::vector<std::size_t> starts{0};
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    if (src[i] == '\n') starts.push_back(i + 1);
+  }
+  return starts;
+}
+
+std::size_t loc_offset(const std::vector<std::size_t>& starts, int line,
+                       int col) {
+  if (line < 1 || static_cast<std::size_t>(line) > starts.size()) return 0;
+  return starts[static_cast<std::size_t>(line) - 1] +
+         static_cast<std::size_t>(col > 0 ? col - 1 : 0);
+}
+
+bool is_hex_digit(char c) {
+  return std::isxdigit(static_cast<unsigned char>(c)) != 0;
+}
+
+bool is_digit(char c) { return c >= '0' && c <= '9'; }
+
+// Pre-order walk over every statement of every function body.
+void walk_stmts(const lang::Stmt& s,
+                const std::function<void(const lang::Stmt&)>& fn) {
+  fn(s);
+  switch (s.kind) {
+    case lang::StmtKind::kBlock:
+      for (const auto& c : static_cast<const lang::Block&>(s).stmts) {
+        walk_stmts(*c, fn);
+      }
+      break;
+    case lang::StmtKind::kIf: {
+      const auto& i = static_cast<const lang::If&>(s);
+      walk_stmts(*i.then_body, fn);
+      if (i.else_body) walk_stmts(*i.else_body, fn);
+      break;
+    }
+    case lang::StmtKind::kWhile:
+      walk_stmts(*static_cast<const lang::While&>(s).body, fn);
+      break;
+    case lang::StmtKind::kFor:
+      walk_stmts(*static_cast<const lang::For&>(s).body, fn);
+      break;
+    default:
+      break;
+  }
+}
+
+void walk_exprs(const lang::Expr& e,
+                const std::function<void(const lang::Expr&)>& fn) {
+  fn(e);
+  switch (e.kind) {
+    case lang::ExprKind::kUnary:
+      walk_exprs(*static_cast<const lang::Unary&>(e).operand, fn);
+      break;
+    case lang::ExprKind::kBinary: {
+      const auto& b = static_cast<const lang::Binary&>(e);
+      walk_exprs(*b.lhs, fn);
+      walk_exprs(*b.rhs, fn);
+      break;
+    }
+    case lang::ExprKind::kCall:
+      for (const auto& a : static_cast<const lang::Call&>(e).args) {
+        walk_exprs(*a, fn);
+      }
+      break;
+    case lang::ExprKind::kTupleLit:
+      for (const auto& x : static_cast<const lang::TupleLit&>(e).elems) {
+        walk_exprs(*x, fn);
+      }
+      break;
+    case lang::ExprKind::kListLit:
+      for (const auto& x : static_cast<const lang::ListLit&>(e).elems) {
+        walk_exprs(*x, fn);
+      }
+      break;
+    case lang::ExprKind::kIndex: {
+      const auto& ix = static_cast<const lang::Index&>(e);
+      walk_exprs(*ix.base, fn);
+      walk_exprs(*ix.index, fn);
+      break;
+    }
+    case lang::ExprKind::kField:
+      walk_exprs(*static_cast<const lang::FieldRef&>(e).base, fn);
+      break;
+    default:
+      break;
+  }
+}
+
+// Every sub-expression of a statement (not descending into nested
+// statements — the statement walk handles those separately).
+void stmt_exprs(const lang::Stmt& s,
+                const std::function<void(const lang::Expr&)>& fn) {
+  switch (s.kind) {
+    case lang::StmtKind::kAssign: {
+      const auto& a = static_cast<const lang::Assign&>(s);
+      if (a.index) walk_exprs(*a.index, fn);
+      walk_exprs(*a.value, fn);
+      break;
+    }
+    case lang::StmtKind::kIf:
+      walk_exprs(*static_cast<const lang::If&>(s).cond, fn);
+      break;
+    case lang::StmtKind::kWhile:
+      walk_exprs(*static_cast<const lang::While&>(s).cond, fn);
+      break;
+    case lang::StmtKind::kFor: {
+      const auto& f = static_cast<const lang::For&>(s);
+      walk_exprs(*f.begin, fn);
+      walk_exprs(*f.end, fn);
+      break;
+    }
+    case lang::StmtKind::kReturn: {
+      const auto& r = static_cast<const lang::Return&>(s);
+      if (r.value) walk_exprs(*r.value, fn);
+      break;
+    }
+    case lang::StmtKind::kExprStmt:
+      walk_exprs(*static_cast<const lang::ExprStmt&>(s).expr, fn);
+      break;
+    default:
+      break;
+  }
+}
+
+// Length of the integer-literal token at `off`, or 0 if the text there
+// is not a plain literal we can safely rewrite. Dotted-quad IP literals
+// (`3.3.3.3` — one kInt token) are rejected: rewriting one textually
+// as a decimal would change its meaning as an address and read badly.
+std::size_t literal_extent(const std::string& src, std::size_t off) {
+  if (off >= src.size() || !is_digit(src[off])) return 0;
+  if (off > 0 && src[off - 1] == '.') return 0;  // inside a dotted quad
+  std::size_t end = off;
+  if (src[off] == '0' && end + 1 < src.size() &&
+      (src[end + 1] == 'x' || src[end + 1] == 'X')) {
+    end += 2;
+    while (end < src.size() && is_hex_digit(src[end])) ++end;
+  } else {
+    while (end < src.size() && is_digit(src[end])) ++end;
+  }
+  if (end < src.size() && src[end] == '.' && end + 1 < src.size() &&
+      is_digit(src[end + 1])) {
+    return 0;  // head of a dotted quad
+  }
+  return end - off;
+}
+
+// Span of the parenthesized if-condition starting at the `if` keyword:
+// from the opening '(' through its matching ')'. Returns length 0 when
+// the text doesn't match (defensive — the grammar requires parens).
+std::size_t guard_extent(const std::string& src, std::size_t if_off,
+                         std::size_t* open_out) {
+  std::size_t p = if_off;
+  while (p < src.size() && src[p] != '(' && src[p] != '\n') ++p;
+  if (p >= src.size() || src[p] != '(') return 0;
+  *open_out = p;
+  int depth = 0;
+  bool in_str = false;
+  for (std::size_t q = p; q < src.size(); ++q) {
+    const char c = src[q];
+    if (in_str) {
+      if (c == '"') in_str = false;
+      continue;
+    }
+    if (c == '"') {
+      in_str = true;
+    } else if (c == '(') {
+      ++depth;
+    } else if (c == ')') {
+      if (--depth == 0) return q - p + 1;
+    }
+  }
+  return 0;
+}
+
+// Span of a simple statement from its first token through the
+// terminating ';' (inclusive), tracking nesting so tuple/list/index
+// punctuation inside the statement is skipped.
+std::size_t stmt_extent(const std::string& src, std::size_t off) {
+  int depth = 0;
+  bool in_str = false;
+  for (std::size_t q = off; q < src.size(); ++q) {
+    const char c = src[q];
+    if (in_str) {
+      if (c == '"') in_str = false;
+      continue;
+    }
+    switch (c) {
+      case '"': in_str = true; break;
+      case '(': case '[': case '{': ++depth; break;
+      case ')': case ']': case '}': --depth; break;
+      case ';':
+        if (depth == 0) return q - off + 1;
+        break;
+      default: break;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::string to_string(FaultClass c) {
+  switch (c) {
+    case FaultClass::kWrongConstant: return "wrong-constant";
+    case FaultClass::kInvertedGuard: return "inverted-guard";
+    case FaultClass::kMissingStateUpdate: return "missing-state-update";
+  }
+  return "?";
+}
+
+std::vector<MutationSite> mutation_sites(const std::string& source,
+                                         FaultClass cls) {
+  lang::Program prog;
+  try {
+    prog = lang::parse(source, "<mutate>");
+  } catch (const std::exception&) {
+    return {};
+  }
+  const auto starts = line_starts(source);
+  std::set<std::string> globals;
+  for (const auto& g : prog.globals) globals.insert(g.name);
+
+  std::vector<MutationSite> sites;
+  std::set<std::size_t> seen;  // dedup desugared nodes sharing one token
+  const auto add = [&](MutationSite s) {
+    if (seen.insert(s.offset).second) sites.push_back(std::move(s));
+  };
+
+  for (const auto& f : prog.funcs) {
+    walk_stmts(*f.body, [&](const lang::Stmt& s) {
+      switch (cls) {
+        case FaultClass::kWrongConstant:
+          stmt_exprs(s, [&](const lang::Expr& e) {
+            if (e.kind != lang::ExprKind::kIntLit || e.loc.line <= 0) return;
+            const auto& lit = static_cast<const lang::IntLit&>(e);
+            const std::size_t off = loc_offset(starts, e.loc.line, e.loc.col);
+            const std::size_t len = literal_extent(source, off);
+            if (len == 0) return;
+            MutationSite site;
+            site.line = e.loc.line;
+            site.col = e.loc.col;
+            site.offset = off;
+            site.length = len;
+            site.value = lit.value;
+            site.description = "int literal " + std::to_string(lit.value) +
+                               " at line " + std::to_string(e.loc.line);
+            add(std::move(site));
+          });
+          break;
+        case FaultClass::kInvertedGuard: {
+          if (s.kind != lang::StmtKind::kIf || s.loc.line <= 0) break;
+          const std::size_t off = loc_offset(starts, s.loc.line, s.loc.col);
+          std::size_t open = 0;
+          const std::size_t len = guard_extent(source, off, &open);
+          if (len == 0) break;
+          MutationSite site;
+          site.line = s.loc.line;
+          site.col = s.loc.col;
+          site.offset = open;
+          site.length = len;
+          site.description =
+              "if-guard at line " + std::to_string(s.loc.line);
+          add(std::move(site));
+          break;
+        }
+        case FaultClass::kMissingStateUpdate: {
+          if (s.kind != lang::StmtKind::kAssign || s.loc.line <= 0) break;
+          const auto& a = static_cast<const lang::Assign&>(s);
+          if (a.target == lang::Assign::Target::kField) break;  // pkt header
+          if (globals.count(a.var) == 0) break;
+          const std::size_t off = loc_offset(starts, s.loc.line, s.loc.col);
+          const std::size_t len = stmt_extent(source, off);
+          if (len == 0) break;
+          MutationSite site;
+          site.line = s.loc.line;
+          site.col = s.loc.col;
+          site.offset = off;
+          site.length = len;
+          site.description =
+              "state update to '" + a.var + "' at line " +
+              std::to_string(s.loc.line);
+          add(std::move(site));
+          break;
+        }
+      }
+    });
+  }
+  return sites;
+}
+
+std::string replace_constant(const std::string& source,
+                             const MutationSite& site,
+                             std::int64_t new_value) {
+  std::string out = source.substr(0, site.offset);
+  out += std::to_string(new_value);
+  out += source.substr(site.offset + site.length);
+  return out;
+}
+
+std::string invert_guard(const std::string& source, const MutationSite& site) {
+  // "( inner )" -> "(!( inner ))": pure insertion, line count unchanged.
+  const std::size_t open = site.offset;
+  const std::size_t close = site.offset + site.length - 1;
+  std::string out = source.substr(0, open + 1);
+  out += "!(";
+  out += source.substr(open + 1, close - open - 1);
+  out += ")";
+  out += source.substr(close);
+  return out;
+}
+
+std::string blank_statement(const std::string& source,
+                            const MutationSite& site) {
+  std::string out = source;
+  for (std::size_t i = site.offset; i < site.offset + site.length; ++i) {
+    if (out[i] != '\n') out[i] = ' ';
+  }
+  return out;
+}
+
+MutationResult mutate(const std::string& source, FaultClass cls,
+                      std::uint64_t seed) {
+  MutationResult res;
+  res.cls = cls;
+  const auto sites = mutation_sites(source, cls);
+  res.site_count = sites.size();
+  if (sites.empty()) {
+    res.description = "no viable sites for " + to_string(cls);
+    return res;
+  }
+  const std::size_t n = sites.size();
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t idx = (seed % n + k) % n;
+    const MutationSite& site = sites[idx];
+    std::string mutated;
+    std::string what;
+    switch (cls) {
+      case FaultClass::kWrongConstant: {
+        const std::int64_t delta = 1 + static_cast<std::int64_t>((seed >> 8) % 7);
+        mutated = replace_constant(source, site, site.value + delta);
+        what = to_string(cls) + ": " + std::to_string(site.value) + " -> " +
+               std::to_string(site.value + delta) + " at line " +
+               std::to_string(site.line);
+        break;
+      }
+      case FaultClass::kInvertedGuard:
+        mutated = invert_guard(source, site);
+        what = to_string(cls) + ": " + site.description;
+        break;
+      case FaultClass::kMissingStateUpdate:
+        mutated = blank_statement(source, site);
+        what = to_string(cls) + ": blanked " + site.description;
+        break;
+    }
+    if (mutated == source) continue;
+    try {
+      lang::Program prog = lang::parse(mutated, "<mutant>");
+      lang::analyze(prog);  // reject mutants sema would refuse
+    } catch (const std::exception&) {
+      continue;
+    }
+    res.ok = true;
+    res.source = std::move(mutated);
+    res.line = site.line;
+    res.site_index = idx;
+    res.description = std::move(what);
+    return res;
+  }
+  res.description = "every candidate site yielded an invalid mutant";
+  return res;
+}
+
+}  // namespace nfactor::fuzz

@@ -1,0 +1,87 @@
+// Public fault-injection API (docs/diffing.md). One deterministic
+// mutator shared by the repair stage of nf-diff, the diff-fixture
+// generators, and future fuzz campaigns: given an NF source and a fault
+// class, pick a mutation site by seed and apply a *textual,
+// line-preserving* edit, so the mutated program's source lines align
+// 1:1 with the original's and provenance line numbers stay comparable
+// across the two synthesized models.
+//
+// Three fault classes (the ProgramGen-injectable ones from ISSUE 7):
+//   kWrongConstant      — an integer literal is off by a small delta
+//   kInvertedGuard      — an if-condition is wrapped in !( ... )
+//   kMissingStateUpdate — an assignment to a global is blanked out
+//
+// Site enumeration walks the parsed AST in program order, so the same
+// (source, class, seed) triple always yields the same mutation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nfactor::fuzz {
+
+enum class FaultClass : std::uint8_t {
+  kWrongConstant,
+  kInvertedGuard,
+  kMissingStateUpdate,
+};
+
+inline constexpr FaultClass kAllFaultClasses[] = {
+    FaultClass::kWrongConstant,
+    FaultClass::kInvertedGuard,
+    FaultClass::kMissingStateUpdate,
+};
+
+std::string to_string(FaultClass c);
+
+/// One place a fault of a given class can be injected. Offsets/lengths
+/// are byte positions into the source string; `line`/`col` are the
+/// 1-based location of the construct (the literal, the `if`, or the
+/// assignment statement).
+struct MutationSite {
+  int line = 0;
+  int col = 0;
+  std::size_t offset = 0;  ///< start of the editable span
+  std::size_t length = 0;  ///< span length (literal / `( .. )` / stmt incl ';')
+  std::int64_t value = 0;  ///< kWrongConstant only: the literal's value
+  std::string description;
+};
+
+/// Enumerate every injection site for `cls` in deterministic program
+/// order (function bodies only; global initializers are never mutated so
+/// the two models' config spaces stay aligned). Returns empty if the
+/// source does not parse.
+std::vector<MutationSite> mutation_sites(const std::string& source,
+                                         FaultClass cls);
+
+/// Targeted single-site edits — the building blocks `mutate` composes
+/// and the repair search re-uses with explicit replacement values. All
+/// three preserve the line count (and hence every other line's number).
+std::string replace_constant(const std::string& source,
+                             const MutationSite& site, std::int64_t new_value);
+std::string invert_guard(const std::string& source, const MutationSite& site);
+std::string blank_statement(const std::string& source,
+                            const MutationSite& site);
+
+struct MutationResult {
+  bool ok = false;
+  FaultClass cls = FaultClass::kWrongConstant;
+  std::string source;        ///< mutated source (valid, re-parseable)
+  int line = 0;              ///< the faulty line in the mutated source
+  std::size_t site_index = 0;
+  std::size_t site_count = 0;
+  std::string description;   ///< human-readable account of the edit
+};
+
+/// Inject one fault of class `cls` into `source`, site chosen by
+/// `seed`. Deterministic: the same (source, cls, seed) always produces
+/// the same mutant. Starts at site `seed % n` and advances (wrapping)
+/// past any site whose edit fails to re-parse or is a textual no-op, so
+/// the call is total whenever any viable site exists; `ok == false`
+/// means the source has no viable site for this class (or doesn't
+/// parse).
+MutationResult mutate(const std::string& source, FaultClass cls,
+                      std::uint64_t seed);
+
+}  // namespace nfactor::fuzz

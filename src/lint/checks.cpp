@@ -272,6 +272,63 @@ void check_invalid_send_port(const CheckContext& ctx) {
   }
 }
 
+// NF208: a branch re-tests a condition an enclosing branch has already
+// decided on this path — same rendered condition, and nothing the guard
+// reads is redefined in between — so one arm of the second branch is
+// provably unreachable. SCCP alone cannot see this (the condition is
+// not a constant, it is merely *repeated*), which is why NF204 misses
+// it. The walk follows one arm of the first branch through straight-line
+// single-predecessor nodes, stepping through intermediate branches via
+// their false edges (on either walk the tracked condition's truth value
+// is preserved there), and stops at joins or at any redefinition of a
+// location the guard reads.
+void check_duplicate_arm(const CheckContext& ctx) {
+  const ir::Cfg& cfg = ctx.m.body;
+  std::set<std::pair<int, int>> reported;  // (dup node, arm) pairs
+  for (const auto& n1 : cfg.nodes) {
+    if (n1->kind != ir::InstrKind::kBranch || n1->succs.size() != 2) continue;
+    if (!ctx.cp.node_executable(n1->id)) continue;
+    if (!n1->value || n1->value->kind == lang::ExprKind::kBoolLit) continue;
+    // A constant-decided branch is NF204's finding, not a duplicate.
+    if (ctx.cp.branch_decision(n1->id).kind == ConstVal::Kind::kBool) continue;
+    const std::string cond = lang::to_source(*n1->value);
+    const std::set<ir::Location> guard_uses = n1->uses();
+
+    for (int arm = 0; arm < 2; ++arm) {  // 0 = true edge, 1 = false edge
+      int cur = n1->succs[arm];
+      std::set<int> visited;
+      while (visited.insert(cur).second) {
+        const ir::Instr& n2 = cfg.node(cur);
+        if (n2.preds.size() > 1) break;  // join: other paths reach here
+        if (n2.kind == ir::InstrKind::kBranch && n2.succs.size() == 2) {
+          if (n2.value && n2.value->kind != lang::ExprKind::kBoolLit &&
+              lang::to_source(*n2.value) == cond) {
+            if (reported.emplace(n2.id, arm).second) {
+              ctx.sink.report(
+                  n2.loc, lang::Severity::kWarning, "NF208",
+                  "duplicate arm: condition '" + cond + "' is already " +
+                      (arm == 0 ? "true" : "false") + " on this path; the " +
+                      (arm == 0 ? "false" : "true") + " arm is unreachable");
+            }
+            break;
+          }
+          cur = n2.succs[1];  // traverse the else-chain
+          continue;
+        }
+        if (n2.succs.size() != 1) break;
+        bool clobbers = false;
+        for (const auto& d : n2.defs()) {
+          for (const auto& u : guard_uses) {
+            if (analysis::locations_alias(d, u)) clobbers = true;
+          }
+        }
+        if (clobbers) break;
+        cur = n2.succs[0];
+      }
+    }
+  }
+}
+
 // NF301: the packet loop contains no send() at all — the synthesized
 // model can only ever drop, which is almost never the intended NF.
 void check_vacuous_model(const CheckContext& ctx) {

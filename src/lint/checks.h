@@ -33,6 +33,7 @@ void check_unreachable_arm(const CheckContext& ctx);     // NF204
 void check_logvar_guard(const CheckContext& ctx);        // NF205
 void check_weak_update_shadow(const CheckContext& ctx);  // NF206
 void check_invalid_send_port(const CheckContext& ctx);   // NF207
+void check_duplicate_arm(const CheckContext& ctx);       // NF208
 void check_vacuous_model(const CheckContext& ctx);       // NF301
 
 }  // namespace nfactor::lint

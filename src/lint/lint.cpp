@@ -30,6 +30,9 @@ const std::vector<CheckInfo>& checks() {
        "container element store overwritten before any read"},
       {"NF207", "invalid-send-port", Severity::kWarning,
        "send() port folds to a constant outside 0..65535"},
+      {"NF208", "duplicate-arm", Severity::kWarning,
+       "branch re-tests a condition already decided on this path; one arm "
+       "is unreachable"},
       {"NF301", "vacuous-model", Severity::kWarning,
        "NF never sends a packet; the synthesized model is vacuous"},
   };
@@ -67,6 +70,7 @@ void run_checks(const ir::Module& m, lang::DiagnosticSink& sink) {
   check_logvar_guard(ctx);
   check_weak_update_shadow(ctx);
   check_invalid_send_port(ctx);
+  check_duplicate_arm(ctx);
   check_vacuous_model(ctx);
 
   OBS_GAUGE("lint.diags", sink.size());

@@ -1,0 +1,320 @@
+// Unit tests for the diff subsystem building blocks: the public
+// fuzz::mutate fault-injection API (site enumeration, determinism,
+// line preservation), the rule matcher's solver-backed implication
+// helpers, and delta classification + localization on minimal sources
+// where the expected delta kind and faulty line are known by
+// construction (docs/diffing.md).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "diff/diff.h"
+#include "diff/matcher.h"
+#include "fuzz/mutate.h"
+#include "lang/parser.h"
+#include "lang/sema.h"
+#include "symex/expr.h"
+#include "symex/solver.h"
+
+namespace nfactor {
+namespace {
+
+// A minimal NF whose model is known by construction: an overflow rule
+// (count > LIMIT -> divert to port 2), a flow-match rule (dport 80 ->
+// send on port 1, bump `count`), and the implicit drop rule. `count`
+// is read by a guard, so StateAlyzer keeps it output-impacting and
+// its update appears in the model's state actions.
+//   line  7: if (count > LIMIT)
+//   line 11: if (pkt.dport == 80)
+//   line 12:   count = count + 1
+//   line 13:   send(pkt, 1)
+const std::string kRef = R"NF(var LIMIT = 5;
+var count = 0;
+
+def main() {
+  while (true) {
+    pkt = recv(0);
+    if (count > LIMIT) {
+      send(pkt, 2);
+      return;
+    }
+    if (pkt.dport == 80) {
+      count = count + 1;
+      send(pkt, 1);
+    }
+    return;
+  }
+}
+)NF";
+
+std::string replace_once(std::string s, const std::string& from,
+                         const std::string& to) {
+  const auto pos = s.find(from);
+  EXPECT_NE(pos, std::string::npos) << from;
+  return s.replace(pos, from.size(), to);
+}
+
+long line_count(const std::string& s) {
+  return std::count(s.begin(), s.end(), '\n');
+}
+
+// ---------------------------------------------------------------------------
+// fuzz::mutate
+// ---------------------------------------------------------------------------
+
+TEST(MutateSites, WrongConstantEnumeratesBodyLiteralsOnly) {
+  const auto sites =
+      fuzz::mutation_sites(kRef, fuzz::FaultClass::kWrongConstant);
+  // 0 (recv port), 2 (divert port), 80 (guard), 1 (count + 1),
+  // 1 (send port) — never the global initializers 5 and 0.
+  ASSERT_EQ(sites.size(), 5u);
+  for (const auto& s : sites) {
+    EXPECT_GE(s.line, 6) << "global initializer offered as a mutation site";
+  }
+  EXPECT_EQ(sites[2].line, 11);
+  EXPECT_EQ(sites[2].value, 80);
+}
+
+TEST(MutateSites, InvertedGuardOnePerIf) {
+  const auto sites =
+      fuzz::mutation_sites(kRef, fuzz::FaultClass::kInvertedGuard);
+  ASSERT_EQ(sites.size(), 2u);
+  EXPECT_EQ(sites[0].line, 7);
+  EXPECT_EQ(sites[1].line, 11);
+}
+
+TEST(MutateSites, MissingStateUpdateOnlyGlobalAssignments) {
+  const auto sites =
+      fuzz::mutation_sites(kRef, fuzz::FaultClass::kMissingStateUpdate);
+  ASSERT_EQ(sites.size(), 1u);
+  EXPECT_EQ(sites[0].line, 12);
+}
+
+TEST(MutateSites, DottedQuadIpLiteralsAreNotSites) {
+  const std::string src = R"NF(var GW = 10.0.0.1;
+
+def main() {
+  while (true) {
+    pkt = recv(0);
+    if (pkt.ip_dst == 10.0.0.1) {
+      send(pkt, 0);
+    }
+    return;
+  }
+}
+)NF";
+  // The only body literals are the IP in the guard (excluded: mutating
+  // one octet of a dotted quad is not a "wrong constant" a programmer
+  // writes) and the recv/send ports.
+  const auto sites =
+      fuzz::mutation_sites(src, fuzz::FaultClass::kWrongConstant);
+  ASSERT_EQ(sites.size(), 2u);
+  for (const auto& s : sites) EXPECT_EQ(s.value, 0);
+}
+
+TEST(MutateSites, UnparseableSourceYieldsNoSites) {
+  for (const auto cls : fuzz::kAllFaultClasses) {
+    EXPECT_TRUE(fuzz::mutation_sites("def oops {", cls).empty());
+    EXPECT_FALSE(fuzz::mutate("def oops {", cls, 1).ok);
+  }
+}
+
+TEST(Mutate, DeterministicPerSeedAndLinePreserving) {
+  for (const auto cls : fuzz::kAllFaultClasses) {
+    for (std::uint64_t seed = 0; seed < 6; ++seed) {
+      const auto a = fuzz::mutate(kRef, cls, seed);
+      const auto b = fuzz::mutate(kRef, cls, seed);
+      ASSERT_TRUE(a.ok) << fuzz::to_string(cls) << " seed " << seed;
+      EXPECT_EQ(a.source, b.source);
+      EXPECT_EQ(a.line, b.line);
+      EXPECT_EQ(a.description, b.description);
+      EXPECT_NE(a.source, kRef);
+      EXPECT_EQ(line_count(a.source), line_count(kRef));
+      // Every mutant is a valid program (mutate() re-validates).
+      auto prog = lang::parse(a.source, "mutant");
+      EXPECT_NO_THROW(lang::analyze(prog));
+    }
+  }
+}
+
+TEST(Mutate, NoViableSiteReportsFailure) {
+  // No global is assigned in the body: nothing to blank. No if: no
+  // guard to invert.
+  const std::string stateless = R"NF(def main() {
+  while (true) {
+    pkt = recv(0);
+    send(pkt, 0);
+    return;
+  }
+}
+)NF";
+  EXPECT_FALSE(
+      fuzz::mutate(stateless, fuzz::FaultClass::kMissingStateUpdate, 1).ok);
+  EXPECT_FALSE(
+      fuzz::mutate(stateless, fuzz::FaultClass::kInvertedGuard, 1).ok);
+}
+
+TEST(Mutate, TargetedEditsPreserveLineStructure) {
+  const auto consts =
+      fuzz::mutation_sites(kRef, fuzz::FaultClass::kWrongConstant);
+  ASSERT_FALSE(consts.empty());
+  const std::string swapped = fuzz::replace_constant(kRef, consts[0], 8080);
+  EXPECT_NE(swapped.find("8080"), std::string::npos);
+  EXPECT_EQ(line_count(swapped), line_count(kRef));
+
+  const auto guards =
+      fuzz::mutation_sites(kRef, fuzz::FaultClass::kInvertedGuard);
+  ASSERT_FALSE(guards.empty());
+  const std::string inverted = fuzz::invert_guard(kRef, guards[0]);
+  EXPECT_NE(inverted.find("!("), std::string::npos);
+  EXPECT_EQ(line_count(inverted), line_count(kRef));
+
+  const auto stmts =
+      fuzz::mutation_sites(kRef, fuzz::FaultClass::kMissingStateUpdate);
+  ASSERT_FALSE(stmts.empty());
+  const std::string blanked = fuzz::blank_statement(kRef, stmts[0]);
+  EXPECT_EQ(blanked.size(), kRef.size());  // blanked with spaces in place
+  EXPECT_EQ(line_count(blanked), line_count(kRef));
+  EXPECT_EQ(blanked.find("count = count + 1"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// diff::guard_implies / guards_equivalent
+// ---------------------------------------------------------------------------
+
+TEST(GuardImplication, ConjunctionSubsumption) {
+  symex::Solver solver;
+  const auto dport = symex::make_var("pkt.dport", symex::VarClass::kPkt);
+  const auto sport = symex::make_var("pkt.sport", symex::VarClass::kPkt);
+  const auto a = symex::make_bin(lang::BinOp::kEq, dport, symex::make_int(80));
+  const auto b = symex::make_bin(lang::BinOp::kEq, sport, symex::make_int(22));
+
+  // {a, b} => {a}: dropping a conjunct weakens the guard.
+  EXPECT_TRUE(diff::guard_implies(solver, {a, b}, {a}));
+  // {a} =/=> {a, b}: nothing pins sport.
+  EXPECT_FALSE(diff::guard_implies(solver, {a}, {a, b}));
+  // Permuted conjunct order is mutually implied.
+  EXPECT_TRUE(diff::guards_equivalent(solver, {a, b}, {b, a}));
+  EXPECT_FALSE(diff::guards_equivalent(solver, {a}, {b}));
+}
+
+// ---------------------------------------------------------------------------
+// Delta classification + localization on known-by-construction edits
+// ---------------------------------------------------------------------------
+
+diff::DiffResult diff_against_ref(const std::string& variant) {
+  return diff::diff_sources(kRef, "ref", variant, "variant");
+}
+
+/// The single paired delta of a one-edit diff (asserts there is one).
+const diff::RuleDelta& single_delta(const diff::DiffResult& r) {
+  EXPECT_EQ(r.diff.delta_count(), 1u) << diff::to_text(r);
+  EXPECT_EQ(r.diff.tables.size(), 1u);
+  return r.diff.tables.at(0).deltas.at(0);
+}
+
+TEST(DiffClassify, GuardConstantEdit) {
+  const auto r = diff_against_ref(
+      replace_once(kRef, "pkt.dport == 80", "pkt.dport == 81"));
+  ASSERT_FALSE(r.equivalent());
+  // Both the send rule and the drop rule change their guard; every
+  // delta must be guard-kind and localize to the if line (5).
+  ASSERT_GE(r.diff.delta_count(), 1u);
+  for (const auto& t : r.diff.tables) {
+    for (const auto& d : t.deltas) {
+      EXPECT_EQ(d.kind, diff::DeltaKind::kGuardChanged);
+      EXPECT_TRUE(d.guard_changed);
+      EXPECT_FALSE(d.old_only_guard.empty());
+      EXPECT_FALSE(d.new_only_guard.empty());
+      ASSERT_FALSE(d.suspects.empty());
+      EXPECT_EQ(d.suspects[0].line, 11) << diff::to_text(r);
+    }
+  }
+}
+
+TEST(DiffClassify, SendPortEdit) {
+  const auto r =
+      diff_against_ref(replace_once(kRef, "send(pkt, 1)", "send(pkt, 2)"));
+  ASSERT_FALSE(r.equivalent());
+  const auto& d = single_delta(r);
+  EXPECT_EQ(d.kind, diff::DeltaKind::kActionChanged);
+  EXPECT_TRUE(d.port_changed);
+  EXPECT_FALSE(d.guard_changed);
+  ASSERT_FALSE(d.suspects.empty());
+  // Line 12's `+ 1` literal equals the changed old-side port constant,
+  // so it legitimately ties the send line; the true line must still be
+  // in the top-3 suspects.
+  bool has_line_13 = false;
+  for (const auto& s : d.suspects) has_line_13 |= (s.line == 13);
+  EXPECT_TRUE(has_line_13) << diff::to_text(r);
+}
+
+TEST(DiffClassify, StateUpdateEdit) {
+  const auto r = diff_against_ref(
+      replace_once(kRef, "count = count + 1", "count = count + 2"));
+  ASSERT_FALSE(r.equivalent());
+  const auto& d = single_delta(r);
+  EXPECT_EQ(d.kind, diff::DeltaKind::kStateChanged);
+  EXPECT_TRUE(d.state_changed);
+  EXPECT_FALSE(d.guard_changed);
+  EXPECT_FALSE(d.action_changed);
+  ASSERT_EQ(d.changed_state.size(), 1u);
+  EXPECT_EQ(d.changed_state[0], "count");
+  ASSERT_FALSE(d.suspects.empty());
+  EXPECT_EQ(d.suspects[0].line, 12) << diff::to_text(r);
+}
+
+TEST(DiffClassify, AddedAndRemovedRules) {
+  const std::string extra = replace_once(
+      kRef, "    if (pkt.dport == 80) {",
+      "    if (pkt.dport == 22) { send(pkt, 3); return; }\n"
+      "    if (pkt.dport == 80) {");
+  const auto added = diff_against_ref(extra);
+  ASSERT_FALSE(added.equivalent());
+  bool saw_added = false;
+  for (const auto& t : added.diff.tables) {
+    for (const auto& d : t.deltas) {
+      if (d.kind == diff::DeltaKind::kAdded) {
+        saw_added = true;
+        EXPECT_GE(d.new_entry, 0);
+        EXPECT_EQ(d.old_entry, -1);
+        EXPECT_FALSE(d.new_terms.empty());
+      }
+    }
+  }
+  EXPECT_TRUE(saw_added) << diff::to_text(added);
+
+  // Swapping the sides turns the same structural difference into a
+  // removal.
+  const auto removed = diff::diff_sources(extra, "ref", kRef, "variant");
+  bool saw_removed = false;
+  for (const auto& t : removed.diff.tables) {
+    for (const auto& d : t.deltas) {
+      if (d.kind == diff::DeltaKind::kRemoved) saw_removed = true;
+    }
+  }
+  EXPECT_TRUE(saw_removed) << diff::to_text(removed);
+}
+
+TEST(DiffClassify, CosmeticDuplicateConjunctIsEquivalent) {
+  // A nested duplicate test adds a second, identical conjunct to the
+  // path condition; the sorted-dedup fingerprint signature must still
+  // match it to the flat reference rule (no reported delta).
+  const std::string nested = replace_once(
+      kRef, "    if (pkt.dport == 80) {",
+      "    if (pkt.dport == 80) { if (pkt.dport == 80) {");
+  const auto r = diff_against_ref(
+      replace_once(nested, "    }\n    return;", "    } }\n    return;"));
+  EXPECT_TRUE(r.equivalent()) << diff::to_text(r);
+}
+
+TEST(DiffModels, SelfDiffHasNoDeltasAndNoSolverQueries) {
+  const auto r = diff::diff_sources(kRef, "a", kRef, "b");
+  EXPECT_TRUE(r.equivalent());
+  EXPECT_EQ(r.diff.solver_queries, 0u);
+  EXPECT_GT(r.diff.equivalent_pairs, 0u);
+}
+
+}  // namespace
+}  // namespace nfactor

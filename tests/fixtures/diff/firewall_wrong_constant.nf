@@ -1,0 +1,34 @@
+# stateful-firewall: LAN->WAN allowed and tracked; WAN->LAN only for
+# established connections; RST tears the entry down (Fig. 4a structure).
+var LAN_PORT = 0;
+var WAN_PORT = 1;
+# Connection table: 5-tuple -> 1 (live) / 0 (torn down)
+var conns = {};
+# Log state
+var allowed = 0;
+var blocked = 0;
+
+def main() {
+  while (true) {
+    pkt = recv(0);
+    if (pkt.in_port == LAN_PORT) {
+      k = (pkt.ip_src, pkt.sport, pkt.ip_dst, pkt.dport, pkt.ip_proto);
+      conns[k] = 2;
+      allowed = allowed + 1;
+      send(pkt, WAN_PORT);
+      return;
+    }
+    rk = (pkt.ip_dst, pkt.dport, pkt.ip_src, pkt.sport, pkt.ip_proto);
+    if (rk in conns && conns[rk] == 1) {
+      if ((pkt.tcp_flags & 4) != 0) {
+        # RST: tear down and still deliver the reset
+        conns[rk] = 0;
+      }
+      allowed = allowed + 1;
+      send(pkt, LAN_PORT);
+      return;
+    }
+    blocked = blocked + 1;
+    return;
+  }
+}

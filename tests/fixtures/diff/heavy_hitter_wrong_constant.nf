@@ -1,0 +1,27 @@
+# heavy-hitter: per-source byte counter; sources above THRESH are
+# blocked (Fig. 4a structure). The counter is output-impacting state —
+# unlike a log counter, it gates forwarding.
+var THRESH = 600;
+var OUT_PORT = 1;
+# Output-impacting state
+var bytes_by_src = {};
+# Log state
+var blocked_cnt = 0;
+
+def main() {
+  while (true) {
+    pkt = recv(0);
+    if (pkt.ip_src in bytes_by_src) {
+      b = bytes_by_src[pkt.ip_src];
+    } else {
+      b = 1;
+    }
+    nb = b + pkt.len;
+    bytes_by_src[pkt.ip_src] = nb;
+    if (nb > THRESH) {
+      blocked_cnt = blocked_cnt + 1;
+      return;
+    }
+    send(pkt, OUT_PORT);
+  }
+}

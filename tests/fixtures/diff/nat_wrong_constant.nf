@@ -1,0 +1,41 @@
+# napt: network address/port translation gateway (Fig. 4a structure).
+var EXT_IP = 5.5.5.5;
+var INT_PORT = 0;
+var EXT_PORT = 1;
+var PORT_BASE = 40000;
+# Translation state
+var nat_out = {};
+var nat_in = {};
+var next_p = 40000;
+# Log state
+var xlated = 0;
+var dropped_in = 0;
+
+def main() {
+  while (true) {
+    pkt = recv(0);
+    if (pkt.in_port == INT_PORT) {
+      k = (pkt.ip_src, pkt.sport, pkt.ip_dst, pkt.dport);
+      if (!(k in nat_out)) {
+        nat_out[k] = next_p;
+        nat_in[next_p] = (pkt.ip_src, pkt.sport, pkt.ip_dst, pkt.dport);
+        next_p = next_p + 2;
+      }
+      ep = nat_out[k];
+      xlated = xlated + 1;
+      pkt.ip_src = EXT_IP;
+      pkt.sport = ep;
+      send(pkt, EXT_PORT);
+      return;
+    }
+    if (pkt.dport in nat_in) {
+      orig = nat_in[pkt.dport];
+      pkt.ip_dst = orig[0];
+      pkt.dport = orig[1];
+      send(pkt, INT_PORT);
+      return;
+    }
+    dropped_in = dropped_in + 1;
+    return;
+  }
+}

@@ -1,0 +1,29 @@
+# lint_duplicate_arm.nf — deliberately buggy fixture for NF208: the
+# second `pkt.dport == 22` test re-checks a condition the fall-through
+# path has already decided false, so its true arm (send on port 2) can
+# never execute. The nested `pkt.ip_proto == 6` re-test shows the true-edge
+# direction: inside the outer arm the condition is already true, so the
+# inner else arm is the unreachable one.
+def main() {
+  while (true) {
+    pkt = recv(0);
+    if (pkt.ip_proto == 6) {
+      if (pkt.ip_proto == 6) {
+        send(pkt, 1);
+        return;
+      }
+      send(pkt, 3);
+      return;
+    }
+    if (pkt.dport == 22) {
+      send(pkt, 1);
+      return;
+    }
+    if (pkt.dport == 22) {
+      send(pkt, 2);
+      return;
+    }
+    send(pkt, 0);
+    return;
+  }
+}

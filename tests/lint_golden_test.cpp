@@ -71,7 +71,8 @@ TEST(LintGoldenTest, Corpus) {
 }
 
 TEST(LintGoldenTest, BuggyFixtures) {
-  for (const std::string name : {"lint_uninit.nf", "lint_deadstate.nf"}) {
+  for (const std::string name :
+       {"lint_uninit.nf", "lint_deadstate.nf", "lint_duplicate_arm.nf"}) {
     SCOPED_TRACE(name);
     const std::string path =
         std::string(NFACTOR_SOURCE_DIR) + "/tests/fixtures/" + name;
@@ -88,7 +89,8 @@ TEST(LintGoldenTest, BuggyFixtures) {
 /// full code coverage explicitly, independent of golden-file contents.
 TEST(LintGoldenTest, FixturesCoverEveryDataflowCheck) {
   std::string all;
-  for (const std::string name : {"lint_uninit.nf", "lint_deadstate.nf"}) {
+  for (const std::string name :
+       {"lint_uninit.nf", "lint_deadstate.nf", "lint_duplicate_arm.nf"}) {
     const std::string path =
         std::string(NFACTOR_SOURCE_DIR) + "/tests/fixtures/" + name;
     bool ok = false;
@@ -96,8 +98,8 @@ TEST(LintGoldenTest, FixturesCoverEveryDataflowCheck) {
     ASSERT_TRUE(ok) << path;
     all += lint_report(source, name);
   }
-  for (const std::string code :
-       {"NF201", "NF202", "NF203", "NF204", "NF205", "NF206", "NF207"}) {
+  for (const std::string code : {"NF201", "NF202", "NF203", "NF204", "NF205",
+                                 "NF206", "NF207", "NF208"}) {
     EXPECT_NE(all.find(code), std::string::npos)
         << code << " fires in neither fixture:\n" << all;
   }

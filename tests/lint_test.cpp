@@ -88,7 +88,7 @@ TEST(DiagnosticSinkTest, RenderJsonShape) {
 
 TEST(LintCatalogTest, CatalogIsStable) {
   const auto& cat = lint::checks();
-  EXPECT_EQ(cat.size(), 8u);
+  EXPECT_EQ(cat.size(), 9u);
   std::set<std::string> seen;
   for (const auto& c : cat) {
     EXPECT_TRUE(seen.insert(c.code).second) << "duplicate " << c.code;
@@ -102,6 +102,7 @@ TEST(LintCatalogTest, CatalogIsStable) {
   }
   EXPECT_TRUE(seen.count("NF201"));
   EXPECT_TRUE(seen.count("NF207"));
+  EXPECT_TRUE(seen.count("NF208"));
   EXPECT_TRUE(seen.count("NF301"));
 }
 
@@ -210,6 +211,66 @@ TEST(LintCheckTest, NF207SeesThroughConfig) {
   // arrives via a config scalar is still caught.
   const auto sink = lint(nf_body("send(pkt, OUT);", "var OUT = 70000;"));
   EXPECT_TRUE(has_code(sink, "NF207")) << sink.render_text();
+}
+
+TEST(LintCheckTest, NF208DuplicateArmFalseEdge) {
+  // The second identical test sits on the first one's fall-through
+  // path: its true arm can never run.
+  const auto sink = lint(nf_body(R"(if (pkt.dport == 22) {
+      send(pkt, 1);
+      return;
+    }
+    if (pkt.dport == 22) {
+      send(pkt, 2);
+      return;
+    }
+    send(pkt, 0);
+    return;)"));
+  EXPECT_TRUE(has_code(sink, "NF208")) << sink.render_text();
+}
+
+TEST(LintCheckTest, NF208DuplicateArmTrueEdge) {
+  // Nested re-test inside the taken arm: the inner else is dead.
+  const auto sink = lint(nf_body(R"(if (pkt.dport == 22) {
+      if (pkt.dport == 22) {
+        send(pkt, 1);
+        return;
+      }
+      send(pkt, 3);
+      return;
+    }
+    send(pkt, 0);
+    return;)"));
+  EXPECT_TRUE(has_code(sink, "NF208")) << sink.render_text();
+}
+
+TEST(LintCheckTest, NF208QuietWhenGuardInputRedefined) {
+  // The packet field the guard reads is rewritten between the two
+  // tests, so the second test is a genuine re-check.
+  const auto sink = lint(nf_body(R"(if (pkt.dport == 22) {
+      pkt.dport = 23;
+    }
+    if (pkt.dport == 22) {
+      send(pkt, 2);
+      return;
+    }
+    send(pkt, 0);
+    return;)"));
+  EXPECT_FALSE(has_code(sink, "NF208")) << sink.render_text();
+}
+
+TEST(LintCheckTest, NF208QuietOnDistinctConditions) {
+  const auto sink = lint(nf_body(R"(if (pkt.dport == 22) {
+      send(pkt, 1);
+      return;
+    }
+    if (pkt.dport == 80) {
+      send(pkt, 2);
+      return;
+    }
+    send(pkt, 0);
+    return;)"));
+  EXPECT_FALSE(has_code(sink, "NF208")) << sink.render_text();
 }
 
 TEST(LintCheckTest, NF301VacuousModel) {

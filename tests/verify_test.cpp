@@ -2,6 +2,9 @@
 // reachability, PGA-style composition, BUZZ-style compliance testing.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
+
 #include "netsim/packet_gen.h"
 #include "nfactor/pipeline.h"
 #include "nfs/corpus.h"
@@ -66,6 +69,74 @@ TEST(Equivalence, CompareActionSetsSymmetric) {
   EXPECT_FALSE(empty.equal());
   EXPECT_EQ(empty.only_in_b.size(), 0u);
   EXPECT_GT(empty.only_in_a.size(), 0u);
+}
+
+TEST(Equivalence, UnderConfigEmptyVsAbsentPathSet) {
+  const auto r = run_nf("nat");
+  const auto bindings = config_bindings(*r.module);
+
+  // Absent specialized side: every surviving full behavior is missing,
+  // and nothing can be "extra" on an empty side.
+  const auto absent = compare_action_sets_under_config(
+      r.slice_paths, {}, r.cats, r.cats, bindings);
+  EXPECT_FALSE(absent.equal());
+  EXPECT_TRUE(absent.only_in_b.empty());
+  EXPECT_GT(absent.only_in_a.size(), 0u);
+  EXPECT_EQ(absent.common, 0u);
+
+  // Both sides empty (the table is absent on both ends): trivially
+  // equal with zero common signatures — not an error.
+  const auto both =
+      compare_action_sets_under_config({}, {}, r.cats, r.cats, bindings);
+  EXPECT_TRUE(both.equal());
+  EXPECT_EQ(both.common, 0u);
+}
+
+TEST(Equivalence, UnderConfigPermutedPathOrderIsEquivalent) {
+  // Action-set comparison is over deduplicated signature *sets*: the
+  // order paths were enumerated in must not matter.
+  const auto& e = nfs::find("firewall");
+  pipeline::PipelineOptions nofold;
+  nofold.simplify.enabled = false;
+  nofold.simplify.fold_config = false;
+  pipeline::PipelineOptions fold;
+  fold.simplify.enabled = true;
+  fold.simplify.fold_config = true;
+  const auto full = pipeline::run_source(e.source, "full", nofold);
+  const auto spec = pipeline::run_source(e.source, "spec", fold);
+
+  auto permuted = spec.slice_paths;
+  std::reverse(permuted.begin(), permuted.end());
+  const auto bindings = config_bindings(*full.module);
+  const auto cmp = compare_action_sets_under_config(
+      full.slice_paths, permuted, full.cats, spec.cats, bindings);
+  EXPECT_TRUE(cmp.equal()) << "only_in_full=" << cmp.only_in_a.size()
+                           << " only_in_permuted=" << cmp.only_in_b.size();
+  EXPECT_GT(cmp.common, 0u);
+}
+
+TEST(Equivalence, UnderConfigDetectsConfigOnlyDivergence) {
+  // Two programs identical except for one config initializer: under the
+  // full side's bindings the folded side's behavior must NOT match.
+  const std::string a = testutil::nf_body("send(pkt, OUT);\n    return;",
+                                          "var OUT = 1;");
+  const std::string b = testutil::nf_body("send(pkt, OUT);\n    return;",
+                                          "var OUT = 2;");
+  pipeline::PipelineOptions nofold;
+  nofold.simplify.enabled = false;
+  nofold.simplify.fold_config = false;
+  pipeline::PipelineOptions fold;
+  fold.simplify.enabled = true;
+  fold.simplify.fold_config = true;
+  const auto full = pipeline::run_source(a, "a", nofold);
+  const auto spec = pipeline::run_source(b, "b", fold);
+
+  const auto bindings = config_bindings(*full.module);
+  const auto cmp = compare_action_sets_under_config(
+      full.slice_paths, spec.slice_paths, full.cats, spec.cats, bindings);
+  EXPECT_FALSE(cmp.equal());
+  EXPECT_GT(cmp.only_in_a.size(), 0u);
+  EXPECT_GT(cmp.only_in_b.size(), 0u);
 }
 
 // ---------------------------------------------------------------------------
