@@ -7,7 +7,7 @@
 //
 //   nf-fuzz [--seed N] [--budget N] [--packets N] [--no-shrink]
 //           [--corpus-out DIR] [--verbose] [--metrics-out FILE]
-//           [--provenance]
+//           [--provenance] [--no-compiled-leg]
 //   nf-fuzz --replay DIR            (re-judge a committed corpus)
 #include <cstdio>
 #include <cstring>
@@ -28,7 +28,7 @@ int usage() {
       stderr,
       "usage: nf-fuzz [--seed N] [--budget N] [--packets N] [--no-shrink]\n"
       "               [--corpus-out DIR] [--verbose] [--metrics-out FILE]\n"
-      "               [--provenance]\n"
+      "               [--provenance] [--no-compiled-leg]\n"
       "       nf-fuzz --replay DIR\n"
       "Generates random NF programs and differentially tests the synthesis\n"
       "pipeline (docs/fuzzing.md). Exits 1 on any divergence, crash, or\n"
@@ -37,7 +37,9 @@ int usage() {
       "directory and fails if any entry no longer passes the oracle.\n"
       "--provenance attaches synthesis provenance to divergence reports\n"
       "(implicated model entry + source lines) and records\n"
-      "fuzz.provenance.* metrics.\n");
+      "fuzz.provenance.* metrics. Each non-degraded leg also replays the\n"
+      "batch through the compiled dataplane engine (src/dataplane/);\n"
+      "--no-compiled-leg disables that comparison.\n");
   return 2;
 }
 
@@ -115,6 +117,8 @@ int main(int argc, char** argv) {
       opts.shrink = false;
     } else if (a == "--provenance") {
       opts.oracle.attach_provenance = true;
+    } else if (a == "--no-compiled-leg") {
+      opts.oracle.compiled_leg = false;
     } else if (a == "--corpus-out") {
       if (!value(opts.corpus_dir)) return usage();
     } else if (a == "--replay") {

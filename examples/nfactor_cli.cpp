@@ -31,6 +31,7 @@
 #include "ir/dot.h"
 #include "lang/diagnostics.h"
 #include "lint/lint.h"
+#include "dataplane/engine.h"
 #include "model/fsm.h"
 #include "model/model.h"
 #include "model/sefl_export.h"
@@ -44,9 +45,10 @@ namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: nfactor_cli <file.nf> [--table|--json|--text|--slices|"
-               "--vars|--stats|--validate|--sefl|--fsm <statevar>|--dot-cfg|"
-               "--dot-pdg|--lint|--lint-json|--explain [RULE|L<line>]]\n"
+               "usage: nfactor_cli <file.nf> [--table|--json|--text|--compile|"
+               "--slices|--vars|--stats|--validate|--sefl|--fsm <statevar>|"
+               "--dot-cfg|--dot-pdg|--lint|--lint-json|"
+               "--explain [RULE|L<line>]]\n"
                "       nfactor_cli --corpus <name> [flags]   (bundled NFs: ");
   for (const auto& e : nfactor::nfs::corpus()) {
     std::fprintf(stderr, "%s ", std::string(e.name).c_str());
@@ -312,6 +314,16 @@ int main(int argc, char** argv) {
       std::printf("%s", model::to_json(r.model).c_str());
     } else if (mode == "--text") {
       std::printf("%s", model::to_text(r.model).c_str());
+    } else if (mode == "--compile") {
+      // Lower through the dataplane compiler with the module's concrete
+      // initial store, so config specialization matches what a deployed
+      // engine would run (docs/dataplane.md). The dump is deterministic:
+      // byte-identical at any --jobs width.
+      const auto store = model::initial_store(*r.module);
+      dataplane::CompileOptions copts;
+      copts.bindings = &store;
+      const auto table = dataplane::compile(r.model, copts);
+      std::printf("%s", table.to_text().c_str());
     } else if (mode == "--vars") {
       std::printf("%s", r.cats.to_table().c_str());
     } else if (mode == "--slices") {

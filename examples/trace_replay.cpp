@@ -1,11 +1,13 @@
 // Trace replay: generate traffic, write it through the real wire codec
 // to a trace file, read it back, and replay it through an NF — original
-// program and synthesized model side by side.
+// program, synthesized model, and the compiled dataplane engine
+// (src/dataplane/, batch API) side by side.
 //
 //   trace_replay [nf-name] [packet-count]
 #include <cstdio>
 #include <cstdlib>
 
+#include "dataplane/engine.h"
 #include "model/interp.h"
 #include "netsim/packet_gen.h"
 #include "netsim/trace.h"
@@ -30,27 +32,47 @@ int main(int argc, char** argv) {
   std::printf("trace: wrote + re-read %zu frames via %s\n", replay.size(),
               path.c_str());
 
-  // 2. Synthesize the model and replay the trace through both sides.
+  // 2. Synthesize the model and replay the trace through all three
+  // backends: the DSL runtime, the model interpreter (per packet), and
+  // the compiled dataplane engine (one batch call over the whole trace).
   const auto r = pipeline::run_source(nfs::find(nf).source, nf);
+  const auto store = model::initial_store(*r.module);
   runtime::Interpreter orig(*r.module);
-  model::ModelInterpreter synth(r.model, model::initial_store(*r.module));
+  model::ModelInterpreter synth(r.model, store);
 
-  int fwd_orig = 0, fwd_model = 0, agree = 0;
-  for (const auto& p : replay) {
-    const auto oo = orig.process(p);
-    const auto mo = synth.process(p);
+  dataplane::CompileOptions copts;
+  copts.bindings = &store;
+  const auto table = dataplane::compile(r.model, copts);
+  dataplane::DataplaneEngine engine(table, store);
+  dataplane::BatchOutput batch;
+  engine.execute_batch(replay, batch);
+
+  int fwd_orig = 0, fwd_model = 0, fwd_compiled = 0, agree = 0;
+  const auto sends = batch.sends();
+  std::size_t send_at = 0;  // sends are grouped by ascending src
+  for (std::size_t k = 0; k < replay.size(); ++k) {
+    const auto oo = orig.process(replay[k]);
+    const auto mo = synth.process(replay[k]);
+    std::vector<std::pair<netsim::Packet, int>> co;
+    for (; send_at < sends.size() &&
+           sends[send_at].src == static_cast<std::int32_t>(k);
+         ++send_at) {
+      co.emplace_back(sends[send_at].packet(), sends[send_at].port);
+    }
     fwd_orig += oo.sent.empty() ? 0 : 1;
     fwd_model += mo.sent.empty() ? 0 : 1;
-    bool same = oo.sent.size() == mo.sent.size();
+    fwd_compiled += co.empty() ? 0 : 1;
+    bool same = oo.sent.size() == mo.sent.size() && mo.sent == co &&
+                mo.matched_entry == batch.matched[k];
     for (std::size_t i = 0; same && i < oo.sent.size(); ++i) {
       same = oo.sent[i].first == mo.sent[i].first &&
              oo.sent[i].second == mo.sent[i].second;
     }
     agree += same ? 1 : 0;
   }
-  std::printf("%s: %zu packets -> forwarded %d (original) / %d (model), "
-              "outputs agree on %d/%zu\n",
-              nf.c_str(), replay.size(), fwd_orig, fwd_model, agree,
-              replay.size());
+  std::printf("%s: %zu packets -> forwarded %d (original) / %d (model) / "
+              "%d (compiled), all outputs agree on %d/%zu\n",
+              nf.c_str(), replay.size(), fwd_orig, fwd_model, fwd_compiled,
+              agree, replay.size());
   return agree == static_cast<int>(replay.size()) ? 0 : 1;
 }

@@ -1,0 +1,268 @@
+// Dataplane engine (docs/dataplane.md): compiles a synthesized NFactor
+// model into a flat, cache-friendly decision structure and executes it
+// over packet *batches* — the third execution backend beside the DSL
+// runtime and the per-packet model interpreter, and the substrate the
+// throughput numbers in bench_dataplane come from.
+//
+// Lowering passes, in order:
+//   1. config specialization — concrete config values are substituted
+//      into every provably throw-free predicate/action expression, so
+//      "pkt.dport == WATCH_PORT" becomes "pkt.dport == 80";
+//   2. FDD construction (dataplane/fdd.h) — the ordered rule list
+//      becomes a reduced, complement-unified, hash-consed decision DAG;
+//   3. predicate/action compilation — expressions made of packet-field
+//      reads, constants, arithmetic and payload literals are lowered to
+//      tiny stack programs evaluated without the symbolic-expression
+//      walker or any allocation (everything else keeps a generic slot
+//      that falls back to symex::eval_concrete);
+//   4. flattening — the DAG becomes one contiguous node array walked
+//      iteratively per packet, leaves become compiled action blocks.
+//
+// Equivalence with model::ModelInterpreter is exact — including its
+// treatment of throwing predicates (the entry fails, others survive) —
+// and is enforced continuously by tests/dataplane_test.cpp, the golden
+// dumps, and the fuzz oracle's compiled leg.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dataplane/fdd.h"
+#include "model/interp.h"
+#include "model/model.h"
+#include "netsim/packet.h"
+#include "runtime/value.h"
+#include "symex/concrete_eval.h"
+#include "symex/expr.h"
+
+namespace nfactor::dataplane {
+
+/// Packet header fields addressable by compiled programs — one enum
+/// value per DSL field name, resolved at compile time so the batch loop
+/// never does string comparisons.
+enum class PacketField : std::uint8_t {
+  kEthSrc, kEthDst, kEthType,
+  kIpSrc, kIpDst, kIpProto, kIpTtl, kIpId, kIpTos,
+  kSport, kDport,
+  kTcpFlags, kTcpSeq, kTcpAck, kTcpWin,
+  kLen, kInPort,
+};
+
+std::optional<PacketField> packet_field_from_name(std::string_view name);
+runtime::Int read_packet_field(const netsim::Packet& p, PacketField f);
+
+/// Stack-machine opcodes for compiled (total, throw-free) expressions.
+/// Value semantics mirror symex::eval_concrete exactly: booleans live on
+/// the stack as 0/1, comparisons yield 0/1, logical ops test nonzero.
+enum class OpCode : std::uint8_t {
+  kPushConst,  ///< imm -> stack
+  kPushField,  ///< read_packet_field(pkt, imm) -> stack
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kAdd, kSub, kMul,
+  kDiv, kMod,  ///< emitted only with a constant nonzero divisor
+  kBitAnd, kBitOr, kBitXor, kShl, kShr,
+  kAnd, kOr, kNot, kNeg,
+  kPayloadContains,  ///< needles[imm] found in pkt.payload -> 0/1
+};
+
+struct Op {
+  OpCode code = OpCode::kPushConst;
+  runtime::Int imm = 0;
+};
+
+/// A compiled expression; empty ops == "not compilable", evaluate the
+/// retained SymRef generically instead.
+struct Program {
+  std::vector<Op> ops;
+  bool compiled() const { return !ops.empty(); }
+};
+
+/// Superinstruction form of a predicate. The generic stack machine pays
+/// one indirect-branch dispatch per opcode, and on mixed traffic those
+/// dispatches mispredict badly — the walk costs more than the packet
+/// logic itself. Synthesized models overwhelmingly test one of four
+/// shapes, so the compiler peephole-fuses those into a single record the
+/// match loop evaluates inline with at most two well-predicted branches.
+struct FusedPred {
+  enum class Kind : std::uint8_t {
+    kNone,       ///< not fused — run prog / fall back to eval_concrete
+    kCmp,        ///< cmp1(field f1, const k1)
+    kCmp2,       ///< cmp1(f1,k1) op cmp2(f2,k2), op per `disjunction`
+    kContains,   ///< payload contains needles[k1]
+    kContains2,  ///< contains(needles[k1]) op contains(needles[k2])
+  };
+  Kind kind = Kind::kNone;
+  OpCode cmp1 = OpCode::kEq;  ///< comparison op (kEq..kGe)
+  OpCode cmp2 = OpCode::kEq;
+  PacketField f1{}, f2{};
+  runtime::Int k1 = 0, k2 = 0;  ///< constants (kCmp*) or needle indices
+  bool disjunction = false;     ///< two-term forms: true = ||, false = &&
+};
+
+struct CompiledPred {
+  symex::SymRef expr;  ///< specialized expression (rendering + fallback)
+  Program prog;
+  FusedPred fused;  ///< peephole-fused form of prog (fuse() in engine.cpp)
+};
+
+struct CompiledWrite {
+  std::string field;  ///< DSL field name
+  symex::SymRef expr;
+  Program prog;
+};
+
+struct CompiledSend {
+  std::vector<CompiledWrite> writes;  ///< sorted by field name
+  symex::SymRef port_expr;
+  Program port_prog;
+  bool const_port = false;      ///< port_prog is a single constant push
+  runtime::Int port_const = 0;  ///< that constant, read without dispatch
+};
+
+struct CompiledUpdate {
+  std::string var;
+  symex::SymRef expr;
+  Program prog;  ///< compiled only for integer-typed right-hand sides
+  /// In-place map-set fast path: set when expr is
+  /// MapStore(MapBase(var), key, val) — the "install one flow entry"
+  /// shape every stateful corpus NF uses. eval_concrete's copy-on-store
+  /// semantics rebuild the whole map per packet (O(flow count)); the
+  /// engine instead evaluates key/val and writes one slot of its own
+  /// (deep-copied) map. Falls back to the generic expr whenever the
+  /// variable does not currently hold a map, which is exactly the case
+  /// where materialize_map starts from empty.
+  bool map_set = false;
+  symex::SymRef key_expr;
+  symex::SymRef val_expr;
+  Program val_prog;  ///< compiled when val is integer-typed and total
+};
+
+struct CompiledLeaf {
+  int entry = -1;  ///< model entry index; -1 = default drop
+  std::vector<CompiledSend> sends;
+  std::vector<CompiledUpdate> updates;
+};
+
+/// Flat decision node. Edge encoding: >= 0 -> next node index,
+/// < 0 -> leaf index ~edge (i.e. -edge - 1).
+struct FlatNode {
+  std::int32_t pred = 0;
+  std::int32_t on_true = 0;
+  std::int32_t on_false = 0;
+  std::int32_t on_except = 0;
+};
+
+struct CompiledTable {
+  std::string nf_name;
+  std::vector<CompiledPred> preds;
+  std::vector<std::string> needles;  ///< payload_contains literals
+  std::vector<FlatNode> nodes;
+  std::vector<CompiledLeaf> leaves;  ///< leaves[0] is always default drop
+  std::int32_t root = -1;            ///< edge encoding (may point at a leaf)
+  FddStats stats;
+  std::size_t compiled_preds = 0;  ///< preds with a stack program
+  /// True when every predicate is fused and every leaf is a pure
+  /// forward/drop (no writes, no state updates, constant ports). Such
+  /// tables run execute_batch's streamlined loop: no environment setup,
+  /// no fallback branches, just fused tests and constant-port emits.
+  bool pure_filter = false;
+
+  /// Deterministic text rendering — the golden-dump format
+  /// (tests/golden/dataplane/). Byte-identical at any --jobs width.
+  std::string to_text() const;
+};
+
+struct CompileOptions {
+  /// Concrete initial values (model::initial_store). Config scalars and
+  /// lists found here are substituted into throw-free expressions before
+  /// predicate compilation; state variables are never substituted.
+  const std::map<std::string, runtime::Value>* bindings = nullptr;
+  FddOptions fdd;
+};
+
+/// Lower a synthesized model into its compiled form. Deterministic in
+/// the model (and bindings); throws std::runtime_error on FDD budget
+/// exhaustion.
+CompiledTable compile(const model::Model& m, const CompileOptions& opts = {});
+
+/// Output of a batch run. Reuse one instance across batches: clear() is
+/// logical — Send slots (and their payload buffers) stay constructed and
+/// are overwritten in place on the next run, so a steady-state batch
+/// loop does no per-send allocation at all.
+struct BatchOutput {
+  struct Send {
+    int port = 0;
+    std::int32_t src = 0;  ///< index of the input packet that produced it
+    /// The sent packet. Sends that forward the input unmodified borrow
+    /// it (zero-copy) — such views stay valid while the input batch is
+    /// alive and until the engine's next execute_batch on this output;
+    /// sends with header rewrites own their bytes.
+    const netsim::Packet& packet() const {
+      return view_ != nullptr ? *view_ : owned_;
+    }
+
+   private:
+    friend class DataplaneEngine;
+    const netsim::Packet* view_ = nullptr;
+    netsim::Packet owned_;
+  };
+  std::vector<std::int32_t> matched;  ///< per input packet: entry or -1
+
+  std::span<const Send> sends() const { return {pool_.data(), used_}; }
+  void clear() {
+    matched.clear();
+    used_ = 0;
+  }
+
+ private:
+  friend class DataplaneEngine;
+  /// Next slot to fill; the caller bumps used_ once the slot is valid.
+  Send& next_slot() {
+    if (used_ == pool_.size()) pool_.emplace_back();
+    return pool_[used_];
+  }
+  std::vector<Send> pool_;
+  std::size_t used_ = 0;
+};
+
+/// Executes a compiled table over concrete packets, maintaining the
+/// oisVar state exactly like model::ModelInterpreter. The table must
+/// outlive the engine.
+class DataplaneEngine {
+ public:
+  DataplaneEngine(const CompiledTable& table,
+                  std::map<std::string, runtime::Value> store);
+
+  /// Batch loop: every packet in order, appending to `out`.
+  void execute_batch(std::span<const netsim::Packet> packets,
+                     BatchOutput& out);
+
+  /// Single-packet convenience with ModelInterpreter-shaped output (the
+  /// differential legs compare these directly).
+  model::ModelOutput process(const netsim::Packet& in);
+
+  const runtime::Value* state(const std::string& name) const;
+  void set_state(const std::string& name, runtime::Value v);
+
+ private:
+  const CompiledLeaf& match(const netsim::Packet& in);
+  template <typename Emit>
+  void apply_leaf(const CompiledLeaf& leaf, const netsim::Packet& in,
+                  Emit&& emit);
+  void apply_writes(netsim::Packet& p, const CompiledSend& s,
+                    const netsim::Packet& in);
+  runtime::Int eval_port(const CompiledSend& s, const netsim::Packet& in);
+  runtime::Int run_program(const Program& prog, const netsim::Packet& in) const;
+
+  const CompiledTable& table_;
+  std::map<std::string, runtime::Value> store_;
+  const netsim::Packet* cur_ = nullptr;  ///< packet the env closures read
+  symex::ConcreteEnv env_;               ///< built once, reused per packet
+};
+
+}  // namespace nfactor::dataplane

@@ -1,0 +1,240 @@
+#include "dataplane/fdd.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <set>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "obs/obs.h"
+
+namespace nfactor::dataplane {
+
+namespace {
+
+/// One rule's requirement on one test: the atom index and the polarity
+/// the canonical expression must evaluate to. Sorted by atom.
+struct Req {
+  std::int32_t atom = 0;
+  bool want = true;
+};
+
+struct RuleReqs {
+  int entry = 0;
+  std::vector<Req> reqs;
+};
+
+/// First requirement of `r` at or after `level`; npos when none remain.
+constexpr std::int32_t kNoReq = std::numeric_limits<std::int32_t>::max();
+
+std::int32_t first_req_at(const RuleReqs& r, std::int32_t level) {
+  const auto it = std::lower_bound(
+      r.reqs.begin(), r.reqs.end(), level,
+      [](const Req& q, std::int32_t lv) { return q.atom < lv; });
+  return it == r.reqs.end() ? kNoReq : it->atom;
+}
+
+/// Requirement polarity of `r` on `atom`: 1 = must be true, 0 = must be
+/// false, -1 = unconstrained.
+int polarity_on(const RuleReqs& r, std::int32_t atom) {
+  const auto it = std::lower_bound(
+      r.reqs.begin(), r.reqs.end(), atom,
+      [](const Req& q, std::int32_t lv) { return q.atom < lv; });
+  if (it == r.reqs.end() || it->atom != atom) return -1;
+  return it->want ? 1 : 0;
+}
+
+struct Builder {
+  const FddOptions& opts;
+  Fdd out;
+  std::vector<RuleReqs> rules;
+
+  /// (test atom, candidate list) -> built ref. Candidates determine the
+  /// whole continuation, so this both avoids rebuilding shared suffixes
+  /// and is where most structural sharing comes from.
+  std::map<std::pair<std::int32_t, std::vector<int>>, FddRef> memo;
+
+  /// Structural hash-cons of finished nodes.
+  std::map<std::array<std::int32_t, 4>, FddRef> cons;
+
+  FddRef intern(std::int32_t atom, FddRef t, FddRef f, FddRef ex) {
+    const std::array<std::int32_t, 4> key{atom, t, f, ex};
+    if (const auto it = cons.find(key); it != cons.end()) {
+      ++out.stats.cons_hits;
+      return it->second;
+    }
+    if (out.nodes.size() >= opts.max_nodes) {
+      throw std::runtime_error("dataplane: FDD node budget exceeded (" +
+                               std::to_string(opts.max_nodes) + " nodes)");
+    }
+    out.nodes.push_back(FddNode{atom, t, f, ex});
+    const auto ref = static_cast<FddRef>(out.nodes.size() - 1);
+    cons.emplace(key, ref);
+    return ref;
+  }
+
+  FddRef build(std::int32_t level, const std::vector<int>& cands) {
+    if (cands.empty()) return leaf_ref(-1);
+    // First match wins: once the highest-priority candidate has no
+    // requirement left to test, no later test can unseat it.
+    if (first_req_at(rules[static_cast<std::size_t>(cands[0])], level) ==
+        kNoReq) {
+      return leaf_ref(rules[static_cast<std::size_t>(cands[0])].entry);
+    }
+    // Skip every test no remaining candidate mentions ("reduced": the
+    // DAG holds no node whose outcome cannot depend on the answer).
+    std::int32_t next = kNoReq;
+    for (const int c : cands) {
+      next = std::min(next,
+                      first_req_at(rules[static_cast<std::size_t>(c)], level));
+    }
+    const auto key = std::make_pair(next, cands);
+    if (const auto it = memo.find(key); it != memo.end()) {
+      ++out.stats.memo_hits;
+      return it->second;
+    }
+
+    std::vector<int> t_cands, f_cands, e_cands;
+    for (const int c : cands) {
+      const int pol = polarity_on(rules[static_cast<std::size_t>(c)], next);
+      if (pol != 0) t_cands.push_back(c);
+      if (pol != 1) f_cands.push_back(c);
+      if (pol == -1) e_cands.push_back(c);
+    }
+    const FddRef rt = build(next + 1, t_cands);
+    const FddRef rf = build(next + 1, f_cands);
+    const FddRef re = build(next + 1, e_cands);
+    const FddRef ref =
+        (rt == rf && rf == re) ? rt : intern(next, rt, rf, re);
+    memo.emplace(key, ref);
+    return ref;
+  }
+};
+
+}  // namespace
+
+Fdd build_fdd(std::span<const FddRule> rules, const FddOptions& opts) {
+  OBS_SPAN("dataplane.fdd");
+  Builder b{opts, Fdd{}, {}, {}, {}};
+
+  // Atom unification: each distinct constraint (by structural
+  // fingerprint) becomes a test, and a constraint whose negation is
+  // already a test reuses that test with inverted polarity — `negate`
+  // builds through the interner, so `c` and `!c` meet by fingerprint
+  // whichever order they appear in. Atom ids double as the variable
+  // order (first appearance over the rule list).
+  struct Slot {
+    std::int32_t atom;
+    bool want;
+  };
+  std::unordered_map<std::uint64_t, Slot> by_fp;
+  for (const FddRule& r : rules) {
+    RuleReqs reqs;
+    reqs.entry = r.entry;
+    bool infeasible = false;
+    for (const symex::SymRef& c : r.atoms) {
+      auto it = by_fp.find(c->fp);
+      if (it == by_fp.end()) {
+        const auto id = static_cast<std::int32_t>(b.out.atoms.size());
+        b.out.atoms.push_back(c);
+        by_fp.emplace(c->fp, Slot{id, true});
+        const symex::SymRef neg = symex::negate(c);
+        if (by_fp.emplace(neg->fp, Slot{id, false}).second) {
+          ++b.out.stats.complement_pairs;
+        }
+        it = by_fp.find(c->fp);
+      }
+      const Slot slot = it->second;
+      const int prior = polarity_on(reqs, slot.atom);
+      if (prior == -1) {
+        reqs.reqs.push_back(Req{slot.atom, slot.want});
+        std::sort(reqs.reqs.begin(), reqs.reqs.end(),
+                  [](const Req& a, const Req& x) { return a.atom < x.atom; });
+      } else if (prior != (slot.want ? 1 : 0)) {
+        // c and !c in one conjunction: the rule can never match (the
+        // interpreter would evaluate both and fail one of them).
+        infeasible = true;
+        break;
+      }
+    }
+    if (infeasible) {
+      ++b.out.stats.infeasible;
+      continue;
+    }
+    b.rules.push_back(std::move(reqs));
+  }
+  // complement_pairs counted insertions of negation fingerprints; the
+  // interesting number is how many tests actually absorbed both
+  // polarities, which only the requirement lists know. Recount.
+  b.out.stats.complement_pairs = 0;
+  {
+    std::set<std::int32_t> pos, neg;
+    for (const RuleReqs& r : b.rules) {
+      for (const Req& q : r.reqs) (q.want ? pos : neg).insert(q.atom);
+    }
+    for (const std::int32_t a : neg) {
+      if (pos.count(a) != 0) ++b.out.stats.complement_pairs;
+    }
+  }
+  b.out.stats.rules = b.rules.size();
+  b.out.stats.atoms = b.out.atoms.size();
+
+  std::vector<int> all(b.rules.size());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = static_cast<int>(i);
+  b.out.root = b.build(0, all);
+  b.out.stats.nodes = b.out.nodes.size();
+  OBS_GAUGE("dataplane.fdd.nodes", b.out.nodes.size());
+  OBS_GAUGE("dataplane.fdd.atoms", b.out.atoms.size());
+  return std::move(b.out);
+}
+
+namespace {
+
+void for_each_edge(const FddNode& n, const auto& fn) {
+  fn(n.on_true);
+  fn(n.on_false);
+  fn(n.on_except);
+}
+
+}  // namespace
+
+bool check_ordered(const Fdd& f) {
+  for (const FddNode& n : f.nodes) {
+    bool ok = true;
+    for_each_edge(n, [&](FddRef r) {
+      if (!is_leaf(r) &&
+          f.nodes[static_cast<std::size_t>(r)].atom <= n.atom) {
+        ok = false;
+      }
+    });
+    if (!ok) return false;
+  }
+  return true;
+}
+
+bool check_reduced(const Fdd& f) {
+  std::set<std::array<std::int32_t, 4>> seen;
+  for (const FddNode& n : f.nodes) {
+    if (n.on_true == n.on_false && n.on_false == n.on_except) return false;
+    if (!seen.insert({n.atom, n.on_true, n.on_false, n.on_except}).second) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::size_t shared_edge_count(const Fdd& f) {
+  std::map<FddRef, std::size_t> in_degree;
+  for (const FddNode& n : f.nodes) {
+    for_each_edge(n, [&](FddRef r) { ++in_degree[r]; });
+  }
+  std::size_t shared = 0;
+  for (const auto& [ref, deg] : in_degree) {
+    (void)ref;
+    if (deg > 1) shared += deg - 1;
+  }
+  return shared;
+}
+
+}  // namespace nfactor::dataplane

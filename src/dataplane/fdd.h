@@ -1,0 +1,102 @@
+// FDD layer of the dataplane compiler (docs/dataplane.md): lower an
+// ordered rule list — each rule a conjunction of interned constraint
+// atoms — into a reduced, variable-ordered decision DAG in the spirit of
+// the NetKAT fast compiler's forwarding decision diagrams. Test nodes
+// are keyed by the interner's structural fingerprints, complements
+// (`c` / `negate(c)`) share one test, and structurally identical
+// subtrees are hash-consed so common continuations are built once.
+//
+// Semantics match the model interpreter exactly, including its
+// exception rule: evaluating an atom may throw (a map lookup whose key
+// is absent, a read of an undefined symbol), and a throwing atom fails
+// every rule that mentions it — in either polarity — while leaving
+// rules that never test it alive. Each node therefore carries a third
+// edge (`on_except`) taken when its atom's evaluation throws.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "symex/expr.h"
+
+namespace nfactor::dataplane {
+
+/// One priority-ordered rule: `entry` is the model-entry index the rule
+/// stands for; `atoms` is the conjunction of its match constraints
+/// (config + flow + state, already config-specialized by the caller).
+struct FddRule {
+  int entry = 0;
+  std::vector<symex::SymRef> atoms;
+};
+
+/// A decision-DAG reference: >= 0 indexes Fdd::nodes; < 0 encodes a
+/// leaf. Leaves are model-entry outcomes: `leaf_ref(e)` for entry e,
+/// with e == -1 the default drop.
+using FddRef = std::int32_t;
+
+constexpr FddRef leaf_ref(int entry) {
+  return static_cast<FddRef>(-entry - 2);
+}
+constexpr bool is_leaf(FddRef r) { return r < 0; }
+constexpr int leaf_entry(FddRef r) { return static_cast<int>(-r - 2); }
+
+/// One test node: evaluate `atoms[atom]`; true -> on_true, false ->
+/// on_false, evaluation threw -> on_except.
+struct FddNode {
+  std::int32_t atom = 0;
+  FddRef on_true = leaf_ref(-1);
+  FddRef on_false = leaf_ref(-1);
+  FddRef on_except = leaf_ref(-1);
+
+  bool operator==(const FddNode&) const = default;
+};
+
+struct FddStats {
+  std::size_t rules = 0;         ///< input rules (infeasible ones excluded)
+  std::size_t infeasible = 0;    ///< rules with contradictory atoms, pruned
+  std::size_t atoms = 0;         ///< unified tests (complement pairs merged)
+  std::size_t complement_pairs = 0;  ///< atoms that absorbed a negation
+  std::size_t nodes = 0;
+  std::size_t memo_hits = 0;     ///< (level, candidate-set) continuations reused
+  std::size_t cons_hits = 0;     ///< structurally equal nodes unified
+};
+
+struct Fdd {
+  /// Canonical test expressions, in variable order: atoms[i] is tested
+  /// strictly before atoms[j] on every path iff i < j. The order is
+  /// first-appearance over the rule list — deterministic because the
+  /// model's entry order is.
+  std::vector<symex::SymRef> atoms;
+  /// Hash-consed test nodes, children strictly before parents.
+  std::vector<FddNode> nodes;
+  FddRef root = leaf_ref(-1);
+  FddStats stats;
+};
+
+struct FddOptions {
+  /// Hard budget on test nodes; exceeded -> std::runtime_error. The
+  /// memoized build is near-linear on real models, so this is a
+  /// backstop against adversarial (fuzz-generated) rule sets only.
+  std::size_t max_nodes = 1u << 20;
+};
+
+/// Compile the rule list (first match wins, default drop) into a
+/// reduced ordered decision DAG.
+Fdd build_fdd(std::span<const FddRule> rules, const FddOptions& opts = {});
+
+// ---- Structural invariants (asserted by tests/dataplane_test.cpp) ---------
+
+/// Every edge goes to a leaf or to a node with a strictly larger atom
+/// index — so no atom is ever re-tested on a path.
+bool check_ordered(const Fdd& f);
+
+/// No node has all three out-edges equal, and no two nodes are
+/// structurally identical (hash-consing canonicalizes them).
+bool check_reduced(const Fdd& f);
+
+/// Total out-edges vs distinct targets: > 0 means some subtree is
+/// genuinely shared (the DAG is not a tree).
+std::size_t shared_edge_count(const Fdd& f);
+
+}  // namespace nfactor::dataplane

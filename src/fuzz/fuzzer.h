@@ -49,12 +49,15 @@ struct FuzzSummary {
   int frontend_rejects = 0;
   int degraded = 0;  ///< programs whose SE degraded (equivalence waived)
   int divergences = 0;
+  int compiled_divergences = 0;  ///< dataplane engine vs model interpreter
   int crashes = 0;
   int nondeterminism = 0;
   std::size_t unique_signatures = 0;  ///< distinct path signatures seen
   std::vector<FuzzFinding> findings;
 
-  bool ok() const { return divergences + crashes + nondeterminism == 0; }
+  bool ok() const {
+    return divergences + compiled_divergences + crashes + nondeterminism == 0;
+  }
   std::string to_string() const;  ///< one-line digest
 };
 

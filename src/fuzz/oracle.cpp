@@ -6,6 +6,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "dataplane/engine.h"
 #include "lang/diagnostics.h"
 #include "model/interp.h"
 #include "model/model.h"
@@ -26,6 +27,7 @@ std::string to_string(FailureClass c) {
     case FailureClass::kFrontendReject: return "frontend-reject";
     case FailureClass::kCrash: return "crash";
     case FailureClass::kDivergence: return "divergence";
+    case FailureClass::kCompiledDivergence: return "compiled-divergence";
     case FailureClass::kNondeterminism: return "nondeterminism";
   }
   return "?";
@@ -67,6 +69,64 @@ void attach_entry_provenance(OracleReport& report,
   }
   if (rule.intervals.empty()) os << "(none)";
   report.implicated_summary = os.str();
+}
+
+struct CompiledMismatch {
+  std::string msg;
+  int entry = -1;  ///< interpreter-side matched entry, for attribution
+};
+
+/// The compiled leg: lower the leg's model through the dataplane
+/// compiler (with the same initial store the interpreter sees, so
+/// config specialization is active) and replay the shared batch through
+/// both backends in lockstep. They must agree on the matched entry,
+/// every emitted packet and port, and — after the whole batch — the
+/// final value of every output-impacting state variable.
+std::optional<CompiledMismatch> check_compiled(
+    const pipeline::PipelineResult& r,
+    std::span<const netsim::Packet> packets) {
+  const auto store = model::initial_store(*r.module);
+  dataplane::CompileOptions copts;
+  copts.bindings = &store;
+  const dataplane::CompiledTable table = dataplane::compile(r.model, copts);
+  model::ModelInterpreter mi(r.model, store);
+  dataplane::DataplaneEngine eng(table, store);
+  for (std::size_t k = 0; k < packets.size(); ++k) {
+    const model::ModelOutput a = mi.process(packets[k]);
+    const model::ModelOutput b = eng.process(packets[k]);
+    const auto where = [&] {
+      return " at packet " + std::to_string(k) + ": " +
+             netsim::to_string(packets[k]);
+    };
+    if (a.matched_entry != b.matched_entry) {
+      return CompiledMismatch{
+          "compiled engine matched entry " + std::to_string(b.matched_entry) +
+              ", interpreter matched " + std::to_string(a.matched_entry) +
+              where(),
+          a.matched_entry};
+    }
+    if (a.sent != b.sent) {
+      return CompiledMismatch{"compiled engine output differs (entry " +
+                                  std::to_string(a.matched_entry) + ")" +
+                                  where(),
+                              a.matched_entry};
+    }
+  }
+  for (const std::string& v : r.model.ois_vars) {
+    const runtime::Value* a = mi.state(v);
+    const runtime::Value* b = eng.state(v);
+    const bool same = (a == nullptr && b == nullptr) ||
+                      (a != nullptr && b != nullptr && runtime::value_eq(*a, *b));
+    if (!same) {
+      return CompiledMismatch{"final state of '" + v +
+                                  "' differs after the batch: interpreter " +
+                                  (a ? runtime::to_string(*a) : "<absent>") +
+                                  ", compiled " +
+                                  (b ? runtime::to_string(*b) : "<absent>"),
+                              -1};
+    }
+  }
+  return std::nullopt;
 }
 
 struct PartitionError {
@@ -234,6 +294,24 @@ OracleReport DifferentialOracle::run(const std::string& source) const {
         report.leg = leg.name();
         report.detail = std::string("interpreter: ") + e.what();
         return report;
+      }
+      if (opts_.compiled_leg) {
+        try {
+          if (auto mm = check_compiled(r, packets)) {
+            report.cls = FailureClass::kCompiledDivergence;
+            report.leg = leg.name() + " compiled";
+            report.detail = mm->msg;
+            if (opts_.attach_provenance) {
+              attach_entry_provenance(report, r.provenance, mm->entry);
+            }
+            return report;
+          }
+        } catch (const std::exception& e) {
+          report.cls = FailureClass::kCrash;
+          report.leg = leg.name() + " compiled";
+          report.detail = std::string("compiled: ") + e.what();
+          return report;
+        }
       }
     }
 

@@ -25,6 +25,7 @@ enum class FailureClass : std::uint8_t {
   kFrontendReject,  ///< lexer/parser/sema/transform refused the program
   kCrash,           ///< pipeline or an interpreter threw unexpectedly
   kDivergence,      ///< model output != runtime output, or bad partition
+  kCompiledDivergence,  ///< dataplane engine output != model interpreter
   kNondeterminism,  ///< legs that must agree byte-for-byte did not
 };
 
@@ -42,6 +43,13 @@ struct OracleOptions {
   /// --provenance). Off by default — attribution replays the model
   /// interpreter on partition failures.
   bool attach_provenance = false;
+  /// Compile each non-degraded leg's model (src/dataplane/) and replay
+  /// the shared batch through the compiled engine beside the model
+  /// interpreter; any disagreement in matched entry, emitted packets, or
+  /// final oisVar state is a kCompiledDivergence. On by default — the
+  /// dataplane compiler rides the same differential wall as everything
+  /// else (nf-fuzz --no-compiled-leg to disable).
+  bool compiled_leg = true;
 };
 
 struct OracleReport {
@@ -68,6 +76,7 @@ struct OracleReport {
   /// A verdict the fuzzer must act on (shrink + report).
   bool failed() const {
     return cls == FailureClass::kCrash || cls == FailureClass::kDivergence ||
+           cls == FailureClass::kCompiledDivergence ||
            cls == FailureClass::kNondeterminism;
   }
 };

@@ -132,6 +132,10 @@ Value eval_concrete(const SymRef& e, const ConcreteEnv& env) {
       return items[static_cast<std::size_t>(idx)];
     }
     case SymKind::kMapBase:
+      if (env.map_value && e->str_val != "{}") {
+        if (const Value* v = env.map_value(e->str_val)) return *v;
+      }
+      [[fallthrough]];
     case SymKind::kMapStore: {
       auto out = std::make_shared<MapV>();
       materialize_map(e, env, *out);

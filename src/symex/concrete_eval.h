@@ -22,6 +22,15 @@ struct ConcreteEnv {
   /// Contents of a named state map (MapBase); nullptr = empty.
   std::function<const runtime::MapV*(const std::string&)> map_base;
 
+  /// Optional zero-copy variant of map_base: the store's own Value for a
+  /// named map (nullptr = fall back to map_base). When set, evaluating a
+  /// bare MapBase *aliases* the store's map instead of materializing a
+  /// copy, turning m[k] / k-in-m from O(|m|) into O(log |m|). Only safe
+  /// for callers that treat every evaluated Value as immutable or
+  /// deep-copy before mutating — the dataplane engine does; the model
+  /// interpreter deliberately keeps copy semantics as the reference.
+  std::function<const runtime::Value*(const std::string&)> map_value;
+
   /// Input packet, needed by uninterpreted payload predicates.
   const netsim::Packet* input_packet = nullptr;
 };
