@@ -1,13 +1,17 @@
 // Trace replay: generate traffic, write it through the real wire codec
 // to a trace file, read it back, and replay it through an NF — original
 // program, synthesized model, and the compiled dataplane engine
-// (src/dataplane/, batch API) side by side.
+// (src/dataplane/, batch API) side by side; then once more through a
+// 2-shard threaded-tier ShardedDataplane, with every shard validated
+// against a reference engine fed that shard's packet subsequence.
 //
 //   trace_replay [nf-name] [packet-count]
 #include <cstdio>
 #include <cstdlib>
+#include <vector>
 
 #include "dataplane/engine.h"
+#include "dataplane/sharded.h"
 #include "model/interp.h"
 #include "netsim/packet_gen.h"
 #include "netsim/trace.h"
@@ -74,5 +78,59 @@ int main(int argc, char** argv) {
               "%d (compiled), all outputs agree on %d/%zu\n",
               nf.c_str(), replay.size(), fwd_orig, fwd_model, fwd_compiled,
               agree, replay.size());
-  return agree == static_cast<int>(replay.size()) ? 0 : 1;
+
+  // 3. Sharded leg: the same trace through a 2-shard tier-2 (threaded)
+  // ShardedDataplane. Each shard must match a fresh single engine fed
+  // that shard's packet subsequence — verdicts, sends, global src
+  // indices, and final state.
+  dataplane::ShardOptions sopts;
+  sopts.shards = 2;
+  sopts.engine.tier = dataplane::Tier::kThreaded;
+  dataplane::ShardedDataplane sharded(table, store, sopts);
+  dataplane::ShardedOutput sout;
+  sharded.execute_batch(replay, sout);
+  int shard_ok = 0, shard_total = 0;
+  for (int s = 0; s < sharded.shards(); ++s) {
+    std::vector<netsim::Packet> sub;
+    std::vector<std::int32_t> sub_src;
+    for (std::size_t i = 0; i < replay.size(); ++i) {
+      if (sout.shard_of[i] == s) {
+        sub.push_back(replay[i]);
+        sub_src.push_back(static_cast<std::int32_t>(i));
+      }
+    }
+    dataplane::DataplaneEngine ref(table, store);
+    dataplane::BatchOutput rout;
+    ref.execute_batch(sub, rout);
+    const auto& so = sout.shard_outputs()[static_cast<std::size_t>(s)];
+    const auto rsends = rout.sends();
+    const auto ssends = so.sends();
+    bool ok = so.matched.size() == sub.size() && rsends.size() == ssends.size();
+    for (std::size_t j = 0; ok && j < sub.size(); ++j) {
+      ok = so.matched[j] == rout.matched[j] &&
+           sout.matched[static_cast<std::size_t>(sub_src[j])] == rout.matched[j];
+    }
+    for (std::size_t j = 0; ok && j < rsends.size(); ++j) {
+      ok = sub_src[static_cast<std::size_t>(rsends[j].src)] == ssends[j].src &&
+           rsends[j].port == ssends[j].port &&
+           rsends[j].packet() == ssends[j].packet();
+    }
+    for (const auto& v : r.model.ois_vars) {
+      if (!ok) break;
+      const runtime::Value* a = ref.state(v);
+      const runtime::Value* b = sharded.engine(s).state(v);
+      ok = (a == nullptr && b == nullptr) ||
+           (a != nullptr && b != nullptr && runtime::value_eq(*a, *b));
+    }
+    shard_ok += ok ? 1 : 0;
+    ++shard_total;
+    std::printf("  shard %d: %zu packets, %zu sends, reference %s\n", s,
+                sub.size(), ssends.size(), ok ? "agrees" : "DIVERGES");
+  }
+  std::printf("sharded (2 shards, threaded tier): %d/%d shards match their "
+              "reference engine\n",
+              shard_ok, shard_total);
+  const bool pass =
+      agree == static_cast<int>(replay.size()) && shard_ok == shard_total;
+  return pass ? 0 : 1;
 }

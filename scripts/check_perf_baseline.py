@@ -21,6 +21,13 @@ old number would pass the gate unseen — refresh it with --update, which
 rewrites every baselined gauge from the metrics file (non-gauge keys,
 e.g. "_comment", are preserved).
 
+A baseline entry whose value is null is a *placeholder*: the gauge was
+just added (or is environment-dependent, like multi-core shard scaling
+on a single-core runner) and has no trustworthy reference yet.  Such
+entries report ADDED (informational, never FAIL/STALE) with the current
+measurement, and are skipped without failing when the dump lacks them;
+--update fills them with real numbers once one environment is blessed.
+
 On failure the metrics file's "meta" stamp (git SHA, build type,
 NFACTOR_OBS / NFACTOR_SYMEX_INTERN, jobs) is printed so the report names
 the build that produced the numbers.
@@ -45,7 +52,12 @@ def update(metrics_path, baseline_path):
         if name.startswith("_"):  # comment/provenance keys
             continue
         if name not in gauges:
-            missing.append(name)
+            if baseline[name] is None:
+                # Placeholder with no measurement in this run either:
+                # leave it null rather than refusing the whole update.
+                print(f"keep   {name}: null (absent from metrics dump)")
+            else:
+                missing.append(name)
             continue
         old = baseline[name]
         baseline[name] = round(float(gauges[name]), 3)
@@ -83,8 +95,20 @@ def main(argv):
 
     failures = []
     stale = []
+    added = []
     for name, ref in sorted(baseline.items()):
         if name.startswith("_"):  # comment/provenance keys
+            continue
+        if ref is None:
+            # Newly-added gauge with no reference yet: report the current
+            # value informationally, never gate on it.
+            added.append(name)
+            if name in gauges:
+                print(f"ADDED {name}: current={float(gauges[name]):.2f} "
+                      f"(no baseline yet)")
+            else:
+                print(f"ADDED {name}: not measured in this run "
+                      f"(no baseline yet)")
             continue
         if name not in gauges:
             print(f"MISSING {name}: not in metrics dump", file=sys.stderr)
@@ -105,6 +129,11 @@ def main(argv):
             verdict = "ok"
         print(f"{verdict:5} {name}: current={cur:.2f} baseline={ref:.2f} "
               f"limit={limit:.2f} ({factor:g}x)")
+
+    if added:
+        print(f"perf-smoke: note: {len(added)} gauge(s) have null "
+              f"(placeholder) baselines — bless one environment's numbers "
+              f"with --update to start gating them", file=sys.stderr)
 
     if stale:
         print(f"perf-smoke: warning: {len(stale)} gauge(s) are >"

@@ -8,6 +8,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "dataplane/threaded.h"
 #include "obs/obs.h"
 
 namespace nfactor::dataplane {
@@ -295,7 +296,7 @@ constexpr std::size_t kMaxProgramOps = 256;
 enum class Ty : std::uint8_t { kInt, kBool };
 
 struct ProgCompiler {
-  std::vector<std::string>* needles;
+  std::vector<Needle>* needles;
 
   Program compile_pred(const SymRef& e) { return compile(e, /*want_int=*/false); }
   Program compile_int(const SymRef& e) { return compile(e, /*want_int=*/true); }
@@ -401,11 +402,13 @@ struct ProgCompiler {
           return std::nullopt;
         }
         const std::string& needle = e->operands[1]->str_val;
-        const auto it = std::find(needles->begin(), needles->end(), needle);
+        const auto it =
+            std::find_if(needles->begin(), needles->end(),
+                         [&](const Needle& n) { return n.text == needle; });
         std::size_t idx = static_cast<std::size_t>(it - needles->begin());
         if (it == needles->end()) {
           idx = needles->size();
-          needles->push_back(needle);
+          needles->push_back(make_needle(needle));
         }
         push(OpCode::kPayloadContains, static_cast<Int>(idx));
         return Ty::kBool;
@@ -664,7 +667,7 @@ std::string CompiledTable::to_text() const {
   if (!needles.empty()) {
     os << "needles:\n";
     for (std::size_t i = 0; i < needles.size(); ++i) {
-      os << "  s" << i << ": \"" << needles[i] << "\"\n";
+      os << "  s" << i << ": \"" << needles[i].text << "\"\n";
     }
   }
   os << "preds:\n";
@@ -753,8 +756,12 @@ Value deep_copy_value(const Value& v) {
 }  // namespace
 
 DataplaneEngine::DataplaneEngine(const CompiledTable& table,
-                                 std::map<std::string, runtime::Value> store)
+                                 std::map<std::string, runtime::Value> store,
+                                 EngineOptions opts)
     : table_(table), store_(std::move(store)) {
+  if (opts.tier == Tier::kThreaded) {
+    threaded_ = std::make_unique<ThreadedCode>(lower_threaded(table));
+  }
   for (auto& [name, v] : store_) v = deep_copy_value(v);
   // One environment for the engine's whole life: the closures chase
   // cur_ / store_ through `this`, so per-packet setup is two pointer
@@ -787,6 +794,8 @@ DataplaneEngine::DataplaneEngine(const CompiledTable& table,
   };
 }
 
+DataplaneEngine::~DataplaneEngine() = default;  // ThreadedCode complete here
+
 const runtime::Value* DataplaneEngine::state(const std::string& name) const {
   const auto it = store_.find(name);
   return it == store_.end() ? nullptr : &it->second;
@@ -796,30 +805,33 @@ void DataplaneEngine::set_state(const std::string& name, runtime::Value v) {
   store_[name] = deep_copy_value(v);
 }
 
-namespace {
+// ---------------------------------------------------------------------------
+// Payload scan
+// ---------------------------------------------------------------------------
 
-// Substring scan tuned for packet payloads: memchr (SIMD) hops between
-// first-byte candidates, memcmp confirms. glibc memmem's preprocessing
-// costs more than an entire 32-byte haystack; this is ~4x faster on the
-// generator's traffic mix. Same result as eval_concrete's std::search.
-bool payload_contains(const std::vector<std::uint8_t>& hay,
-                      const std::string& needle) {
-  const std::size_t nn = needle.size();
-  if (nn == 0) return true;
-  if (nn > hay.size()) return false;
-  const std::uint8_t* p = hay.data();
-  const std::uint8_t* const end = p + hay.size() - nn + 1;
-  while (p < end) {
-    p = static_cast<const std::uint8_t*>(
-        std::memchr(p, needle[0], static_cast<std::size_t>(end - p)));
-    if (p == nullptr) return false;
-    if (std::memcmp(p + 1, needle.data() + 1, nn - 1) == 0) return true;
-    ++p;
+Needle make_needle(std::string text) {
+  Needle n;
+  n.text = std::move(text);
+  n.use_bmh = n.text.size() >= kBmhMinNeedle;
+  // Horspool shift table: on a mismatch, shift by the distance from the
+  // haystack byte under the needle's last position to that byte's
+  // rightmost occurrence in needle[0..len-2]; bytes not in the needle
+  // shift a full needle length. (Needle lengths are bounded by
+  // kMaxProgramOps-scale literals, far below 255, so uint8 shifts fit.)
+  // Built even below the use_bmh threshold — every shift is >= 1, so
+  // scan_bmh terminates on any Needle this function returns (the
+  // payload-scan microbench drives it across the whole length range).
+  const std::size_t len = n.text.size();
+  n.skip.fill(static_cast<std::uint8_t>(len));
+  for (std::size_t i = 0; i + 1 < len; ++i) {
+    n.skip[static_cast<std::uint8_t>(n.text[i])] =
+        static_cast<std::uint8_t>(len - 1 - i);
   }
-  return false;
+  return n;
 }
 
-}  // namespace
+// scan_memchr_hop / scan_bmh / scan_adaptive / payload_contains are
+// defined inline in engine.h so both execution tiers inline them.
 
 runtime::Int DataplaneEngine::run_program(const Program& prog,
                                           const netsim::Packet& in) const {
@@ -894,7 +906,7 @@ inline bool eval_cmp(OpCode c, runtime::Int v, runtime::Int k) {
 /// (true for ||, false for &&); neither term can have side effects, so
 /// this matches full evaluation. Fused forms are total — never throw.
 inline bool eval_fused(const FusedPred& fp, const netsim::Packet& in,
-                       const std::vector<std::string>& needles) {
+                       const std::vector<Needle>& needles) {
   switch (fp.kind) {
     case FusedPred::Kind::kCmp:
       return eval_cmp(fp.cmp1, read_packet_field(in, fp.f1), fp.k1);
@@ -1014,16 +1026,56 @@ void DataplaneEngine::apply_leaf(const CompiledLeaf& leaf,
   }
 }
 
-void DataplaneEngine::execute_batch(std::span<const netsim::Packet> packets,
-                                    BatchOutput& out) {
-  out.matched.reserve(out.matched.size() + packets.size());
+void DataplaneEngine::apply_leaf_batch(const CompiledLeaf& leaf,
+                                       const netsim::Packet& in,
+                                       std::int32_t src, BatchOutput& out) {
+  apply_leaf(leaf, in, [&](const CompiledSend& s) {
+    // Overwrite a retired slot: the packet assignment reuses the
+    // slot's payload buffer, so the steady state allocates nothing.
+    BatchOutput::Send& slot = out.next_slot();
+    if (s.writes.empty()) {
+      slot.view_ = &in;  // unmodified forward: borrow, don't copy
+    } else {
+      slot.view_ = nullptr;
+      slot.owned_ = in;
+      apply_writes(slot.owned_, s, in);
+    }
+    slot.port = static_cast<int>(s.const_port ? s.port_const
+                                              : eval_port(s, in));
+    slot.src = src;
+    ++out.used_;  // commit only once the slot is fully valid
+  });
+}
+
+namespace {
+
+/// Index sources for the shared batch loop: sequential (execute_batch)
+/// or gather through a shard's index array (execute_indexed).
+struct SeqIdx {
+  std::int32_t operator()(std::size_t i) const {
+    return static_cast<std::int32_t>(i);
+  }
+};
+struct ArrIdx {
+  const std::int32_t* idx;
+  std::int32_t operator()(std::size_t i) const { return idx[i]; }
+};
+
+}  // namespace
+
+template <typename IdxFn>
+void DataplaneEngine::batch_table(std::span<const netsim::Packet> packets,
+                                  std::size_t count, IdxFn idx,
+                                  BatchOutput& out) {
+  out.matched.reserve(out.matched.size() + count);
   // Streamlined loop for stateless forward/drop tables: every pred is
   // fused (total — no throws, so on_except is unreachable) and every
   // send is an unmodified copy to a constant port. Keeping the generic
   // machinery out of the loop body roughly halves the per-packet cost.
   if (table_.pure_filter) {
-    for (std::size_t i = 0; i < packets.size(); ++i) {
-      const netsim::Packet& in = packets[i];
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::int32_t gi = idx(i);
+      const netsim::Packet& in = packets[static_cast<std::size_t>(gi)];
       std::int32_t ref = table_.root;
       while (ref >= 0) {
         const FlatNode& n = table_.nodes[static_cast<std::size_t>(ref)];
@@ -1038,39 +1090,57 @@ void DataplaneEngine::execute_batch(std::span<const netsim::Packet> packets,
         BatchOutput::Send& slot = out.next_slot();
         slot.view_ = &in;  // pure filters never rewrite: forward by view
         slot.port = static_cast<int>(s.port_const);
-        slot.src = static_cast<std::int32_t>(i);
+        slot.src = gi;
         ++out.used_;
       }
     }
-    OBS_COUNT_N("dataplane.packets", packets.size());
+    OBS_COUNT_N("dataplane.packets", count);
     return;
   }
-  for (std::size_t i = 0; i < packets.size(); ++i) {
-    const netsim::Packet& in = packets[i];
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::int32_t gi = idx(i);
+    const netsim::Packet& in = packets[static_cast<std::size_t>(gi)];
     const CompiledLeaf& leaf = match(in);
     out.matched.push_back(leaf.entry);
-    apply_leaf(leaf, in, [&](const CompiledSend& s) {
-      // Overwrite a retired slot: the packet assignment reuses the
-      // slot's payload buffer, so the steady state allocates nothing.
-      BatchOutput::Send& slot = out.next_slot();
-      if (s.writes.empty()) {
-        slot.view_ = &in;  // unmodified forward: borrow, don't copy
-      } else {
-        slot.view_ = nullptr;
-        slot.owned_ = in;
-        apply_writes(slot.owned_, s, in);
-      }
-      slot.port = static_cast<int>(s.const_port ? s.port_const
-                                                : eval_port(s, in));
-      slot.src = static_cast<std::int32_t>(i);
-      ++out.used_;  // commit only once the slot is fully valid
-    });
+    apply_leaf_batch(leaf, in, gi, out);
   }
-  OBS_COUNT_N("dataplane.packets", packets.size());
+  OBS_COUNT_N("dataplane.packets", count);
+}
+
+void DataplaneEngine::execute_batch(std::span<const netsim::Packet> packets,
+                                    BatchOutput& out) {
+  if (threaded_ != nullptr) {
+    execute_batch_threaded(packets, out);
+    return;
+  }
+  batch_table(packets, packets.size(), SeqIdx{}, out);
+}
+
+void DataplaneEngine::execute_indexed(std::span<const netsim::Packet> packets,
+                                      std::span<const std::int32_t> idx,
+                                      BatchOutput& out) {
+  if (threaded_ != nullptr) {
+    execute_indexed_threaded(packets, idx, out);
+    return;
+  }
+  batch_table(packets, idx.size(), ArrIdx{idx.data()}, out);
 }
 
 model::ModelOutput DataplaneEngine::process(const netsim::Packet& in) {
-  const CompiledLeaf& leaf = match(in);
+  const CompiledLeaf* matched;
+  if (threaded_ != nullptr) {
+    const std::int32_t pc = run_threaded(in);
+    // The terminal op carries its leaf index; generic leaf application
+    // below needs the env wired to this packet (run_threaded only does
+    // that lazily, when a generic predicate fires).
+    cur_ = &in;
+    env_.input_packet = &in;
+    matched = &table_.leaves[static_cast<std::size_t>(
+        threaded_->code[static_cast<std::size_t>(pc)].aux)];
+  } else {
+    matched = &match(in);
+  }
+  const CompiledLeaf& leaf = *matched;
   model::ModelOutput out;
   out.matched_entry = leaf.entry;
   apply_leaf(leaf, in, [&](const CompiledSend& s) {

@@ -14,8 +14,9 @@ std::string FuzzSummary::to_string() const {
   std::ostringstream os;
   os << "programs=" << programs << " rejects=" << frontend_rejects
      << " degraded=" << degraded << " divergences=" << divergences
-     << " compiled_divergences=" << compiled_divergences << " crashes="
-     << crashes << " nondet=" << nondeterminism
+     << " compiled_divergences=" << compiled_divergences
+     << " sharded_divergences=" << sharded_divergences << " crashes=" << crashes
+     << " nondet=" << nondeterminism
      << " unique_signatures=" << unique_signatures;
   return os.str();
 }
@@ -68,6 +69,7 @@ FuzzSummary Fuzzer::run() {
     switch (report.cls) {
       case FailureClass::kDivergence: ++sum.divergences; break;
       case FailureClass::kCompiledDivergence: ++sum.compiled_divergences; break;
+      case FailureClass::kShardedDivergence: ++sum.sharded_divergences; break;
       case FailureClass::kCrash: ++sum.crashes; break;
       case FailureClass::kNondeterminism: ++sum.nondeterminism; break;
       default: break;

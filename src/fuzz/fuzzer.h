@@ -50,13 +50,16 @@ struct FuzzSummary {
   int degraded = 0;  ///< programs whose SE degraded (equivalence waived)
   int divergences = 0;
   int compiled_divergences = 0;  ///< dataplane engine vs model interpreter
+  int sharded_divergences = 0;   ///< a shard vs its reference engine
   int crashes = 0;
   int nondeterminism = 0;
   std::size_t unique_signatures = 0;  ///< distinct path signatures seen
   std::vector<FuzzFinding> findings;
 
   bool ok() const {
-    return divergences + compiled_divergences + crashes + nondeterminism == 0;
+    return divergences + compiled_divergences + sharded_divergences + crashes +
+               nondeterminism ==
+           0;
   }
   std::string to_string() const;  ///< one-line digest
 };

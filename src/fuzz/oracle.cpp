@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "dataplane/engine.h"
+#include "dataplane/sharded.h"
 #include "lang/diagnostics.h"
 #include "model/interp.h"
 #include "model/model.h"
@@ -28,6 +29,7 @@ std::string to_string(FailureClass c) {
     case FailureClass::kCrash: return "crash";
     case FailureClass::kDivergence: return "divergence";
     case FailureClass::kCompiledDivergence: return "compiled-divergence";
+    case FailureClass::kShardedDivergence: return "sharded-divergence";
     case FailureClass::kNondeterminism: return "nondeterminism";
   }
   return "?";
@@ -84,13 +86,13 @@ struct CompiledMismatch {
 /// final value of every output-impacting state variable.
 std::optional<CompiledMismatch> check_compiled(
     const pipeline::PipelineResult& r,
-    std::span<const netsim::Packet> packets) {
+    std::span<const netsim::Packet> packets, dataplane::Tier tier) {
   const auto store = model::initial_store(*r.module);
   dataplane::CompileOptions copts;
   copts.bindings = &store;
   const dataplane::CompiledTable table = dataplane::compile(r.model, copts);
   model::ModelInterpreter mi(r.model, store);
-  dataplane::DataplaneEngine eng(table, store);
+  dataplane::DataplaneEngine eng(table, store, dataplane::EngineOptions{tier});
   for (std::size_t k = 0; k < packets.size(); ++k) {
     const model::ModelOutput a = mi.process(packets[k]);
     const model::ModelOutput b = eng.process(packets[k]);
@@ -124,6 +126,90 @@ std::optional<CompiledMismatch> check_compiled(
                                   ", compiled " +
                                   (b ? runtime::to_string(*b) : "<absent>"),
                               -1};
+    }
+  }
+  return std::nullopt;
+}
+
+/// The sharded leg: run the batch through ShardedDataplane at 2 and 3
+/// shards and hold each shard to its reference contract — verdicts,
+/// sends, and post-state byte-equal to a fresh single engine fed that
+/// shard's packet subsequence in order. This is valid for every
+/// generated program (global state included): a shard IS a single
+/// engine over a sub-batch, so any disagreement is a real partition,
+/// scatter, or worker-pool bug, never an artifact of non-partitionable
+/// state.
+std::optional<std::string> check_sharded(
+    const pipeline::PipelineResult& r,
+    std::span<const netsim::Packet> packets) {
+  const auto store = model::initial_store(*r.module);
+  dataplane::CompileOptions copts;
+  copts.bindings = &store;
+  const dataplane::CompiledTable table = dataplane::compile(r.model, copts);
+  for (const int shards : {2, 3}) {
+    dataplane::ShardOptions sopts;
+    sopts.shards = shards;
+    dataplane::ShardedDataplane sharded(table, store, sopts);
+    dataplane::ShardedOutput out;
+    sharded.execute_batch(packets, out);
+    for (int s = 0; s < shards; ++s) {
+      std::vector<netsim::Packet> sub;
+      std::vector<std::size_t> sub_src;
+      for (std::size_t i = 0; i < packets.size(); ++i) {
+        if (out.shard_of[i] == s) {
+          sub.push_back(packets[i]);
+          sub_src.push_back(i);
+        }
+      }
+      dataplane::DataplaneEngine ref(table, store);
+      dataplane::BatchOutput rout;
+      ref.execute_batch(sub, rout);
+      const auto where = [&](std::size_t j) {
+        return " (shards=" + std::to_string(shards) + " shard " +
+               std::to_string(s) + " packet " + std::to_string(sub_src[j]) +
+               ": " + netsim::to_string(sub[j]) + ")";
+      };
+      const auto& shard_out =
+          out.shard_outputs()[static_cast<std::size_t>(s)];
+      if (shard_out.matched.size() != sub.size()) {
+        return "shard verdict count " + std::to_string(shard_out.matched.size()) +
+               " != " + std::to_string(sub.size()) + " partitioned packets";
+      }
+      for (std::size_t j = 0; j < sub.size(); ++j) {
+        if (shard_out.matched[j] != rout.matched[j] ||
+            out.matched[sub_src[j]] != rout.matched[j]) {
+          return "shard matched entry " + std::to_string(shard_out.matched[j]) +
+                 ", reference matched " + std::to_string(rout.matched[j]) +
+                 where(j);
+        }
+      }
+      const auto rs = rout.sends();
+      const auto ss = shard_out.sends();
+      if (rs.size() != ss.size()) {
+        return "shard emitted " + std::to_string(ss.size()) +
+               " packets, reference emitted " + std::to_string(rs.size()) +
+               " (shards=" + std::to_string(shards) + " shard " +
+               std::to_string(s) + ")";
+      }
+      for (std::size_t j = 0; j < rs.size(); ++j) {
+        const std::size_t src_j = static_cast<std::size_t>(rs[j].src);
+        if (sub_src[src_j] != static_cast<std::size_t>(ss[j].src) ||
+            rs[j].port != ss[j].port ||
+            !(rs[j].packet() == ss[j].packet())) {
+          return "shard send " + std::to_string(j) + " differs" + where(src_j);
+        }
+      }
+      for (const std::string& v : r.model.ois_vars) {
+        const runtime::Value* a = ref.state(v);
+        const runtime::Value* b = sharded.engine(s).state(v);
+        const bool same =
+            (a == nullptr && b == nullptr) ||
+            (a != nullptr && b != nullptr && runtime::value_eq(*a, *b));
+        if (!same) {
+          return "shard state of '" + v + "' differs from reference (shards=" +
+                 std::to_string(shards) + " shard " + std::to_string(s) + ")";
+        }
+      }
     }
   }
   return std::nullopt;
@@ -295,11 +381,25 @@ OracleReport DifferentialOracle::run(const std::string& source) const {
         report.detail = std::string("interpreter: ") + e.what();
         return report;
       }
-      if (opts_.compiled_leg) {
+      // Both dataplane tiers ride the compiled leg: tier 1 (table walk)
+      // and tier 2 (threaded code) each replay the batch in lockstep
+      // with the model interpreter.
+      struct TierLeg {
+        dataplane::Tier tier;
+        bool enabled;
+        const char* label;
+      };
+      const TierLeg tier_legs[] = {
+          {dataplane::Tier::kTableWalk, opts_.compiled_leg, "compiled"},
+          {dataplane::Tier::kThreaded,
+           opts_.compiled_leg && opts_.threaded_leg, "threaded"},
+      };
+      for (const TierLeg& tl : tier_legs) {
+        if (!tl.enabled) continue;
         try {
-          if (auto mm = check_compiled(r, packets)) {
+          if (auto mm = check_compiled(r, packets, tl.tier)) {
             report.cls = FailureClass::kCompiledDivergence;
-            report.leg = leg.name() + " compiled";
+            report.leg = leg.name() + " " + tl.label;
             report.detail = mm->msg;
             if (opts_.attach_provenance) {
               attach_entry_provenance(report, r.provenance, mm->entry);
@@ -308,8 +408,23 @@ OracleReport DifferentialOracle::run(const std::string& source) const {
           }
         } catch (const std::exception& e) {
           report.cls = FailureClass::kCrash;
-          report.leg = leg.name() + " compiled";
-          report.detail = std::string("compiled: ") + e.what();
+          report.leg = leg.name() + " " + tl.label;
+          report.detail = std::string(tl.label) + ": " + e.what();
+          return report;
+        }
+      }
+      if (opts_.sharded_leg && !leg.simplify && leg.jobs == 1) {
+        try {
+          if (auto err = check_sharded(r, packets)) {
+            report.cls = FailureClass::kShardedDivergence;
+            report.leg = "sharded";
+            report.detail = *err;
+            return report;
+          }
+        } catch (const std::exception& e) {
+          report.cls = FailureClass::kCrash;
+          report.leg = "sharded";
+          report.detail = std::string("sharded: ") + e.what();
           return report;
         }
       }

@@ -26,6 +26,7 @@ enum class FailureClass : std::uint8_t {
   kCrash,           ///< pipeline or an interpreter threw unexpectedly
   kDivergence,      ///< model output != runtime output, or bad partition
   kCompiledDivergence,  ///< dataplane engine output != model interpreter
+  kShardedDivergence,   ///< a shard's output != its reference engine
   kNondeterminism,  ///< legs that must agree byte-for-byte did not
 };
 
@@ -50,6 +51,18 @@ struct OracleOptions {
   /// dataplane compiler rides the same differential wall as everything
   /// else (nf-fuzz --no-compiled-leg to disable).
   bool compiled_leg = true;
+  /// Replay the compiled leg a second time on the threaded (tier-2)
+  /// engine — computed-goto dispatch must match the model interpreter
+  /// exactly like the table walk does (nf-fuzz --no-threaded-leg).
+  bool threaded_leg = true;
+  /// Run the baseline leg's model through ShardedDataplane at 2 and 3
+  /// shards and hold every shard to its reference contract: verdicts,
+  /// sends, and post-state byte-equal to a single engine fed that
+  /// shard's packet subsequence. Valid for every generated program —
+  /// including ones with global, non-flow-partitionable state — because
+  /// the contract is per shard, not cross-shard (nf-fuzz
+  /// --no-sharded-leg).
+  bool sharded_leg = true;
 };
 
 struct OracleReport {
@@ -77,6 +90,7 @@ struct OracleReport {
   bool failed() const {
     return cls == FailureClass::kCrash || cls == FailureClass::kDivergence ||
            cls == FailureClass::kCompiledDivergence ||
+           cls == FailureClass::kShardedDivergence ||
            cls == FailureClass::kNondeterminism;
   }
 };

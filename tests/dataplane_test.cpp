@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "dataplane/fdd.h"
+#include "dataplane/threaded.h"
 #include "model/interp.h"
 #include "netsim/packet_gen.h"
 #include "nfactor/pipeline.h"
@@ -155,7 +156,7 @@ std::vector<netsim::Packet> test_batch() {
   return packets;
 }
 
-/// Run the interpreter and the compiled engine in lockstep and require
+/// Run the interpreter and both compiled tiers in lockstep and require
 /// identical matched entries, identical emitted packets/ports, and
 /// identical final oisVar state.
 void expect_equivalent(const model::Model& m,
@@ -167,28 +168,43 @@ void expect_equivalent(const model::Model& m,
   const CompiledTable table = compile(m, copts);
   model::ModelInterpreter mi(m, store);
   DataplaneEngine eng(table, store);
+  DataplaneEngine thr(table, store, EngineOptions{Tier::kThreaded});
   for (std::size_t i = 0; i < packets.size(); ++i) {
     const model::ModelOutput a = mi.process(packets[i]);
     const model::ModelOutput b = eng.process(packets[i]);
+    const model::ModelOutput c = thr.process(packets[i]);
     ASSERT_EQ(a.matched_entry, b.matched_entry)
         << label << ": packet " << i << ": " << netsim::to_string(packets[i]);
+    ASSERT_EQ(a.matched_entry, c.matched_entry)
+        << label << " (threaded): packet " << i << ": "
+        << netsim::to_string(packets[i]);
     ASSERT_EQ(a.sent.size(), b.sent.size()) << label << ": packet " << i;
+    ASSERT_EQ(a.sent.size(), c.sent.size())
+        << label << " (threaded): packet " << i;
     for (std::size_t j = 0; j < a.sent.size(); ++j) {
       EXPECT_TRUE(a.sent[j].first == b.sent[j].first)
           << label << ": packet " << i << " send " << j;
       EXPECT_EQ(a.sent[j].second, b.sent[j].second)
           << label << ": packet " << i << " send " << j;
+      EXPECT_TRUE(a.sent[j].first == c.sent[j].first)
+          << label << " (threaded): packet " << i << " send " << j;
+      EXPECT_EQ(a.sent[j].second, c.sent[j].second)
+          << label << " (threaded): packet " << i << " send " << j;
     }
   }
   for (const std::string& v : m.ois_vars) {
     const Value* a = mi.state(v);
-    const Value* b = eng.state(v);
-    ASSERT_EQ(a == nullptr, b == nullptr) << label << ": state " << v;
-    if (a != nullptr && b != nullptr) {
-      EXPECT_TRUE(runtime::value_eq(*a, *b))
-          << label << ": state " << v << ": interpreter "
-          << runtime::to_string(*a) << " vs compiled "
-          << runtime::to_string(*b);
+    for (DataplaneEngine* e : {&eng, &thr}) {
+      const Value* b = e->state(v);
+      const char* tier = e == &eng ? "table" : "threaded";
+      ASSERT_EQ(a == nullptr, b == nullptr)
+          << label << ": state " << v << " (" << tier << ")";
+      if (a != nullptr && b != nullptr) {
+        EXPECT_TRUE(runtime::value_eq(*a, *b))
+            << label << ": state " << v << " (" << tier << "): interpreter "
+            << runtime::to_string(*a) << " vs compiled "
+            << runtime::to_string(*b);
+      }
     }
   }
 }
@@ -223,6 +239,128 @@ TEST_P(DataplaneCorpus, StructuralInvariantsHold) {
   EXPECT_TRUE(check_reduced(f)) << e.name;
   ASSERT_FALSE(table.leaves.empty()) << e.name;
   EXPECT_EQ(table.leaves[0].entry, -1) << e.name;  // default drop slot
+}
+
+/// Tier-2 batch equivalence: the threaded engine's execute_batch must
+/// produce byte-identical verdicts, sends, and post-state to the
+/// table-walk engine's, for every corpus NF.
+TEST_P(DataplaneCorpus, ThreadedBatchMatchesTableWalk) {
+  const auto& e = GetParam();
+  const auto r =
+      pipeline::run_source(std::string(e.source), std::string(e.name));
+  const auto store = model::initial_store(*r.module);
+  CompileOptions copts;
+  copts.bindings = &store;
+  const CompiledTable table = compile(r.model, copts);
+  const auto packets = test_batch();
+
+  DataplaneEngine walk(table, store);
+  DataplaneEngine thr(table, store, EngineOptions{Tier::kThreaded});
+  ASSERT_EQ(thr.tier(), Tier::kThreaded);
+  BatchOutput wa;
+  BatchOutput wb;
+  // Two batches through each: the second hits warmed-up per-flow state.
+  for (int round = 0; round < 2; ++round) {
+    wa.clear();
+    wb.clear();
+    walk.execute_batch(packets, wa);
+    thr.execute_batch(packets, wb);
+    ASSERT_EQ(wa.matched, wb.matched) << e.name << " round " << round;
+    const auto sa = wa.sends();
+    const auto sb = wb.sends();
+    ASSERT_EQ(sa.size(), sb.size()) << e.name << " round " << round;
+    for (std::size_t j = 0; j < sa.size(); ++j) {
+      EXPECT_EQ(sa[j].src, sb[j].src) << e.name << " send " << j;
+      EXPECT_EQ(sa[j].port, sb[j].port) << e.name << " send " << j;
+      EXPECT_TRUE(sa[j].packet() == sb[j].packet()) << e.name << " send " << j;
+    }
+  }
+  for (const std::string& v : r.model.ois_vars) {
+    const Value* a = walk.state(v);
+    const Value* b = thr.state(v);
+    ASSERT_EQ(a == nullptr, b == nullptr) << e.name << ": state " << v;
+    if (a != nullptr && b != nullptr) {
+      EXPECT_TRUE(runtime::value_eq(*a, *b)) << e.name << ": state " << v;
+    }
+  }
+}
+
+/// Every FlatNode must lower to a test chain of at least one op (the
+/// splitter may emit several per node), every leaf to exactly one
+/// terminal, with the entry pc resolving the table root.
+TEST_P(DataplaneCorpus, ThreadedLoweringShape) {
+  const auto& e = GetParam();
+  const auto r =
+      pipeline::run_source(std::string(e.source), std::string(e.name));
+  const auto store = model::initial_store(*r.module);
+  CompileOptions copts;
+  copts.bindings = &store;
+  const CompiledTable table = compile(r.model, copts);
+  const ThreadedCode tc = lower_threaded(table);
+  EXPECT_EQ(tc.code.size(), tc.node_ops + table.leaves.size()) << e.name;
+  EXPECT_GE(tc.node_ops, table.nodes.size()) << e.name;
+  EXPECT_EQ(tc.node_pc.size(), table.nodes.size()) << e.name;
+  EXPECT_EQ(tc.fused_ops + tc.prog_ops + tc.generic_ops, tc.node_ops)
+      << e.name;
+  // Branch targets are pre-resolved: every node edge lands inside the
+  // program, every node entry lands inside the test block, every
+  // terminal carries its leaf index.
+  const auto in_range = [&](std::int32_t pc) {
+    return pc >= 0 && static_cast<std::size_t>(pc) < tc.code.size();
+  };
+  EXPECT_TRUE(in_range(tc.entry_pc)) << e.name;
+  for (const std::int32_t entry : tc.node_pc) {
+    EXPECT_TRUE(entry >= 0 && static_cast<std::size_t>(entry) < tc.node_ops)
+        << e.name << " entry pc" << entry;
+  }
+  for (std::size_t i = 0; i < tc.node_ops; ++i) {
+    EXPECT_TRUE(in_range(tc.code[i].t)) << e.name << " pc" << i;
+    EXPECT_TRUE(in_range(tc.code[i].f)) << e.name << " pc" << i;
+    EXPECT_TRUE(in_range(tc.code[i].x)) << e.name << " pc" << i;
+  }
+  for (std::size_t l = 0; l < table.leaves.size(); ++l) {
+    const ThreadedOp& term = tc.code[tc.node_ops + l];
+    EXPECT_EQ(term.aux, static_cast<std::int32_t>(l)) << e.name;
+    EXPECT_EQ(term.entry, table.leaves[l].entry) << e.name;
+  }
+}
+
+/// The vectored executor's sweep order: topo must start at the entry,
+/// contain no duplicates, and order every branch edge forward — an op
+/// can only push packets onto queues that have not been drained yet.
+TEST_P(DataplaneCorpus, ThreadedTopoOrdersEveryEdgeForward) {
+  const auto& e = GetParam();
+  const auto r =
+      pipeline::run_source(std::string(e.source), std::string(e.name));
+  const auto store = model::initial_store(*r.module);
+  CompileOptions copts;
+  copts.bindings = &store;
+  const CompiledTable table = compile(r.model, copts);
+  const ThreadedCode tc = lower_threaded(table);
+  const auto test_ops = static_cast<std::int32_t>(tc.node_ops);
+  if (tc.entry_pc >= test_ops) {
+    EXPECT_TRUE(tc.topo.empty()) << e.name;
+    return;
+  }
+  ASSERT_FALSE(tc.topo.empty()) << e.name;
+  EXPECT_EQ(tc.topo.front(), tc.entry_pc) << e.name;
+  std::vector<std::int32_t> pos(tc.node_ops, -1);
+  for (std::size_t i = 0; i < tc.topo.size(); ++i) {
+    const std::int32_t pc = tc.topo[i];
+    ASSERT_TRUE(pc >= 0 && pc < test_ops) << e.name << " pc" << pc;
+    EXPECT_EQ(pos[static_cast<std::size_t>(pc)], -1)
+        << e.name << " duplicate pc" << pc;
+    pos[static_cast<std::size_t>(pc)] = static_cast<std::int32_t>(i);
+  }
+  for (const std::int32_t pc : tc.topo) {
+    const ThreadedOp& o = tc.code[static_cast<std::size_t>(pc)];
+    for (const std::int32_t nx : {o.t, o.f, o.x}) {
+      if (nx >= test_ops) continue;  // terminal edge
+      EXPECT_GT(pos[static_cast<std::size_t>(nx)],
+                pos[static_cast<std::size_t>(pc)])
+          << e.name << " edge pc" << pc << " -> pc" << nx;
+    }
+  }
 }
 
 std::string corpus_name(
@@ -416,6 +554,157 @@ INSTANTIATE_TEST_SUITE_P(Corpus, DataplaneGolden,
                          [](const ::testing::TestParamInfo<const char*>& i) {
                            return std::string(i.param);
                          });
+
+/// nf-synth --compile --tier 2 parity: the threaded dump must be as
+/// jobs-deterministic as the table dump it lowers from.
+std::string threaded_dump(const std::string& nf, int jobs) {
+  pipeline::PipelineOptions opts;
+  opts.simplify.enabled = true;
+  opts.simplify.fold_config = true;
+  opts.jobs = jobs;
+  const auto r = pipeline::run_source(nfs::find(nf).source, nf, opts);
+  const auto store = model::initial_store(*r.module);
+  CompileOptions copts;
+  copts.bindings = &store;
+  const CompiledTable table = compile(r.model, copts);
+  return lower_threaded(table).to_text(table);
+}
+
+TEST_P(DataplaneGolden, ThreadedDumpIdenticalAcrossJobs) {
+  const std::string nf = GetParam();
+  const std::string d1 = threaded_dump(nf, 1);
+  EXPECT_EQ(d1, threaded_dump(nf, 4)) << nf;
+  EXPECT_NE(d1.find("# nfactor dataplane threaded v1"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Payload scan: memchr-hop vs Boyer–Moore–Horspool
+// ---------------------------------------------------------------------------
+
+std::vector<std::uint8_t> bytes(const std::string& s) {
+  return {s.begin(), s.end()};
+}
+
+TEST(PayloadScan, BmhKicksInAtThreshold) {
+  EXPECT_FALSE(make_needle("exploit").use_bmh);  // 7 bytes: memchr hop
+  EXPECT_TRUE(make_needle("USER root").use_bmh);
+  EXPECT_TRUE(make_needle("/etc/shadow").use_bmh);
+  EXPECT_EQ(make_needle("12345678").use_bmh, kBmhMinNeedle <= 8);
+}
+
+TEST(PayloadScan, ScannersAgreeOnEdgeCases) {
+  const std::vector<std::string> needles = {
+      "",          "a",          "ab",          "exploit",    "/etc/shadow",
+      "USER root", "aaaaaaaaaa", "ababababab",  "longneedle", "zzzzzzzz"};
+  const std::vector<std::string> hays = {
+      "",
+      "a",
+      "exploit",
+      "xexploit",
+      "exploitx",
+      "GET /etc/shadow HTTP/1.1",
+      "USER root\r\nPASS x",
+      "aaaaaaaaa",
+      "aaaaaaaaaa",
+      "abababababab",
+      "the quick brown fox jumps over the lazy dog",
+      std::string(1024, 'x'),
+      std::string(1000, 'x') + "/etc/shadow",
+      "/etc/shado",  // one byte short of a match
+      std::string(64, 'U') + "USER root",
+  };
+  for (const std::string& ntext : needles) {
+    const Needle n = make_needle(ntext);
+    for (const std::string& h : hays) {
+      const auto hay = bytes(h);
+      const bool expected = h.find(ntext) != std::string::npos;
+      EXPECT_EQ(scan_memchr_hop({hay.data(), hay.size()}, ntext), expected)
+          << "memchr-hop \"" << ntext << "\" in \"" << h.substr(0, 32) << "\"";
+      // scan_bmh must terminate and agree even below the use_bmh
+      // threshold — make_needle builds the shift table for every
+      // length, and the payload-scan microbench drives short needles
+      // through it directly.
+      EXPECT_EQ(scan_bmh({hay.data(), hay.size()}, n), expected)
+          << "bmh \"" << ntext << "\" in \"" << h.substr(0, 32) << "\"";
+      EXPECT_EQ(scan_adaptive({hay.data(), hay.size()}, n), expected)
+          << "adaptive \"" << ntext << "\" in \"" << h.substr(0, 32) << "\"";
+      EXPECT_EQ(payload_contains(hay, n), expected)
+          << "dispatch \"" << ntext << "\" in \"" << h.substr(0, 32) << "\"";
+    }
+  }
+}
+
+TEST(PayloadScan, RandomizedAgreementWithStdSearch) {
+  // Pseudo-random haystacks over a small alphabet (so matches actually
+  // happen) against needles sampled from the same distribution.
+  std::uint64_t s = 42;
+  const auto rnd = [&] {
+    s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<std::uint32_t>(s >> 33);
+  };
+  for (int iter = 0; iter < 500; ++iter) {
+    std::string hay_s;
+    const std::size_t hl = rnd() % 200;
+    for (std::size_t i = 0; i < hl; ++i) {
+      hay_s.push_back(static_cast<char>('a' + rnd() % 4));
+    }
+    std::string ntext;
+    const std::size_t nl = 1 + rnd() % 14;
+    for (std::size_t i = 0; i < nl; ++i) {
+      ntext.push_back(static_cast<char>('a' + rnd() % 4));
+    }
+    const auto hay = bytes(hay_s);
+    const bool expected = hay_s.find(ntext) != std::string::npos;
+    const Needle n = make_needle(ntext);
+    EXPECT_EQ(payload_contains(hay, n), expected)
+        << "needle \"" << ntext << "\" hay \"" << hay_s << "\"";
+    EXPECT_EQ(scan_bmh({hay.data(), hay.size()}, n), expected)
+        << "bmh needle \"" << ntext << "\" hay \"" << hay_s << "\"";
+    EXPECT_EQ(scan_memchr_hop({hay.data(), hay.size()}, ntext), expected)
+        << "memchr needle \"" << ntext << "\" hay \"" << hay_s << "\"";
+    // The 4-letter alphabet makes first-byte candidates dense, so long
+    // needles here exercise the adaptive scan's BMH switchover path.
+    EXPECT_EQ(scan_adaptive({hay.data(), hay.size()}, n), expected)
+        << "adaptive needle \"" << ntext << "\" hay \"" << hay_s << "\"";
+  }
+}
+
+TEST(PayloadScan, FusedOrScanMatchesTwoScans) {
+  // payload_contains_either(h, a, b) == contains(h, a) || contains(h, b)
+  // for every pairing of the edge-case needles over randomized
+  // haystacks — including shared first bytes, one-needle-longer-than-
+  // haystack splits, and empty needles.
+  const std::vector<std::string> needles = {
+      "",   "a",          "ab",          "exploit", "/etc/shadow",
+      "ax", "aaaaaaaaaa", "ababababab",  "bbbb"};
+  std::uint64_t s = 7;
+  const auto rnd = [&] {
+    s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<std::uint32_t>(s >> 33);
+  };
+  std::vector<std::string> hays = {"", "a", "exploit", "/etc/shadow x"};
+  for (int iter = 0; iter < 200; ++iter) {
+    std::string h;
+    const std::size_t hl = rnd() % 80;
+    for (std::size_t i = 0; i < hl; ++i) {
+      h.push_back(static_cast<char>('a' + rnd() % 4));
+    }
+    hays.push_back(std::move(h));
+  }
+  for (const std::string& na : needles) {
+    for (const std::string& nb : needles) {
+      const Needle a = make_needle(na);
+      const Needle b = make_needle(nb);
+      for (const std::string& h : hays) {
+        const auto hay = bytes(h);
+        const bool expected = payload_contains(hay, a) ||
+                              payload_contains(hay, b);
+        EXPECT_EQ(payload_contains_either(hay, a, b), expected)
+            << "\"" << na << "\" | \"" << nb << "\" in \"" << h << "\"";
+      }
+    }
+  }
+}
 
 }  // namespace
 }  // namespace nfactor::dataplane
