@@ -1,0 +1,140 @@
+// Network-scale topology verification: query latency and solver-cache
+// leverage over the 18-instance datacenter fabric (examples/
+// datacenter.topo), the paper's §4 applications scaled from a single
+// chain to a branching instance graph. The report prints the three
+// acceptance queries with their stats; the timed section measures query
+// evaluation at jobs 1 vs 4 (shared-cache warm) and end-to-end witness
+// materialization + three-backend replay.
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "symex/solver.h"
+#include "verify/topology.h"
+#include "verify/witness.h"
+
+namespace {
+
+using namespace nfactor;
+
+/// Corpus models synthesized once with the production settings
+/// (simplify + config folding), addresses stable for the topology.
+verify::NodeModels resolve(const std::string& nf) {
+  static std::map<std::string, pipeline::PipelineResult> cache;
+  auto it = cache.find(nf);
+  if (it == cache.end()) {
+    pipeline::PipelineOptions opts;
+    opts.simplify.enabled = true;
+    opts.simplify.fold_config = true;
+    it = cache.emplace(nf, benchutil::run_nf(nf, opts)).first;
+  }
+  return {&it->second.model, it->second.module.get()};
+}
+
+const verify::Topology& datacenter() {
+  static const verify::Topology topo = [] {
+    std::ifstream in(std::string(NFACTOR_SOURCE_DIR) +
+                     "/examples/datacenter.topo");
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return verify::parse_topology(ss.str(), resolve);
+  }();
+  return topo;
+}
+
+const char* const kQueries[] = {
+    "reach cust_a web_out",
+    "isolate cust_a quarantine where pkt.ip_proto != 6",
+    "waypoint cust_a web_out via syn_guard",
+};
+
+void report() {
+  std::printf("network-scale verification: 18-instance datacenter fabric\n");
+  benchutil::rule('=');
+  const auto& topo = datacenter();
+  std::printf("topology: %zu instances, %zu links, %zu ingress, %zu egress\n\n",
+              topo.nodes.size(), topo.edges.size(), topo.ingress.size(),
+              topo.egress.size());
+
+  symex::SolverCache cache;
+  verify::QueryOptions opts;
+  opts.jobs = 4;
+  opts.solver_cache = &cache;
+  for (const char* spec : kQueries) {
+    const auto q = verify::parse_query(spec);
+    const auto r = verify::run_query(topo, q, opts);
+    verify::ReplayReport replay;
+    std::optional<verify::Witness> witness;
+    if (r.sat) witness = verify::find_witness(topo, r, &replay);
+    std::printf("%-52s %s  frames=%-5zu paths=%-3zu witness=%s\n", spec,
+                r.holds ? "HOLDS   " : "VIOLATED", r.stats.frames,
+                r.paths.size(),
+                witness ? (replay.consistent ? "replayed" : "DIVERGED")
+                        : "-");
+  }
+  const auto stats = cache.stats();
+  std::printf("\nshared solver cache after all queries: %llu hits / %llu "
+              "misses (hit rate %.2f)\n\n",
+              static_cast<unsigned long long>(stats.hits),
+              static_cast<unsigned long long>(stats.misses),
+              stats.hits + stats.misses > 0
+                  ? static_cast<double>(stats.hits) /
+                        static_cast<double>(stats.hits + stats.misses)
+                  : 0.0);
+}
+
+void BM_TopologyReach(benchmark::State& state) {
+  const auto& topo = datacenter();
+  const auto q = verify::parse_query("reach cust_a web_out");
+  symex::SolverCache cache;  // shared across iterations: steady-state
+  verify::QueryOptions opts;
+  opts.jobs = static_cast<int>(state.range(0));
+  opts.solver_cache = &cache;
+  for (auto _ : state) {
+    auto r = verify::run_query(topo, q, opts);
+    benchmark::DoNotOptimize(r.paths.size());
+  }
+}
+BENCHMARK(BM_TopologyReach)->Arg(1)->Arg(4);
+
+void BM_TopologyIsolationProof(benchmark::State& state) {
+  const auto& topo = datacenter();
+  const auto q = verify::parse_query(
+      "isolate cust_a quarantine where pkt.ip_proto != 6");
+  symex::SolverCache cache;
+  verify::QueryOptions opts;
+  opts.jobs = static_cast<int>(state.range(0));
+  opts.solver_cache = &cache;
+  for (auto _ : state) {
+    auto r = verify::run_query(topo, q, opts);
+    benchmark::DoNotOptimize(r.holds);
+  }
+}
+BENCHMARK(BM_TopologyIsolationProof)->Arg(1)->Arg(4);
+
+void BM_WitnessMaterializeAndReplay(benchmark::State& state) {
+  const auto& topo = datacenter();
+  const auto q = verify::parse_query("reach cust_a web_out");
+  symex::SolverCache cache;
+  verify::QueryOptions opts;
+  opts.jobs = 4;
+  opts.solver_cache = &cache;
+  const auto r = verify::run_query(topo, q, opts);
+  for (auto _ : state) {
+    verify::ReplayReport replay;
+    auto witness = verify::find_witness(topo, r, &replay);
+    benchmark::DoNotOptimize(replay.consistent);
+  }
+}
+BENCHMARK(BM_WitnessMaterializeAndReplay);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  report();
+  return nfactor::benchutil::bench_main(argc, argv);
+}

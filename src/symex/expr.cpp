@@ -556,4 +556,37 @@ void collect_vars(const SymRef& e, std::map<std::string, VarClass>& out) {
   collect_vars_memo(e, out, visited);
 }
 
+namespace {
+
+void collect_map_bases(const SymRef& e, std::map<std::string, SymRef>& subst,
+                       const std::string& prefix,
+                       std::unordered_set<const SymExpr*>& visited) {
+  if (!visited.insert(e.get()).second) return;
+  if (e->kind == SymKind::kMapBase && e->str_val != "{}" &&
+      !subst.count(e->str_val)) {
+    subst[e->str_val] = make_map_base(prefix + e->str_val);
+  }
+  for (const auto& c : e->operands) collect_map_bases(c, subst, prefix, visited);
+  for (const auto& [f, v] : e->fields) {
+    (void)f;
+    collect_map_bases(v, subst, prefix, visited);
+  }
+}
+
+}  // namespace
+
+SymRef prefix_symbols(const SymRef& e, const std::string& prefix) {
+  std::map<std::string, VarClass> vars;
+  collect_vars(e, vars);
+  std::map<std::string, SymRef> subst;
+  for (const auto& [name, cls] : vars) {
+    if (cls == VarClass::kState || cls == VarClass::kCfg) {
+      subst[name] = make_var(prefix + name, cls);
+    }
+  }
+  std::unordered_set<const SymExpr*> visited;
+  collect_map_bases(e, subst, prefix, visited);
+  return subst.empty() ? e : substitute(e, subst);
+}
+
 }  // namespace nfactor::symex

@@ -153,4 +153,11 @@ void collect_vars(const SymRef& e,
 /// subtrees are rewritten once.
 SymRef substitute(const SymRef& e, const std::map<std::string, SymRef>& subst);
 
+/// Rename every state/config symbol — kVar nodes of class kState/kCfg and
+/// named kMapBase nodes — with `prefix`, leaving packet symbols alone.
+/// This is what gives each NF *instance* in a composed chain or topology
+/// its own disjoint state/config namespace: two instances of the same NF
+/// model never alias each other's symbols.
+SymRef prefix_symbols(const SymRef& e, const std::string& prefix);
+
 }  // namespace nfactor::symex

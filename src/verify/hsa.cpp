@@ -1,7 +1,5 @@
 #include "verify/hsa.h"
 
-#include <functional>
-
 #include "lang/builtins.h"
 #include "symex/solver.h"
 
@@ -11,32 +9,10 @@ namespace {
 
 using symex::SymRef;
 
-/// Rename an entry's state/config symbols with a per-hop prefix so two
-/// hops never share state.
+/// Per-hop state/config renaming so two hops never share state
+/// (symex::prefix_symbols does the walk).
 SymRef prefixed(const SymRef& e, const std::string& prefix) {
-  std::map<std::string, symex::VarClass> vars;
-  symex::collect_vars(e, vars);
-  std::map<std::string, SymRef> subst;
-  for (const auto& [name, cls] : vars) {
-    if (cls == symex::VarClass::kState || cls == symex::VarClass::kCfg) {
-      subst[name] = symex::make_var(prefix + name, cls);
-    }
-  }
-  // MapBase nodes are renamed through substitute() by name as well.
-  std::function<void(const SymRef&)> collect_maps = [&](const SymRef& x) {
-    if (x->kind == symex::SymKind::kMapBase && x->str_val != "{}") {
-      if (!subst.count(x->str_val)) {
-        subst[x->str_val] = symex::make_map_base(prefix + x->str_val);
-      }
-    }
-    for (const auto& c : x->operands) collect_maps(c);
-    for (const auto& [f, v] : x->fields) {
-      (void)f;
-      collect_maps(v);
-    }
-  };
-  collect_maps(e);
-  return symex::substitute(e, subst);
+  return symex::prefix_symbols(e, prefix);
 }
 
 }  // namespace

@@ -1,0 +1,82 @@
+// Concrete witnesses for topology query verdicts. The solver behind
+// run_query is sound for pruning but has no model extraction, so a SAT
+// verdict is backed the way BUZZ backs compliance cases: ProbeBuilder
+// inverts the path condition into a candidate packet, the full
+// constraint set is then *verified* by concrete evaluation against
+// every instance's initial store, and the surviving packet is replayed
+// hop-by-hop through three independent backends — the netsim wire codec
+// (encode/decode round-trip), the model interpreter, and the compiled
+// dataplane engine — which must agree byte-for-byte at every hop. A
+// reachability verdict with a consistent replay is a proof, not an
+// over-approximation.
+//
+// Materialization is best-effort by design: paths whose condition needs
+// non-initial state (positive map membership on a fresh instance) or
+// constraint shapes the prober cannot invert yield no witness; callers
+// walk the deterministic path list until one materializes (find_witness).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "netsim/packet.h"
+#include "verify/topology.h"
+
+namespace nfactor::verify {
+
+/// A concrete packet realizing one symbolic path of a query result.
+struct Witness {
+  netsim::Packet ingress;      ///< injected packet (in_port set)
+  std::vector<TopoHop> hops;   ///< the path skeleton being realized
+  std::string from;            ///< ingress point name
+  std::string to;              ///< egress point name
+};
+
+struct ReplayedHop {
+  TopoHop hop;
+  netsim::Packet input;   ///< packet entering the instance
+  netsim::Packet output;  ///< packet the instance emitted (send hop.send)
+  int out_port = -1;      ///< concrete emission port
+};
+
+/// Outcome of the three-backend replay.
+struct ReplayReport {
+  bool consistent = false;
+  std::vector<ReplayedHop> hops;  ///< hops completed before divergence
+  netsim::Packet egress;          ///< final emitted packet (when consistent)
+  std::string detail;             ///< first divergence, empty when consistent
+};
+
+/// Invert `path`'s condition into a concrete ingress packet and verify
+/// the full constraint set concretely against the instances' initial
+/// (pinned) stores. nullopt when the path is not concretizable.
+std::optional<Witness> materialize_witness(const Topology& topo,
+                                           const Query& q,
+                                           const TopoPath& path);
+
+/// Replay a witness hop-by-hop: per hop the wire codec round-trips the
+/// input frame, and ModelInterpreter and DataplaneEngine (compiled with
+/// the instance's pinned store) must match the expected entry and emit
+/// byte-identical packets on the expected port.
+ReplayReport replay_witness(const Topology& topo, const Witness& w);
+
+/// First path of `result` (deterministic order) that materializes AND
+/// replays consistently. `replay_out` (optional) receives its replay.
+std::optional<Witness> find_witness(const Topology& topo,
+                                    const QueryResult& result,
+                                    ReplayReport* replay_out = nullptr);
+
+/// Write the witness as a netsim trace: one frame per hop (the packet
+/// entering that instance, tagged with its ingress port) plus the final
+/// egress packet. Round-trips through netsim::read_trace.
+void write_witness_trace(const std::string& path, const ReplayReport& replay);
+
+/// Deterministic `nfactor-topology-v1` JSON for a query result,
+/// optionally including a replayed witness (pass nullptr for none).
+/// Byte-identical at any QueryOptions.jobs width: schedule-dependent
+/// stats (cache hit tallies) are excluded.
+std::string topology_json(const Topology& topo, const QueryResult& result,
+                          const Witness* witness, const ReplayReport* replay);
+
+}  // namespace nfactor::verify

@@ -1,0 +1,256 @@
+// Property tests for the PGA-style composition advisor (verify/chain.h)
+// on randomized I/O spaces:
+//   1. has_cycle is sound and complete: it is set iff NO permutation of
+//      the inputs satisfies every matcher-before-rewriter constraint
+//      (checked by brute force over all permutations, n <= 6).
+//   2. When acyclic, the advised order satisfies every constraint and is
+//      a permutation of the inputs; ties keep the input order (with no
+//      constraints at all the order IS the input order, and any two
+//      mutually unconstrained names keep their relative input order
+//      whenever no constraint chain forces otherwise).
+//   3. The constraint list is exactly the matcher-before-rewriter pairs:
+//      one constraint per ordered pair (a, b) where some field a matches
+//      is rewritten by b, labelled with the first such field in set
+//      order, and nothing else.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <numeric>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "model/model.h"
+#include "symex/expr.h"
+#include "verify/chain.h"
+
+namespace nfactor::verify {
+namespace {
+
+// Deterministic 64-bit LCG (same recurrence the fuzzer uses) so every
+// run explores the same random I/O spaces.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : s_(seed ? seed : 1) {}
+  std::uint64_t next() {
+    s_ = s_ * 6364136223846793005ULL + 1442695040888963407ULL;
+    return s_ >> 17;
+  }
+  std::size_t below(std::size_t n) { return n ? next() % n : 0; }
+  bool chance(int pct) { return static_cast<int>(below(100)) < pct; }
+
+ private:
+  std::uint64_t s_;
+};
+
+const std::vector<std::string>& field_pool() {
+  static const std::vector<std::string> fields = {
+      "ip_src", "ip_dst", "sport", "dport", "tcp_flags"};
+  return fields;
+}
+
+/// Build a synthetic model whose io_space() is exactly (matched,
+/// rewritten): pkt_fields_read carries the matched fields, one
+/// forwarding entry rewrites the rewritten fields.
+model::Model synthetic_model(const std::set<std::string>& matched,
+                             const std::set<std::string>& rewritten) {
+  model::Model m;
+  m.nf_name = "synthetic";
+  for (const auto& f : matched) m.pkt_fields_read.insert("pkt." + f);
+  model::ModelEntry e;
+  model::SendAction send;
+  send.port = symex::make_int(1);
+  for (const auto& f : rewritten) send.rewrites[f] = symex::make_int(0);
+  e.flow_action.push_back(std::move(send));
+  m.entries.push_back(std::move(e));
+  return m;
+}
+
+struct RandomNfs {
+  std::vector<std::string> names;
+  std::vector<model::Model> models;  // stable storage
+  std::vector<std::pair<std::string, const model::Model*>> input;
+  std::vector<IoSpace> spaces;
+};
+
+RandomNfs random_nfs(Rng& rng, std::size_t n) {
+  RandomNfs r;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::set<std::string> matched;
+    std::set<std::string> rewritten;
+    for (const auto& f : field_pool()) {
+      if (rng.chance(35)) matched.insert(f);
+      if (rng.chance(25)) rewritten.insert(f);
+    }
+    r.names.push_back("nf" + std::to_string(i));
+    r.models.push_back(synthetic_model(matched, rewritten));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    r.input.emplace_back(r.names[i], &r.models[i]);
+    r.spaces.push_back(io_space(r.models[i]));
+  }
+  return r;
+}
+
+/// The reference constraint relation: (a, b, first conflicting field in
+/// set order) for every ordered pair where a matches a field b rewrites.
+std::vector<OrderConstraint> reference_constraints(const RandomNfs& nfs) {
+  std::vector<OrderConstraint> out;
+  const std::size_t n = nfs.input.size();
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = 0; b < n; ++b) {
+      if (a == b) continue;
+      for (const auto& field : nfs.spaces[a].fields_matched) {
+        if (nfs.spaces[b].fields_rewritten.count(field)) {
+          out.push_back({nfs.names[a], nfs.names[b], field});
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+bool order_satisfies(const std::vector<std::string>& order,
+                     const std::vector<OrderConstraint>& constraints) {
+  std::map<std::string, std::size_t> pos;
+  for (std::size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+  return std::all_of(constraints.begin(), constraints.end(),
+                     [&](const OrderConstraint& c) {
+                       return pos.at(c.before) < pos.at(c.after);
+                     });
+}
+
+/// Brute force: does ANY permutation satisfy all constraints?
+bool some_order_exists(const std::vector<std::string>& names,
+                       const std::vector<OrderConstraint>& constraints) {
+  std::vector<std::size_t> idx(names.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  do {
+    std::vector<std::string> order;
+    order.reserve(names.size());
+    for (const std::size_t i : idx) order.push_back(names[i]);
+    if (order_satisfies(order, constraints)) return true;
+  } while (std::next_permutation(idx.begin(), idx.end()));
+  return false;
+}
+
+std::multiset<std::string> triple_set(
+    const std::vector<OrderConstraint>& constraints) {
+  std::multiset<std::string> out;
+  for (const auto& c : constraints) {
+    out.insert(c.before + "<" + c.after + ":" + c.field);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(ChainProperty, CycleDetectionSoundAndComplete) {
+  Rng rng(0xC0FFEE);
+  for (int trial = 0; trial < 300; ++trial) {
+    SCOPED_TRACE("trial " + std::to_string(trial));
+    const std::size_t n = 2 + rng.below(5);  // 2..6: permutations feasible
+    const RandomNfs nfs = random_nfs(rng, n);
+    const OrderAdvice advice = advise_order(nfs.input);
+    const auto expected = reference_constraints(nfs);
+
+    // has_cycle <=> no conflict-free order exists at all.
+    EXPECT_EQ(advice.has_cycle, !some_order_exists(nfs.names, expected));
+
+    // The advised order is always a permutation of the inputs.
+    ASSERT_EQ(advice.order.size(), n);
+    EXPECT_EQ(std::multiset<std::string>(advice.order.begin(),
+                                         advice.order.end()),
+              std::multiset<std::string>(nfs.names.begin(), nfs.names.end()));
+
+    // When acyclic, the advised order satisfies every constraint.
+    if (!advice.has_cycle) {
+      EXPECT_TRUE(order_satisfies(advice.order, expected));
+    }
+  }
+}
+
+TEST(ChainProperty, ConstraintsAreExactlyMatcherBeforeRewriterPairs) {
+  Rng rng(0xBADF00D);
+  for (int trial = 0; trial < 300; ++trial) {
+    SCOPED_TRACE("trial " + std::to_string(trial));
+    const RandomNfs nfs = random_nfs(rng, 2 + rng.below(6));
+    const OrderAdvice advice = advise_order(nfs.input);
+    // Same pairs, same conflicting-field labels, one per ordered pair —
+    // nothing missing, nothing invented.
+    EXPECT_EQ(triple_set(advice.constraints),
+              triple_set(reference_constraints(nfs)));
+  }
+}
+
+TEST(ChainProperty, NoConstraintsPreservesInputOrderExactly) {
+  Rng rng(0x5EED);
+  for (int trial = 0; trial < 100; ++trial) {
+    SCOPED_TRACE("trial " + std::to_string(trial));
+    const std::size_t n = 2 + rng.below(5);
+    // Rewriters touch nothing anyone matches: matched from a disjoint
+    // field per node, no rewrites at all.
+    RandomNfs nfs;
+    for (std::size_t i = 0; i < n; ++i) {
+      nfs.names.push_back("nf" + std::to_string(i));
+      nfs.models.push_back(synthetic_model(
+          {field_pool()[rng.below(field_pool().size())]}, {}));
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      nfs.input.emplace_back(nfs.names[i], &nfs.models[i]);
+      nfs.spaces.push_back(io_space(nfs.models[i]));
+    }
+    const OrderAdvice advice = advise_order(nfs.input);
+    EXPECT_FALSE(advice.has_cycle);
+    EXPECT_TRUE(advice.constraints.empty());
+    EXPECT_EQ(advice.order, nfs.names);  // ties keep input order
+  }
+}
+
+TEST(ChainProperty, TiesKeepRelativeInputOrderUnderConstraints) {
+  // fw matches ip_src; nat rewrites ip_src -> fw before nat is forced.
+  // mon matches nothing anyone rewrites and rewrites nothing: wherever
+  // it lands, unconstrained names keep their relative input order.
+  std::vector<model::Model> models;
+  models.push_back(synthetic_model({"ip_src"}, {}));        // fw
+  models.push_back(synthetic_model({}, {}));                // mon_a
+  models.push_back(synthetic_model({"dport"}, {"ip_src"})); // nat
+  models.push_back(synthetic_model({}, {}));                // mon_b
+  const std::vector<std::pair<std::string, const model::Model*>> input = {
+      {"fw", &models[0]},
+      {"mon_a", &models[1]},
+      {"nat", &models[2]},
+      {"mon_b", &models[3]},
+  };
+  const OrderAdvice advice = advise_order(input);
+  EXPECT_FALSE(advice.has_cycle);
+  ASSERT_EQ(advice.constraints.size(), 1u);
+  EXPECT_EQ(advice.constraints[0].before, "fw");
+  EXPECT_EQ(advice.constraints[0].after, "nat");
+  EXPECT_EQ(advice.constraints[0].field, "pkt.ip_src");
+  // Stable Kahn's: everything placeable in the first sweep keeps input
+  // order; nat joins as soon as fw is placed.
+  EXPECT_EQ(advice.order,
+            (std::vector<std::string>{"fw", "mon_a", "nat", "mon_b"}));
+}
+
+TEST(ChainProperty, MutualConflictIsACycle) {
+  // a matches f and rewrites g; b matches g and rewrites f: each must
+  // precede the other -> no conflict-free order.
+  std::vector<model::Model> models;
+  models.push_back(synthetic_model({"ip_src"}, {"dport"}));
+  models.push_back(synthetic_model({"dport"}, {"ip_src"}));
+  const OrderAdvice advice = advise_order(
+      {{"a", &models[0]}, {"b", &models[1]}});
+  EXPECT_TRUE(advice.has_cycle);
+  EXPECT_EQ(advice.constraints.size(), 2u);
+  // Even with a cycle every input is still reported exactly once.
+  EXPECT_EQ(advice.order.size(), 2u);
+}
+
+}  // namespace
+}  // namespace nfactor::verify

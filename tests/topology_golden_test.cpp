@@ -1,0 +1,113 @@
+// Golden tests for the nfactor-topology-v1 query JSON: fixed queries
+// over the triangle fixture and the shipped 18-instance datacenter
+// fabric, each rendered with its (deterministic) witness and compared
+// byte-for-byte against tests/golden/topology/<case>.json.
+//
+// The document is documented byte-identical at any --jobs width
+// (docs/verification.md) — each case renders at jobs 1 AND jobs 4 and
+// both must match the same golden bytes, so this suite is also the
+// in-process determinism gate behind the CI step.
+//
+// Regenerate after an intentional format change with
+//   NFACTOR_UPDATE_GOLDEN=1 ctest -R TopologyGolden
+// and review the diff like any other source change.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "symex/solver.h"
+#include "tests/topology_test_util.h"
+#include "verify/topology.h"
+#include "verify/witness.h"
+
+#ifndef NFACTOR_SOURCE_DIR
+#error "tests/CMakeLists.txt must define NFACTOR_SOURCE_DIR"
+#endif
+
+namespace nfactor::verify {
+namespace {
+
+std::string read_file(const std::string& path, bool* ok = nullptr) {
+  std::ifstream in(path);
+  if (ok) *ok = static_cast<bool>(in);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::string render(const Topology& topo, const std::string& spec, int jobs) {
+  const Query q = parse_query(spec);
+  symex::SolverCache cache;
+  QueryOptions opts;
+  opts.jobs = jobs;
+  opts.solver_cache = &cache;
+  const QueryResult result = run_query(topo, q, opts);
+  ReplayReport replay;
+  std::optional<Witness> witness;
+  if (result.sat) witness = find_witness(topo, result, &replay);
+  return topology_json(topo, result, witness ? &*witness : nullptr,
+                       witness ? &replay : nullptr) +
+         "\n";
+}
+
+void check_golden(const std::string& name, const std::string& topo_file,
+                  const std::string& spec) {
+  bool ok = false;
+  const std::string text =
+      read_file(std::string(NFACTOR_SOURCE_DIR) + "/" + topo_file, &ok);
+  ASSERT_TRUE(ok) << "missing fixture " << topo_file;
+  const Topology topo =
+      parse_topology(text, testutil::corpus_models().resolver());
+  ASSERT_TRUE(topo.validate().empty());
+
+  const std::string actual = render(topo, spec, /*jobs=*/1);
+  // Determinism leg: the same document at jobs 4, byte-for-byte.
+  EXPECT_EQ(actual, render(topo, spec, /*jobs=*/4))
+      << "JSON drifted across jobs widths for " << name;
+
+  const std::string golden_path = std::string(NFACTOR_SOURCE_DIR) +
+                                  "/tests/golden/topology/" + name + ".json";
+  if (std::getenv("NFACTOR_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(golden_path);
+    ASSERT_TRUE(out) << "cannot write " << golden_path;
+    out << actual;
+    return;
+  }
+  ok = false;
+  const std::string expected = read_file(golden_path, &ok);
+  ASSERT_TRUE(ok) << "missing golden file " << golden_path
+                  << " (run with NFACTOR_UPDATE_GOLDEN=1 to create)";
+  EXPECT_EQ(actual, expected) << "topology JSON drifted for " << name;
+}
+
+TEST(TopologyGolden, TriangleReachOut) {
+  check_golden("triangle_reach_out", "tests/fixtures/topo/triangle.topo",
+               "reach in out");
+}
+
+TEST(TopologyGolden, TriangleReachAlerts) {
+  check_golden("triangle_reach_alerts", "tests/fixtures/topo/triangle.topo",
+               "reach in alerts");
+}
+
+TEST(TopologyGolden, TriangleIsolateNonTcpFromAlerts) {
+  check_golden("triangle_isolate_udp", "tests/fixtures/topo/triangle.topo",
+               "isolate in alerts where pkt.ip_proto != 6");
+}
+
+TEST(TopologyGolden, DatacenterReachWeb) {
+  check_golden("datacenter_reach_web", "examples/datacenter.topo",
+               "reach cust_a web_out");
+}
+
+TEST(TopologyGolden, DatacenterWaypointSynGuard) {
+  check_golden("datacenter_waypoint", "examples/datacenter.topo",
+               "waypoint cust_a web_out via syn_guard");
+}
+
+}  // namespace
+}  // namespace nfactor::verify
